@@ -1,0 +1,53 @@
+//! Fig. 4: the family of synthetic functions F1–F4 (different smoothness and
+//! shape). Prints a coarse 2-D surface sample for each so the shapes can be
+//! inspected / plotted.
+
+use udf_bench::header;
+use udf_core::udf::UdfFunction;
+use udf_workloads::synthetic::PaperFunction;
+
+fn main() {
+    header(
+        "Fig 4",
+        "synthetic function family F1-F4 (2-D surfaces)",
+        "function  components  scale  | surface min / mean / max on 21x21 grid",
+    );
+    for pf in PaperFunction::ALL {
+        let f = pf.instantiate(2);
+        let n = 21;
+        let (mut lo, mut hi, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for i in 0..n {
+            for j in 0..n {
+                let x = [i as f64 * 10.0 / (n - 1) as f64, j as f64 * 10.0 / (n - 1) as f64];
+                let v = f.eval(&x);
+                lo = lo.min(v);
+                hi = hi.max(v);
+                sum += v;
+            }
+        }
+        println!(
+            "{:<8}  {:>10}  {:>5}  | {:.4} / {:.4} / {:.4}",
+            pf.label(),
+            match pf {
+                PaperFunction::F1 | PaperFunction::F2 => 1,
+                _ => 5,
+            },
+            match pf {
+                PaperFunction::F1 => "3.0",
+                PaperFunction::F2 => "0.6",
+                PaperFunction::F3 => "2.0",
+                PaperFunction::F4 => "0.5",
+            },
+            lo,
+            sum / (n * n) as f64,
+            hi
+        );
+        // One row of the surface through the domain center, for plotting.
+        let mut row = String::new();
+        for i in 0..n {
+            let v = f.eval(&[i as f64 * 10.0 / (n - 1) as f64, 5.0]);
+            row.push_str(&format!("{v:.3} "));
+        }
+        println!("  f(x, 5) = {row}");
+    }
+}

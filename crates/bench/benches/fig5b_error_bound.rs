@@ -1,0 +1,56 @@
+//! Fig. 5(b), Profile 2: behavior of the discrepancy error bound vs. λ on
+//! Funct4 — the bound must dominate the actual error and tighten as λ grows.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use udf_bench::{as_udf, ground_truth, header, paper_accuracy, standard_inputs};
+use udf_core::config::OlgaproConfig;
+use udf_core::olgapro::Olgapro;
+use udf_prob::metrics::lambda_discrepancy;
+use udf_workloads::synthetic::PaperFunction;
+
+fn main() {
+    header(
+        "Fig 5(b)",
+        "Profile 2 — behavior of the error bound (Funct4)",
+        "λ (% of range)   actual error   error bound   bound/actual",
+    );
+    let f = PaperFunction::F4.instantiate(2);
+    let range = f.output_range();
+    let n_inputs = udf_bench::inputs_per_point().min(20);
+    let inputs = standard_inputs(2, n_inputs, 11);
+
+    for lam_pct in [0.5f64, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0] {
+        let lambda = lam_pct / 100.0 * range;
+        let mut acc = paper_accuracy(range);
+        acc.lambda = lambda;
+        let cfg = OlgaproConfig::new(acc, range).expect("config");
+        let mut olga = Olgapro::new(as_udf(&f, Duration::ZERO), cfg);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut truth_rng = StdRng::seed_from_u64(22);
+        // Warm-up pass so bounds reflect the converged model (§5.4).
+        for input in &inputs {
+            olga.process(input, &mut rng).expect("warm-up");
+        }
+        let (mut err_sum, mut bound_sum) = (0.0, 0.0);
+        for input in &inputs {
+            let out = olga.process(input, &mut rng).expect("process");
+            let truth = ground_truth(&f, input, 20_000, &mut truth_rng);
+            err_sum += lambda_discrepancy(&out.y_hat, &truth, lambda);
+            bound_sum += out.eps_gp;
+        }
+        let (err, bound) = (
+            err_sum / inputs.len() as f64,
+            bound_sum / inputs.len() as f64,
+        );
+        println!(
+            "{:>6.1}%          {:>9.4}     {:>9.4}     {:>6.2}x",
+            lam_pct,
+            err,
+            bound,
+            bound / err.max(1e-9)
+        );
+    }
+    println!("\nExpected shape: bound ≥ actual everywhere, ~2-4x, both shrinking as λ grows.");
+}

@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks of the hot kernels: GP inference, incremental
+//! point addition, Algorithm 3, and the distance metrics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use udf_core::error_bound::{
+    envelope_ecdfs, lambda_discrepancy_bound, lambda_discrepancy_bound_naive,
+};
+use udf_gp::{GpModel, SquaredExponential};
+use udf_prob::metrics::{discrepancy, ks};
+use udf_prob::Ecdf;
+
+fn fitted_model(n: usize) -> GpModel {
+    let mut rng = StdRng::seed_from_u64(1);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| vec![rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 0.5).sin() + x[1].cos()).collect();
+    let mut m = GpModel::new(Box::new(SquaredExponential::new(1.0, 1.0)), 2);
+    m.fit(xs, ys).unwrap();
+    m
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gp");
+    for n in [50usize, 200] {
+        let model = fitted_model(n);
+        g.bench_with_input(BenchmarkId::new("predict", n), &n, |b, _| {
+            b.iter(|| model.predict(&[3.3, 7.1]).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("predict_mean", n), &n, |b, _| {
+            b.iter(|| model.predict_mean(&[3.3, 7.1]).unwrap())
+        });
+    }
+    g.bench_function("add_point_n200", |b| {
+        b.iter_with_setup(
+            || fitted_model(200),
+            |mut m| m.add_point(vec![5.0, 5.0], 1.0).unwrap(),
+        )
+    });
+    g.finish();
+}
+
+fn bench_error_bound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("error_bound");
+    let mut rng = StdRng::seed_from_u64(2);
+    for m in [500usize, 2000] {
+        let means: Vec<f64> = (0..m).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let sds: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..0.5)).collect();
+        let (h, s, l) = envelope_ecdfs(&means, &sds, 3.0).unwrap();
+        g.bench_with_input(BenchmarkId::new("algorithm3_fast", m), &m, |b, _| {
+            b.iter(|| lambda_discrepancy_bound(&h, &s, &l, 0.1))
+        });
+        if m <= 500 {
+            g.bench_with_input(BenchmarkId::new("naive_quadratic", m), &m, |b, _| {
+                b.iter(|| lambda_discrepancy_bound_naive(&h, &s, &l, 0.1))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics");
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = Ecdf::new((0..2000).map(|_| rng.gen_range(-5.0..5.0)).collect()).unwrap();
+    let b2 = Ecdf::new((0..2000).map(|_| rng.gen_range(-4.0..6.0)).collect()).unwrap();
+    g.bench_function("ks_2000", |b| b.iter(|| ks(&a, &b2)));
+    g.bench_function("discrepancy_2000", |b| b.iter(|| discrepancy(&a, &b2)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_gp, bench_error_bound, bench_metrics
+}
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! User accuracy requirements and algorithm configuration (§2.1, §5.4, §6.1).
+
+use crate::{CoreError, Result};
+use udf_prob::bounds::{split_accuracy, AccuracySplit};
+
+/// Which distance metric the accuracy requirement is stated in (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// λ-discrepancy (Definitions 1/3); the paper's default for experiments.
+    Discrepancy,
+    /// Kolmogorov–Smirnov distance (Definition 2).
+    Ks,
+}
+
+/// The user's `(ε, δ)` accuracy requirement with minimum interval length λ
+/// (Definition 4): with probability `1 − δ`, the returned distribution is
+/// within `ε` of the truth under the chosen metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyRequirement {
+    /// Error tolerance ε ∈ (0, 1).
+    pub eps: f64,
+    /// Failure probability δ ∈ (0, 1).
+    pub delta: f64,
+    /// Minimum interval length λ ≥ 0 for the λ-discrepancy
+    /// (ignored under [`Metric::Ks`]).
+    pub lambda: f64,
+    /// Metric the requirement is stated in.
+    pub metric: Metric,
+}
+
+impl AccuracyRequirement {
+    /// Validated constructor.
+    pub fn new(eps: f64, delta: f64, lambda: f64, metric: Metric) -> Result<Self> {
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(CoreError::InvalidConfig {
+                what: "eps",
+                value: eps,
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(CoreError::InvalidConfig {
+                what: "delta",
+                value: delta,
+            });
+        }
+        if !(lambda >= 0.0 && lambda.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                what: "lambda",
+                value: lambda,
+            });
+        }
+        Ok(AccuracyRequirement {
+            eps,
+            delta,
+            lambda,
+            metric,
+        })
+    }
+
+    /// The paper's default experimental setting: ε = 0.1, δ = 0.05,
+    /// discrepancy metric (λ set by the caller relative to function range).
+    pub fn paper_default(lambda: f64) -> Self {
+        AccuracyRequirement {
+            eps: 0.1,
+            delta: 0.05,
+            lambda,
+            metric: Metric::Discrepancy,
+        }
+    }
+
+    /// Number of Monte Carlo samples needed to meet this requirement by
+    /// direct sampling (Algorithm 1 / §2.2-A).
+    pub fn mc_samples(&self) -> usize {
+        match self.metric {
+            Metric::Ks => udf_prob::bounds::mc_samples_ks(self.eps, self.delta),
+            Metric::Discrepancy => udf_prob::bounds::mc_samples_discrepancy(self.eps, self.delta),
+        }
+    }
+}
+
+/// When OLGAPRO re-learns hyperparameters (§5.3 / Expt 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetrainStrategy {
+    /// Never retrain after the initial fit.
+    Never,
+    /// Retrain whenever any training point was added ("eager").
+    Eager,
+    /// Retrain when the first Newton step exceeds Δθ (the paper's choice;
+    /// §6 finds Δθ = 0.05 robust).
+    NewtonThreshold(f64),
+}
+
+/// Configuration for OLGAPRO (Algorithm 5) and the offline GP evaluator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlgaproConfig {
+    /// The user accuracy requirement.
+    pub accuracy: AccuracyRequirement,
+    /// Fraction of ε allocated to MC sampling (Profile 3: 0.7).
+    pub mc_fraction: f64,
+    /// Local-inference threshold Γ, in absolute output units. The paper
+    /// recommends ≈ 5% of the function range (§6, Expt 1).
+    pub gamma: f64,
+    /// Maximum training points added per input tuple (Expt 2 uses 10).
+    pub max_points_per_input: usize,
+    /// Retraining strategy.
+    pub retrain: RetrainStrategy,
+    /// Number of bootstrap UDF evaluations when the model is empty.
+    pub bootstrap_points: usize,
+    /// Initial kernel lengthscale (relative scale; retraining adapts it).
+    pub init_lengthscale: f64,
+    /// Initial kernel signal standard deviation.
+    pub init_sigma_f: f64,
+}
+
+impl OlgaproConfig {
+    /// Defaults matching the paper's experimental setup for a function with
+    /// the given output range estimate.
+    pub fn new(accuracy: AccuracyRequirement, output_range: f64) -> Result<Self> {
+        if !(output_range > 0.0 && output_range.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                what: "output_range",
+                value: output_range,
+            });
+        }
+        Ok(OlgaproConfig {
+            accuracy,
+            mc_fraction: 0.7,
+            gamma: 0.05 * output_range,
+            max_points_per_input: 10,
+            retrain: RetrainStrategy::NewtonThreshold(0.05),
+            bootstrap_points: 5,
+            init_lengthscale: 1.0,
+            init_sigma_f: 1.0,
+        })
+    }
+
+    /// The (ε, δ) split between sampling and GP modeling (Theorem 4.1).
+    pub fn split(&self) -> AccuracySplit {
+        split_accuracy(self.accuracy.eps, self.accuracy.delta, self.mc_fraction)
+    }
+
+    /// MC sample count per input under the sampling share of the budget.
+    pub fn samples_per_input(&self) -> usize {
+        let s = self.split();
+        match self.accuracy.metric {
+            Metric::Ks => udf_prob::bounds::mc_samples_ks(s.eps_mc, s.delta_mc),
+            Metric::Discrepancy => {
+                udf_prob::bounds::mc_samples_discrepancy(s.eps_mc, s.delta_mc)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_ranges() {
+        assert!(AccuracyRequirement::new(0.0, 0.05, 0.1, Metric::Ks).is_err());
+        assert!(AccuracyRequirement::new(0.1, 1.0, 0.1, Metric::Ks).is_err());
+        assert!(AccuracyRequirement::new(0.1, 0.05, -1.0, Metric::Ks).is_err());
+        assert!(AccuracyRequirement::new(0.1, 0.05, 0.1, Metric::Discrepancy).is_ok());
+    }
+
+    #[test]
+    fn mc_sample_counts_by_metric() {
+        let ks = AccuracyRequirement::new(0.1, 0.05, 0.0, Metric::Ks).unwrap();
+        let d = AccuracyRequirement::new(0.1, 0.05, 0.0, Metric::Discrepancy).unwrap();
+        // Discrepancy needs 4x the samples (ε/2 in the DKW bound).
+        assert_eq!(d.mc_samples(), udf_prob::bounds::mc_samples_ks(0.05, 0.05));
+        assert!(d.mc_samples() > 3 * ks.mc_samples());
+    }
+
+    #[test]
+    fn config_split_consistent() {
+        let acc = AccuracyRequirement::paper_default(0.1);
+        let cfg = OlgaproConfig::new(acc, 10.0).unwrap();
+        let s = cfg.split();
+        assert!((s.eps_mc + s.eps_gp - 0.1).abs() < 1e-12);
+        assert!((cfg.gamma - 0.5).abs() < 1e-12);
+        assert!(cfg.samples_per_input() > 0);
+    }
+
+    #[test]
+    fn rejects_bad_range() {
+        let acc = AccuracyRequirement::paper_default(0.1);
+        assert!(OlgaproConfig::new(acc, 0.0).is_err());
+        assert!(OlgaproConfig::new(acc, f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Error bounds on GP output distributions (§4.2–§4.3).
+//!
+//! Given the three empirical CDFs produced by sampling the GP posterior —
+//! Ŷ′ (mean function), Y′_S (lower envelope `f̂ − z_α σ`), Y′_L (upper
+//! envelope `f̂ + z_α σ`) — the GP share of the error is
+//!
+//! `ε_GP = sup_{[a,b]: b−a≥λ} max(ρ′_U − ρ̂′, ρ̂′ − ρ′_L)`
+//!
+//! with `ρ′_U = F_S(b) − F_L(a)` and `ρ′_L = max(0, F_L(b) − F_S(a))`
+//! (Eqs. 3–4). This module implements the paper's **Algorithm 3**: an
+//! O(m log m) sweep that precomputes suffix maxima of the envelope gaps and
+//! binary-searches the case split of `ρ′_L`, instead of the naive O(m²)
+//! enumeration of interval endpoints.
+//!
+//! Interval convention: probabilities are CDF differences (`(a, b]`
+//! half-open), consistent across all three CDFs, matching Algorithm 3's use
+//! of `Pr[Y ≤ ·]` everywhere; the supremum over the enumerated endpoints
+//! equals the two-sided-interval supremum for continuous outputs.
+
+use udf_prob::metrics::ks;
+use udf_prob::Ecdf;
+
+/// The λ-discrepancy GP error bound ε_GP (Algorithm 3).
+///
+/// `y_hat`, `y_s`, `y_l` are the empirical CDFs of the mean and of the
+/// lower/upper envelope functions; the envelope CDF ordering
+/// `F_S ≥ F̂ ≥ F_L` holds by construction (each sample's envelope values
+/// bracket its mean value).
+pub fn lambda_discrepancy_bound(y_hat: &Ecdf, y_s: &Ecdf, y_l: &Ecdf, lambda: f64) -> f64 {
+    debug_assert!(lambda >= 0.0);
+    // Merged support + sentinels (below: all CDFs 0; above: all CDFs 1).
+    let mut v: Vec<f64> = y_hat
+        .values()
+        .iter()
+        .chain(y_s.values())
+        .chain(y_l.values())
+        .copied()
+        .collect();
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("ECDF values are finite"));
+    v.dedup();
+    let lo_sent = v[0] - lambda - 1.0;
+    let hi_sent = v[v.len() - 1] + lambda + 1.0;
+    let mut vals = Vec::with_capacity(v.len() + 2);
+    vals.push(lo_sent);
+    vals.extend_from_slice(&v);
+    vals.push(hi_sent);
+    let k = vals.len();
+
+    // Step arrays at each candidate point.
+    let f_hat: Vec<f64> = vals.iter().map(|&y| y_hat.cdf(y)).collect();
+    let f_s: Vec<f64> = vals.iter().map(|&y| y_s.cdf(y)).collect();
+    let f_l: Vec<f64> = vals.iter().map(|&y| y_l.cdf(y)).collect();
+
+    // Suffix maxima (Algorithm 3 Step 2):
+    //   sm_su[j] = max_{i ≥ j} (F_S − F̂)(v_i)   — for ρ′_U − ρ̂′
+    //   sm_hl[j] = max_{i ≥ j} (F̂ − F_L)(v_i)   — for ρ̂′ − ρ′_L, case B
+    let mut sm_su = vec![f64::NEG_INFINITY; k + 1];
+    let mut sm_hl = vec![f64::NEG_INFINITY; k + 1];
+    for j in (0..k).rev() {
+        sm_su[j] = sm_su[j + 1].max(f_s[j] - f_hat[j]);
+        sm_hl[j] = sm_hl[j + 1].max(f_hat[j] - f_l[j]);
+    }
+
+    // Sup of a right-continuous step function over { b ≥ t }: combine the
+    // value on t's flat segment with the suffix over later jump points.
+    let floor_idx = |t: f64| -> usize {
+        // Largest index with vals[idx] <= t; lo_sent guarantees existence.
+        vals.partition_point(|&x| x <= t) - 1
+    };
+    let step_sup_from = |suffix: &[f64], t: f64, point_vals: &dyn Fn(usize) -> f64| -> f64 {
+        let fi = floor_idx(t);
+        point_vals(fi).max(suffix[fi + 1])
+    };
+
+    let mut best = 0.0f64;
+    for (ai, &a) in vals.iter().enumerate() {
+        let t = a + lambda; // b must satisfy b ≥ t
+        if t > hi_sent {
+            continue;
+        }
+
+        // --- ρ′_U − ρ̂′ = (F_S − F̂)(b) + (F̂ − F_L)(a), b ≥ t.
+        let su_b = step_sup_from(&sm_su, t, &|i| f_s[i] - f_hat[i]);
+        best = best.max(su_b + (f_hat[ai] - f_l[ai]));
+
+        // --- ρ̂′ − ρ′_L = F̂(b) − F̂(a) − max(0, F_L(b) − F_S(a)), b ≥ t.
+        let c = f_s[ai];
+        // Case A: F_L(b) ≤ c. F_L(b) ≤ c holds for b < vals[k1] where k1 is
+        // the first index with F_L > c; on that region F̂ is maximized just
+        // below vals[k1] (i.e. at index k1-1), subject to b ≥ t.
+        let k1 = f_l.partition_point(|&x| x <= c); // first idx with F_L > c
+        if k1 > 0 {
+            let b_region_top = k1 - 1; // largest index with F_L ≤ c
+            if vals[b_region_top] >= t {
+                best = best.max(f_hat[b_region_top] - f_hat[ai]);
+            } else if k1 < k && t < vals[k1] {
+                // b ∈ [t, vals[k1]) nonempty; F̂ there equals F̂(floor(t)).
+                best = best.max(f_hat[floor_idx(t)] - f_hat[ai]);
+            }
+        }
+        // Case B: F_L(b) > c, i.e. b ≥ vals[k1] (if any); also b ≥ t.
+        if k1 < k {
+            let t2 = t.max(vals[k1]);
+            let hl_b = step_sup_from(&sm_hl, t2, &|i| f_hat[i] - f_l[i]);
+            best = best.max(hl_b + (c - f_hat[ai]));
+        }
+    }
+    best.max(0.0)
+}
+
+/// Naive O(k²) reference implementation (used by tests and available for
+/// cross-checking): enumerate all candidate endpoint pairs.
+pub fn lambda_discrepancy_bound_naive(y_hat: &Ecdf, y_s: &Ecdf, y_l: &Ecdf, lambda: f64) -> f64 {
+    let mut v: Vec<f64> = y_hat
+        .values()
+        .iter()
+        .chain(y_s.values())
+        .chain(y_l.values())
+        .copied()
+        .collect();
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v.dedup();
+    let lo = v[0] - lambda - 1.0;
+    let hi = v[v.len() - 1] + lambda + 1.0;
+    let mut vals = vec![lo];
+    vals.extend_from_slice(&v);
+    vals.push(hi);
+
+    let mut best = 0.0f64;
+    for (i, &a) in vals.iter().enumerate() {
+        // Candidate right endpoints: later support values plus b = a + λ
+        // exactly (the supremum can fall between support points when the
+        // length constraint binds).
+        let candidates = vals[i..].iter().copied().chain(std::iter::once(a + lambda));
+        for b in candidates {
+            if b - a < lambda {
+                continue;
+            }
+            let rho_hat = y_hat.cdf(b) - y_hat.cdf(a);
+            let rho_u = y_s.cdf(b) - y_l.cdf(a);
+            let rho_l = (y_l.cdf(b) - y_s.cdf(a)).max(0.0);
+            best = best.max(rho_u - rho_hat).max(rho_hat - rho_l);
+        }
+    }
+    best.max(0.0)
+}
+
+/// The KS-metric GP error bound (Proposition 4.2): the KS distance between
+/// Ŷ′ and each envelope output, maximized.
+pub fn ks_bound(y_hat: &Ecdf, y_s: &Ecdf, y_l: &Ecdf) -> f64 {
+    ks(y_hat, y_s).max(ks(y_hat, y_l))
+}
+
+/// Build the three empirical CDFs from per-sample posterior predictions.
+///
+/// `means[i]` and `sds[i]` are the GP posterior mean/standard deviation at
+/// input sample `i`; the envelopes are `mean ∓ z·sd` (Y_S from the lower
+/// envelope, Y_L from the upper).
+pub fn envelope_ecdfs(
+    means: &[f64],
+    sds: &[f64],
+    z: f64,
+) -> udf_prob::Result<(Ecdf, Ecdf, Ecdf)> {
+    debug_assert_eq!(means.len(), sds.len());
+    let y_hat = Ecdf::new(means.to_vec())?;
+    let y_s = Ecdf::new(
+        means
+            .iter()
+            .zip(sds)
+            .map(|(m, s)| m - z * s)
+            .collect::<Vec<_>>(),
+    )?;
+    let y_l = Ecdf::new(
+        means
+            .iter()
+            .zip(sds)
+            .map(|(m, s)| m + z * s)
+            .collect::<Vec<_>>(),
+    )?;
+    Ok((y_hat, y_s, y_l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_triple(seed: u64, m: usize) -> (Ecdf, Ecdf, Ecdf) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let means: Vec<f64> = (0..m).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let sds: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..1.0)).collect();
+        envelope_ecdfs(&means, &sds, 2.0).unwrap()
+    }
+
+    #[test]
+    fn zero_envelope_gives_zero_bound() {
+        let means = vec![1.0, 2.0, 3.0, 4.0];
+        let sds = vec![0.0; 4];
+        let (h, s, l) = envelope_ecdfs(&means, &sds, 3.0).unwrap();
+        assert_eq!(lambda_discrepancy_bound(&h, &s, &l, 0.0), 0.0);
+        assert_eq!(ks_bound(&h, &s, &l), 0.0);
+    }
+
+    #[test]
+    fn fast_matches_naive_on_random_inputs() {
+        for seed in 0..20 {
+            let (h, s, l) = random_triple(seed, 40);
+            for &lambda in &[0.0, 0.1, 0.5, 2.0, 10.0] {
+                let fast = lambda_discrepancy_bound(&h, &s, &l, lambda);
+                let naive = lambda_discrepancy_bound_naive(&h, &s, &l, lambda);
+                assert!(
+                    (fast - naive).abs() < 1e-12,
+                    "seed={seed} λ={lambda}: fast={fast} naive={naive}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_shrinks_with_lambda() {
+        let (h, s, l) = random_triple(7, 60);
+        let b0 = lambda_discrepancy_bound(&h, &s, &l, 0.0);
+        let b1 = lambda_discrepancy_bound(&h, &s, &l, 1.0);
+        let b5 = lambda_discrepancy_bound(&h, &s, &l, 5.0);
+        assert!(b1 <= b0 + 1e-12);
+        assert!(b5 <= b1 + 1e-12);
+    }
+
+    #[test]
+    fn bound_shrinks_with_tighter_envelope() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let means: Vec<f64> = (0..50).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let sds: Vec<f64> = (0..50).map(|_| rng.gen_range(0.1..0.5)).collect();
+        let (h1, s1, l1) = envelope_ecdfs(&means, &sds, 1.0).unwrap();
+        let (h3, s3, l3) = envelope_ecdfs(&means, &sds, 3.0).unwrap();
+        assert!(
+            lambda_discrepancy_bound(&h1, &s1, &l1, 0.1)
+                <= lambda_discrepancy_bound(&h3, &s3, &l3, 0.1) + 1e-12
+        );
+        assert!(ks_bound(&h1, &s1, &l1) <= ks_bound(&h3, &s3, &l3) + 1e-12);
+    }
+
+    #[test]
+    fn bound_dominates_any_envelope_member_discrepancy() {
+        // Any Ỹ′ built from per-sample values inside [mean−zσ, mean+zσ] must
+        // have λ-discrepancy from Ŷ′ within the bound (Proposition 4.1).
+        let mut rng = StdRng::seed_from_u64(11);
+        let means: Vec<f64> = (0..80).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let sds: Vec<f64> = (0..80).map(|_| rng.gen_range(0.05..0.6)).collect();
+        let z = 2.0;
+        let (h, s, l) = envelope_ecdfs(&means, &sds, z).unwrap();
+        for lambda in [0.0, 0.5] {
+            let bound = lambda_discrepancy_bound(&h, &s, &l, lambda);
+            for trial in 0..10 {
+                let mut trial_rng = StdRng::seed_from_u64(100 + trial);
+                let tilde: Vec<f64> = means
+                    .iter()
+                    .zip(&sds)
+                    .map(|(m, sd)| m + trial_rng.gen_range(-1.0..1.0) * z * sd)
+                    .collect();
+                let y_tilde = Ecdf::new(tilde).unwrap();
+                let d = udf_prob::metrics::lambda_discrepancy(&y_tilde, &h, lambda);
+                assert!(
+                    d <= bound + 1e-9,
+                    "λ={lambda} trial={trial}: D = {d} exceeds bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ks_bound_dominates_envelope_members() {
+        let (h, s, l) = random_triple(21, 60);
+        let bound = ks_bound(&h, &s, &l);
+        // The extreme members are the envelopes themselves (Prop. 4.2).
+        assert!(udf_prob::metrics::ks(&h, &s) <= bound + 1e-15);
+        assert!(udf_prob::metrics::ks(&h, &l) <= bound + 1e-15);
+    }
+
+    #[test]
+    fn wide_envelope_saturates_near_one() {
+        let means = vec![0.0; 30];
+        let sds = vec![100.0; 30];
+        let (h, s, l) = envelope_ecdfs(&means, &sds, 3.0).unwrap();
+        let b = lambda_discrepancy_bound(&h, &s, &l, 0.0);
+        assert!(b > 0.9, "bound = {b}");
+    }
+}

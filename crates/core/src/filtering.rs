@@ -1,0 +1,251 @@
+//! Online filtering with selection predicates (§2.2-B, Remark 2.1, §5.5).
+//!
+//! Queries like Q2 keep a tuple only when `Pr[f(X) ∈ [a, b]] ≥ θ`. Both
+//! evaluators can decide *early*:
+//!
+//! * **MC**: after `m̃ ≤ m` samples the Hoeffding interval
+//!   `ρ̃ ± sqrt(ln(2/δ)/(2m̃))` brackets the TEP; when `ρ̃ + ε̃ < θ` the tuple
+//!   is dropped without drawing the remaining samples.
+//! * **GP**: the envelope upper bound `ρ_U = F_S(b) − F_L(a)` (Eq. 3)
+//!   already dominates the TEP with probability `1 − α`; when `ρ_U < θ` the
+//!   tuple is dropped without any online tuning.
+
+use crate::config::AccuracyRequirement;
+use crate::olgapro::Olgapro;
+use crate::output::{GpOutput, OutputDistribution};
+use crate::udf::BlackBoxUdf;
+use crate::{CoreError, Result};
+use udf_prob::bounds::hoeffding_halfwidth;
+use udf_prob::{Ecdf, InputDistribution};
+
+/// A selection predicate `f(X) ∈ [lo, hi]` with TEP threshold θ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Predicate {
+    /// Interval lower bound `a`.
+    pub lo: f64,
+    /// Interval upper bound `b`.
+    pub hi: f64,
+    /// Minimum tuple-existence probability θ to keep the tuple.
+    pub theta: f64,
+}
+
+impl Predicate {
+    /// Validated constructor.
+    pub fn new(lo: f64, hi: f64, theta: f64) -> Result<Self> {
+        if lo >= hi {
+            return Err(CoreError::InvalidConfig {
+                what: "predicate interval",
+                value: hi - lo,
+            });
+        }
+        if !(theta > 0.0 && theta < 1.0) {
+            return Err(CoreError::InvalidConfig {
+                what: "theta",
+                value: theta,
+            });
+        }
+        Ok(Predicate { lo, hi, theta })
+    }
+}
+
+/// The outcome of filtered evaluation.
+#[derive(Debug, Clone)]
+pub enum FilterDecision<T> {
+    /// Tuple dropped: the TEP upper bound fell below θ.
+    Filtered {
+        /// Upper bound on the TEP at the decision point.
+        rho_upper: f64,
+        /// UDF calls spent before deciding.
+        udf_calls: u64,
+    },
+    /// Tuple kept, with its output distribution and TEP estimate.
+    Kept {
+        /// The computed output.
+        output: T,
+        /// Estimated tuple-existence probability.
+        tep: f64,
+    },
+}
+
+impl<T> FilterDecision<T> {
+    /// True when the tuple was dropped.
+    pub fn is_filtered(&self) -> bool {
+        matches!(self, FilterDecision::Filtered { .. })
+    }
+}
+
+/// MC evaluation with early filtering (Algorithm 1 + Remark 2.1).
+///
+/// Samples are drawn in batches; after each batch the Hoeffding interval is
+/// checked. δ for the interval comes from the accuracy requirement.
+pub fn mc_filtered(
+    udf: &BlackBoxUdf,
+    input: &InputDistribution,
+    accuracy: &AccuracyRequirement,
+    predicate: &Predicate,
+    rng: &mut dyn rand::RngCore,
+) -> Result<FilterDecision<OutputDistribution>> {
+    if input.dim() != udf.dim() {
+        return Err(CoreError::DimensionMismatch {
+            expected: udf.dim(),
+            found: input.dim(),
+        });
+    }
+    let m = accuracy.mc_samples();
+    let batch = 64usize;
+    let calls_before = udf.calls();
+    let mut outputs = Vec::with_capacity(m);
+    let mut hits = 0usize;
+    let mut x = vec![0.0; input.dim()];
+    while outputs.len() < m {
+        let take = batch.min(m - outputs.len());
+        for _ in 0..take {
+            input.sample_into(rng, &mut x);
+            let y = udf.eval(&x);
+            if !y.is_finite() {
+                return Err(CoreError::NonFiniteUdfOutput {
+                    input: x.clone(),
+                    value: y,
+                });
+            }
+            if y >= predicate.lo && y <= predicate.hi {
+                hits += 1;
+            }
+            outputs.push(y);
+        }
+        let m_tilde = outputs.len();
+        let rho_tilde = hits as f64 / m_tilde as f64;
+        let eps_tilde = hoeffding_halfwidth(m_tilde, accuracy.delta);
+        if rho_tilde + eps_tilde < predicate.theta {
+            return Ok(FilterDecision::Filtered {
+                rho_upper: rho_tilde + eps_tilde,
+                udf_calls: udf.calls() - calls_before,
+            });
+        }
+    }
+    let tep = hits as f64 / outputs.len() as f64;
+    Ok(FilterDecision::Kept {
+        output: OutputDistribution {
+            ecdf: Ecdf::new(outputs)?,
+            error_bound: accuracy.eps,
+            udf_calls: udf.calls() - calls_before,
+        },
+        tep,
+    })
+}
+
+/// GP evaluation with filtering (§5.5): process the input with OLGAPRO and
+/// drop the tuple when the envelope upper bound on the TEP is below θ.
+///
+/// The filtering check runs on the *first* inference pass inside
+/// [`Olgapro::process`] implicitly — tuning only triggers when the error
+/// bound is loose, and a loose bound inflates `ρ_U`, never deflating it
+/// below θ spuriously. The decision here is therefore sound with
+/// probability `1 − α`.
+pub fn gp_filtered(
+    olgapro: &mut Olgapro,
+    input: &InputDistribution,
+    predicate: &Predicate,
+    rng: &mut dyn rand::RngCore,
+) -> Result<FilterDecision<GpOutput>> {
+    let calls_before = olgapro.udf().calls();
+    let out = olgapro.process(input, rng)?;
+    let (_, rho_hat, rho_u) = out.tep_bounds(predicate.lo, predicate.hi);
+    if rho_u < predicate.theta {
+        Ok(FilterDecision::Filtered {
+            rho_upper: rho_u,
+            udf_calls: olgapro.udf().calls() - calls_before,
+        })
+    } else {
+        Ok(FilterDecision::Kept {
+            output: out,
+            tep: rho_hat,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Metric, OlgaproConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn acc() -> AccuracyRequirement {
+        AccuracyRequirement::new(0.05, 0.05, 0.0, Metric::Ks).unwrap()
+    }
+
+    #[test]
+    fn predicate_validation() {
+        assert!(Predicate::new(1.0, 0.0, 0.1).is_err());
+        assert!(Predicate::new(0.0, 1.0, 0.0).is_err());
+        assert!(Predicate::new(0.0, 1.0, 0.1).is_ok());
+    }
+
+    #[test]
+    fn mc_filters_impossible_event_early() {
+        let udf = BlackBoxUdf::from_fn("id", 1, |x| x[0]);
+        let input = InputDistribution::diagonal_gaussian(&[(0.0, 1.0)]).unwrap();
+        // Event 50σ away: essentially probability 0.
+        let pred = Predicate::new(50.0, 51.0, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(20);
+        let d = mc_filtered(&udf, &input, &acc(), &pred, &mut rng).unwrap();
+        match d {
+            FilterDecision::Filtered { udf_calls, .. } => {
+                assert!(
+                    (udf_calls as usize) < acc().mc_samples() / 2,
+                    "early stop expected, used {udf_calls} calls"
+                );
+            }
+            FilterDecision::Kept { .. } => panic!("should have filtered"),
+        }
+    }
+
+    #[test]
+    fn mc_keeps_certain_event() {
+        let udf = BlackBoxUdf::from_fn("id", 1, |x| x[0]);
+        let input = InputDistribution::diagonal_gaussian(&[(0.0, 1.0)]).unwrap();
+        let pred = Predicate::new(-10.0, 10.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        match mc_filtered(&udf, &input, &acc(), &pred, &mut rng).unwrap() {
+            FilterDecision::Kept { tep, output } => {
+                assert!(tep > 0.99);
+                assert_eq!(output.udf_calls as usize, acc().mc_samples());
+            }
+            FilterDecision::Filtered { .. } => panic!("should have kept"),
+        }
+    }
+
+    #[test]
+    fn mc_borderline_event_is_kept() {
+        // TEP ≈ 0.5 with θ = 0.1 must never be filtered.
+        let udf = BlackBoxUdf::from_fn("id", 1, |x| x[0]);
+        let input = InputDistribution::diagonal_gaussian(&[(0.0, 1.0)]).unwrap();
+        let pred = Predicate::new(0.0, 100.0, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        assert!(!mc_filtered(&udf, &input, &acc(), &pred, &mut rng)
+            .unwrap()
+            .is_filtered());
+    }
+
+    #[test]
+    fn gp_filters_far_predicate() {
+        let udf = BlackBoxUdf::from_fn("sin", 1, |x| (x[0] * 0.8).sin());
+        let acc = AccuracyRequirement::new(0.2, 0.05, 0.02, Metric::Discrepancy).unwrap();
+        let cfg = OlgaproConfig::new(acc, 2.0).unwrap();
+        let mut olga = Olgapro::new(udf, cfg);
+        let mut rng = StdRng::seed_from_u64(23);
+        let input = InputDistribution::diagonal_gaussian(&[(5.0, 0.3)]).unwrap();
+        // Output lives in [-1, 1]; the predicate asks for [10, 11].
+        let pred = Predicate::new(10.0, 11.0, 0.1).unwrap();
+        let d = gp_filtered(&mut olga, &input, &pred, &mut rng).unwrap();
+        assert!(d.is_filtered(), "far predicate must filter");
+        // And a predicate covering the whole range must keep.
+        let pred2 = Predicate::new(-2.0, 2.0, 0.5).unwrap();
+        let d2 = gp_filtered(&mut olga, &input, &pred2, &mut rng).unwrap();
+        match d2 {
+            FilterDecision::Kept { tep, .. } => assert!(tep > 0.9),
+            FilterDecision::Filtered { .. } => panic!("should keep"),
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! # udf-core — Supporting User-Defined Functions on Uncertain Data
+//!
+//! The primary contribution of Tran, Diao, Sutton & Liu (VLDB 2013),
+//! implemented in full:
+//!
+//! * [`udf`] — black-box UDFs with call accounting and a pluggable
+//!   evaluation-cost model;
+//! * [`config`] — user accuracy requirements `(ε, δ, λ)` and algorithm
+//!   parameters;
+//! * [`mc`] — the Monte Carlo baseline (Algorithm 1) with DKW sample counts;
+//! * [`output`] — result distributions with attached error bounds and
+//!   envelope CDFs;
+//! * [`error_bound`] — Algorithm 3 (the O(m log m) λ-discrepancy bound over
+//!   the three empirical CDFs) and the Proposition 4.2 KS bound;
+//! * [`gp_eval`] — the offline GP evaluator (Algorithm 2);
+//! * [`olgapro`] — **OLGAPRO** (Algorithm 5): the optimized online
+//!   algorithm with local inference, online tuning, and thresholded
+//!   retraining;
+//! * [`filtering`] — online filtering against selection predicates
+//!   (Remark 2.1 for MC, §5.5 for GP);
+//! * [`hybrid`] — the §5.4 hybrid solution that picks MC or GP per UDF;
+//! * [`parallel`] — batch-parallel stream processing (a §8 future-work
+//!   item);
+//! * [`multi`] — multivariate-output UDFs via per-component emulators with a
+//!   union-bound joint guarantee (the other §8 future-work item).
+
+pub mod config;
+pub mod error_bound;
+pub mod filtering;
+pub mod gp_eval;
+pub mod hybrid;
+pub mod mc;
+pub mod multi;
+pub mod olgapro;
+pub mod output;
+pub mod parallel;
+pub mod udf;
+
+pub use config::{AccuracyRequirement, Metric, OlgaproConfig, RetrainStrategy};
+pub use filtering::{FilterDecision, Predicate};
+pub use hybrid::{HybridChoice, HybridEvaluator};
+pub use mc::McEvaluator;
+pub use olgapro::Olgapro;
+pub use output::{GpOutput, OutputDistribution};
+pub use udf::{BlackBoxUdf, CostModel, FnUdf, UdfFunction};
+
+use std::fmt;
+
+/// Errors raised by the evaluation framework.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Probability-layer failure.
+    Prob(udf_prob::ProbError),
+    /// GP-layer failure.
+    Gp(udf_gp::GpError),
+    /// A UDF returned a non-finite value at the given input.
+    NonFiniteUdfOutput { input: Vec<f64>, value: f64 },
+    /// The input distribution's dimensionality disagrees with the UDF's.
+    DimensionMismatch { expected: usize, found: usize },
+    /// Invalid configuration value.
+    InvalidConfig { what: &'static str, value: f64 },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Prob(e) => write!(f, "probability error: {e}"),
+            CoreError::Gp(e) => write!(f, "GP error: {e}"),
+            CoreError::NonFiniteUdfOutput { input, value } => {
+                write!(f, "UDF returned non-finite value {value} at {input:?}")
+            }
+            CoreError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            CoreError::InvalidConfig { what, value } => {
+                write!(f, "invalid configuration: {what} = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<udf_prob::ProbError> for CoreError {
+    fn from(e: udf_prob::ProbError) -> Self {
+        CoreError::Prob(e)
+    }
+}
+
+impl From<udf_gp::GpError> for CoreError {
+    fn from(e: udf_gp::GpError) -> Self {
+        CoreError::Gp(e)
+    }
+}
+
+/// Result alias for framework operations.
+pub type Result<T> = std::result::Result<T, CoreError>;

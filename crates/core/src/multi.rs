@@ -1,0 +1,231 @@
+//! Multivariate-output UDFs — the second §8 future-work item ("a wider
+//! range of functions such as high-dimensional input and multivariate
+//! output").
+//!
+//! A vector-valued UDF `F(X) = (f₁(X), …, f_k(X))` is handled by one GP
+//! emulator per output component, sharing the *same* Monte Carlo input
+//! samples across components (so the marginals are consistent and the
+//! sampling cost is paid once). Each component carries its own error bound;
+//! the joint guarantee follows from a union bound over components, which
+//! [`MultiOlgapro::process`] accounts for by tightening each component's δ
+//! to `δ/k`.
+
+use crate::config::OlgaproConfig;
+use crate::olgapro::Olgapro;
+use crate::output::GpOutput;
+use crate::udf::{BlackBoxUdf, UdfFunction};
+use crate::{CoreError, Result};
+use std::sync::Arc;
+use udf_prob::InputDistribution;
+
+/// A deterministic vector-valued function of a fixed-dimension input.
+pub trait MultiUdfFunction: Send + Sync {
+    /// Input dimensionality.
+    fn dim(&self) -> usize;
+    /// Output arity `k`.
+    fn outputs(&self) -> usize;
+    /// Evaluate all components at `x` into a fresh vector.
+    fn eval(&self, x: &[f64]) -> Vec<f64>;
+    /// Name for reports.
+    fn name(&self) -> &str {
+        "multi-udf"
+    }
+}
+
+/// Adapter exposing component `j` of a multivariate UDF as a scalar UDF.
+struct Component {
+    inner: Arc<dyn MultiUdfFunction>,
+    index: usize,
+    name: String,
+}
+
+impl UdfFunction for Component {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn eval(&self, x: &[f64]) -> f64 {
+        self.inner.eval(x)[self.index]
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Joint output: one [`GpOutput`] per component, sharing input samples.
+#[derive(Debug, Clone)]
+pub struct MultiOutput {
+    /// Per-component outputs, in declaration order.
+    pub components: Vec<GpOutput>,
+}
+
+impl MultiOutput {
+    /// The loosest per-component total error bound; with the δ/k splitting
+    /// this holds *jointly* across components with probability 1 − δ.
+    pub fn max_error_bound(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.error_bound())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// OLGAPRO over a vector-valued UDF: one model per output component.
+///
+/// Note: each component's `eval` through the component adapter calls the
+/// full vector function and projects — the natural model when the UDF is a
+/// black box that always computes all outputs. Call accounting therefore
+/// counts *vector* evaluations per component model; the shared-counter
+/// wrapper deduplicates nothing across components (matching a black box that
+/// cannot be partially evaluated).
+pub struct MultiOlgapro {
+    components: Vec<Olgapro>,
+}
+
+impl std::fmt::Debug for MultiOlgapro {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MultiOlgapro({} components)", self.components.len())
+    }
+}
+
+impl MultiOlgapro {
+    /// Build from a vector-valued black box. `config`'s δ is tightened to
+    /// δ/k per component (union bound); ε is kept per-component.
+    pub fn new(udf: Arc<dyn MultiUdfFunction>, config: OlgaproConfig) -> Result<Self> {
+        let k = udf.outputs();
+        if k == 0 {
+            return Err(CoreError::InvalidConfig {
+                what: "multivariate output arity",
+                value: 0.0,
+            });
+        }
+        let mut per_component = config.clone();
+        per_component.accuracy.delta = config.accuracy.delta / k as f64;
+        let components = (0..k)
+            .map(|j| {
+                let comp = Component {
+                    inner: Arc::clone(&udf),
+                    index: j,
+                    name: format!("{}[{}]", udf.name(), j),
+                };
+                Olgapro::new(
+                    BlackBoxUdf::new(Arc::new(comp), crate::udf::CostModel::Free),
+                    per_component.clone(),
+                )
+            })
+            .collect();
+        Ok(MultiOlgapro { components })
+    }
+
+    /// Output arity.
+    pub fn outputs(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Borrow component `j`'s evaluator.
+    pub fn component(&self, j: usize) -> &Olgapro {
+        &self.components[j]
+    }
+
+    /// Process one uncertain input through every component model.
+    pub fn process(
+        &mut self,
+        input: &InputDistribution,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<MultiOutput> {
+        let components = self
+            .components
+            .iter_mut()
+            .map(|olga| olga.process(input, rng))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(MultiOutput { components })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AccuracyRequirement, Metric};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// F(x) = (sin bump, linear ramp): two components with different shapes.
+    struct TwoOut;
+    impl MultiUdfFunction for TwoOut {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn outputs(&self) -> usize {
+            2
+        }
+        fn eval(&self, x: &[f64]) -> Vec<f64> {
+            vec![(x[0] * 0.8).sin(), 0.2 * x[0]]
+        }
+        fn name(&self) -> &str {
+            "two-out"
+        }
+    }
+
+    fn config() -> OlgaproConfig {
+        let acc = AccuracyRequirement::new(0.2, 0.05, 0.02, Metric::Discrepancy).unwrap();
+        OlgaproConfig::new(acc, 2.0).unwrap()
+    }
+
+    #[test]
+    fn processes_both_components() {
+        let mut multi = MultiOlgapro::new(Arc::new(TwoOut), config()).unwrap();
+        assert_eq!(multi.outputs(), 2);
+        let input = InputDistribution::diagonal_gaussian(&[(3.0, 0.3)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = None;
+        for _ in 0..4 {
+            out = Some(multi.process(&input, &mut rng).unwrap());
+        }
+        let out = out.unwrap();
+        assert_eq!(out.components.len(), 2);
+        // Component medians near the true values at the input mean.
+        let m0 = out.components[0].y_hat.quantile(0.5);
+        let m1 = out.components[1].y_hat.quantile(0.5);
+        assert!((m0 - (3.0f64 * 0.8).sin()).abs() < 0.1, "sin comp: {m0}");
+        assert!((m1 - 0.6).abs() < 0.1, "linear comp: {m1}");
+        assert!(out.max_error_bound() < 1.0);
+    }
+
+    #[test]
+    fn delta_union_bound_applied() {
+        let multi = MultiOlgapro::new(Arc::new(TwoOut), config()).unwrap();
+        let d = multi.component(0).config().accuracy.delta;
+        assert!((d - 0.025).abs() < 1e-12, "δ should be halved: {d}");
+    }
+
+    #[test]
+    fn component_models_train_independently() {
+        let mut multi = MultiOlgapro::new(Arc::new(TwoOut), config()).unwrap();
+        let input = InputDistribution::diagonal_gaussian(&[(5.0, 0.4)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..4 {
+            multi.process(&input, &mut rng).unwrap();
+        }
+        // The linear component is trivial to model; the sinusoid needs at
+        // least as many points.
+        let sin_pts = multi.component(0).model().len();
+        let lin_pts = multi.component(1).model().len();
+        assert!(sin_pts >= lin_pts, "sin {sin_pts} vs linear {lin_pts}");
+    }
+
+    #[test]
+    fn zero_outputs_rejected() {
+        struct ZeroOut;
+        impl MultiUdfFunction for ZeroOut {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn outputs(&self) -> usize {
+                0
+            }
+            fn eval(&self, _: &[f64]) -> Vec<f64> {
+                vec![]
+            }
+        }
+        assert!(MultiOlgapro::new(Arc::new(ZeroOut), config()).is_err());
+    }
+}

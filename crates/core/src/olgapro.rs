@@ -1,0 +1,486 @@
+//! OLGAPRO — the ONline GAussian PROcess algorithm (§5, Algorithm 5).
+//!
+//! Starting from *no* training data, each input tuple is processed by:
+//!
+//! 1. drawing `m` Monte Carlo samples of the input (m from ε_MC);
+//! 2. selecting a training subset by **local inference** around the sample
+//!    bounding box (threshold Γ, §5.1);
+//! 3. inferring the posterior at every sample, building the three envelope
+//!    ECDFs, and computing the Algorithm-3 error bound;
+//! 4. **online tuning** (§5.2): while the bound exceeds ε_GP, evaluate the
+//!    UDF at the sample with the largest posterior variance, add it to the
+//!    model via the incremental Cholesky update, and repeat;
+//! 5. **online retraining** (§5.3): if points were added, re-learn the
+//!    hyperparameters only when the first Newton step exceeds Δθ.
+
+use crate::config::{Metric, OlgaproConfig, RetrainStrategy};
+use crate::error_bound::{envelope_ecdfs, ks_bound, lambda_discrepancy_bound};
+use crate::output::GpOutput;
+use crate::udf::BlackBoxUdf;
+use crate::{CoreError, Result};
+use udf_gp::band::simultaneous_z;
+use udf_gp::local::{select_local, LocalPredictor};
+use udf_gp::train::{newton_step_norm, train, TrainConfig};
+use udf_gp::{GpModel, Kernel, SquaredExponential};
+use udf_prob::InputDistribution;
+use udf_spatial::BoundingBox;
+
+/// How online tuning picks the next training point (Expt 2 compares these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TuningHeuristic {
+    /// The paper's choice: the cached sample with the largest posterior
+    /// variance.
+    LargestVariance,
+    /// A random sample (baseline in Expt 2).
+    Random,
+    /// Hypothetical "optimal greedy": simulate adding every candidate sample
+    /// and pick the one reducing the error bound most. Exponentially more
+    /// expensive; only for small sample counts.
+    OptimalGreedy,
+}
+
+/// Cumulative statistics across processed inputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OlgaproStats {
+    /// Inputs processed.
+    pub inputs: u64,
+    /// Training points added by online tuning.
+    pub points_added: u64,
+    /// Retraining runs performed.
+    pub retrains: u64,
+    /// Retraining decisions evaluated (Newton heuristic invocations).
+    pub retrain_checks: u64,
+}
+
+/// The online evaluator (Algorithm 5).
+#[derive(Debug)]
+pub struct Olgapro {
+    udf: BlackBoxUdf,
+    model: GpModel,
+    config: OlgaproConfig,
+    tuning: TuningHeuristic,
+    stats: OlgaproStats,
+}
+
+impl Olgapro {
+    /// Create with the paper's default squared-exponential kernel.
+    pub fn new(udf: BlackBoxUdf, config: OlgaproConfig) -> Self {
+        let kernel: Box<dyn Kernel> = Box::new(SquaredExponential::new(
+            config.init_sigma_f,
+            config.init_lengthscale,
+        ));
+        Self::with_kernel(udf, config, kernel)
+    }
+
+    /// Create with an explicit kernel (must be isotropic for local
+    /// inference; non-isotropic kernels fall back to global inference).
+    pub fn with_kernel(udf: BlackBoxUdf, config: OlgaproConfig, kernel: Box<dyn Kernel>) -> Self {
+        let dim = udf.dim();
+        Olgapro {
+            udf,
+            model: GpModel::new(kernel, dim),
+            config,
+            tuning: TuningHeuristic::LargestVariance,
+            stats: OlgaproStats::default(),
+        }
+    }
+
+    /// Override the online-tuning heuristic (Expt 2).
+    pub fn with_tuning(mut self, tuning: TuningHeuristic) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Borrow the model (training-set size, hyperparameters, ...).
+    pub fn model(&self) -> &GpModel {
+        &self.model
+    }
+
+    /// Borrow the UDF (call accounting).
+    pub fn udf(&self) -> &BlackBoxUdf {
+        &self.udf
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> OlgaproStats {
+        self.stats
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &OlgaproConfig {
+        &self.config
+    }
+
+    /// Inference-only evaluation: compute the output distribution and error
+    /// bound with the *current* model, without bootstrapping, online tuning
+    /// or retraining. Requires a non-empty model.
+    ///
+    /// This is the read-only fast path used by
+    /// [`crate::parallel::ParallelOlgapro`]: at convergence it is exactly
+    /// what [`Olgapro::process`] computes, and it can run concurrently
+    /// against a shared model.
+    pub fn infer_only(
+        &self,
+        input: &InputDistribution,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<GpOutput> {
+        if input.dim() != self.udf.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.udf.dim(),
+                found: input.dim(),
+            });
+        }
+        if self.model.is_empty() {
+            return Err(CoreError::Gp(udf_gp::GpError::EmptyModel));
+        }
+        let split = self.config.split();
+        let m = self.config.samples_per_input();
+        let samples = input.sample_n(rng, m);
+        let bbox = BoundingBox::from_points(samples.iter().map(|s| s.as_slice()));
+        let z_alpha = simultaneous_z(self.model.kernel(), &bbox, split.delta_gp);
+        let (means, sds, eps_gp) = self.infer_and_bound(&samples, &bbox, z_alpha)?;
+        let (y_hat, y_s, y_l) = envelope_ecdfs(&means, &sds, z_alpha)?;
+        Ok(GpOutput {
+            y_hat,
+            y_s,
+            y_l,
+            eps_gp,
+            eps_mc: split.eps_mc,
+            z_alpha,
+            points_added: 0,
+            retrained: false,
+            udf_calls: 0,
+        })
+    }
+
+    /// Process one uncertain input tuple (Algorithm 5).
+    pub fn process(
+        &mut self,
+        input: &InputDistribution,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<GpOutput> {
+        if input.dim() != self.udf.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.udf.dim(),
+                found: input.dim(),
+            });
+        }
+        let calls_before = self.udf.calls();
+        let split = self.config.split();
+        // Step 1: draw m samples (m from ε_MC, δ_MC).
+        let m = self.config.samples_per_input();
+        let samples = input.sample_n(rng, m);
+        let bbox = BoundingBox::from_points(samples.iter().map(|s| s.as_slice()));
+
+        // Bootstrap when the model is (nearly) empty: spread-out samples.
+        let mut points_added = 0usize;
+        while self.model.len() < self.config.bootstrap_points.max(2) {
+            let idx = (self.model.len() * samples.len()) / self.config.bootstrap_points.max(2);
+            let x = samples[idx.min(samples.len() - 1)].clone();
+            let y = self.eval_udf(&x)?;
+            self.model.add_point(x, y)?;
+            points_added += 1;
+        }
+
+        // Steps 2–7: inference + error bound + online tuning loop.
+        let z_alpha = simultaneous_z(self.model.kernel(), &bbox, split.delta_gp);
+        let (mut means, mut sds, mut eps_gp) =
+            self.infer_and_bound(&samples, &bbox, z_alpha)?;
+        while eps_gp > split.eps_gp && points_added < self.config.max_points_per_input {
+            let pick = self.pick_training_sample(&samples, &sds, &bbox, z_alpha, rng)?;
+            let x = samples[pick].clone();
+            let y = self.eval_udf(&x)?;
+            self.model.add_point(x, y)?;
+            points_added += 1;
+            let r = self.infer_and_bound(&samples, &bbox, z_alpha)?;
+            means = r.0;
+            sds = r.1;
+            eps_gp = r.2;
+        }
+
+        // Steps 8–14: retraining decision.
+        let mut retrained = false;
+        if points_added > 0 {
+            let do_retrain = match self.config.retrain {
+                RetrainStrategy::Never => false,
+                RetrainStrategy::Eager => true,
+                RetrainStrategy::NewtonThreshold(dt) => {
+                    self.stats.retrain_checks += 1;
+                    newton_step_norm(&self.model)? > dt
+                }
+            };
+            if do_retrain {
+                train(&mut self.model, &TrainConfig::default())?;
+                self.stats.retrains += 1;
+                retrained = true;
+                // Re-run inference with the new hyperparameters (step 12).
+                let z2 = simultaneous_z(self.model.kernel(), &bbox, split.delta_gp);
+                let r = self.infer_and_bound(&samples, &bbox, z2)?;
+                means = r.0;
+                sds = r.1;
+                eps_gp = r.2;
+            }
+        }
+
+        self.stats.inputs += 1;
+        self.stats.points_added += points_added as u64;
+
+        let (y_hat, y_s, y_l) = envelope_ecdfs(&means, &sds, z_alpha)?;
+        Ok(GpOutput {
+            y_hat,
+            y_s,
+            y_l,
+            eps_gp,
+            eps_mc: split.eps_mc,
+            z_alpha,
+            points_added,
+            retrained,
+            udf_calls: self.udf.calls() - calls_before,
+        })
+    }
+
+    /// Evaluate the UDF with finiteness checking.
+    fn eval_udf(&self, x: &[f64]) -> Result<f64> {
+        let y = self.udf.eval(x);
+        if y.is_finite() {
+            Ok(y)
+        } else {
+            Err(CoreError::NonFiniteUdfOutput {
+                input: x.to_vec(),
+                value: y,
+            })
+        }
+    }
+
+    /// One inference pass: local (or global) prediction at every sample plus
+    /// the Algorithm-3 / Prop-4.2 error bound.
+    fn infer_and_bound(
+        &self,
+        samples: &[Vec<f64>],
+        bbox: &BoundingBox,
+        z_alpha: f64,
+    ) -> Result<(Vec<f64>, Vec<f64>, f64)> {
+        let m = samples.len();
+        let mut means = Vec::with_capacity(m);
+        let mut sds = Vec::with_capacity(m);
+
+        // Local inference when the kernel is isotropic; global otherwise.
+        // An *empty* selection is legitimate (every training point is far
+        // enough that its weight is below Γ) but the local predictor needs
+        // at least one point — fall back to global inference there too.
+        let local = match select_local(&self.model, bbox, self.config.gamma) {
+            Ok(sel) if !sel.indices.is_empty() => {
+                Some(LocalPredictor::new(&self.model, sel.indices)?)
+            }
+            Ok(_) => None,
+            Err(udf_gp::GpError::InvalidParameter { .. }) => None,
+            Err(e) => return Err(e.into()),
+        };
+        for s in samples {
+            let p = match &local {
+                Some(lp) => lp.predict(s)?,
+                None => self.model.predict(s)?,
+            };
+            means.push(p.mean);
+            sds.push(p.var.sqrt());
+        }
+        let (y_hat, y_s, y_l) = envelope_ecdfs(&means, &sds, z_alpha)?;
+        let eps_gp = match self.config.accuracy.metric {
+            Metric::Discrepancy => {
+                lambda_discrepancy_bound(&y_hat, &y_s, &y_l, self.config.accuracy.lambda)
+            }
+            Metric::Ks => ks_bound(&y_hat, &y_s, &y_l),
+        };
+        Ok((means, sds, eps_gp))
+    }
+
+    /// Online tuning (§5.2): choose the sample to evaluate next.
+    fn pick_training_sample(
+        &mut self,
+        samples: &[Vec<f64>],
+        sds: &[f64],
+        bbox: &BoundingBox,
+        z_alpha: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<usize> {
+        use rand::Rng;
+        match self.tuning {
+            TuningHeuristic::LargestVariance => Ok(sds
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite sds"))
+                .map(|(i, _)| i)
+                .expect("non-empty samples")),
+            TuningHeuristic::Random => Ok(rng.gen_range(0..samples.len())),
+            TuningHeuristic::OptimalGreedy => {
+                // Simulate adding each candidate (subsampled for viability)
+                // and keep the one with the lowest resulting error bound.
+                let stride = (samples.len() / 40).max(1);
+                let mut best = (0usize, f64::INFINITY);
+                for i in (0..samples.len()).step_by(stride) {
+                    let mut trial = GpModel::new(self.model.kernel().clone_box(), self.model.dim());
+                    trial
+                        .fit(self.model.inputs().to_vec(), self.model.targets().to_vec())?;
+                    // Use the current posterior mean as a stand-in value —
+                    // the true value is unknown without calling the UDF.
+                    let y_hat = self.model.predict_mean(&samples[i])?;
+                    trial.add_point(samples[i].clone(), y_hat)?;
+                    let mut means = Vec::with_capacity(samples.len());
+                    let mut sds2 = Vec::with_capacity(samples.len());
+                    for s in samples {
+                        let p = trial.predict(s)?;
+                        means.push(p.mean);
+                        sds2.push(p.var.sqrt());
+                    }
+                    let (h, s_, l) = envelope_ecdfs(&means, &sds2, z_alpha)?;
+                    let e = match self.config.accuracy.metric {
+                        Metric::Discrepancy => {
+                            lambda_discrepancy_bound(&h, &s_, &l, self.config.accuracy.lambda)
+                        }
+                        Metric::Ks => ks_bound(&h, &s_, &l),
+                    };
+                    if e < best.1 {
+                        best = (i, e);
+                    }
+                }
+                let _ = bbox;
+                Ok(best.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AccuracyRequirement;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn smooth_udf() -> BlackBoxUdf {
+        BlackBoxUdf::from_fn("sin", 1, |x| (x[0] * 0.8).sin())
+    }
+
+    fn config(eps: f64) -> OlgaproConfig {
+        let acc = AccuracyRequirement::new(eps, 0.05, 0.02, Metric::Discrepancy).unwrap();
+        let mut c = OlgaproConfig::new(acc, 2.0).unwrap();
+        c.init_lengthscale = 1.0;
+        c
+    }
+
+    #[test]
+    fn online_processing_meets_gp_budget() {
+        let mut olga = Olgapro::new(smooth_udf(), config(0.2));
+        let mut rng = StdRng::seed_from_u64(10);
+        let split = olga.config().split();
+        for i in 0..8 {
+            let mu = 1.0 + 0.9 * i as f64;
+            let input = InputDistribution::diagonal_gaussian(&[(mu, 0.4)]).unwrap();
+            let out = olga.process(&input, &mut rng).unwrap();
+            assert!(
+                out.eps_gp <= split.eps_gp || out.points_added == 10,
+                "input {i}: eps_gp {} budget {}",
+                out.eps_gp,
+                split.eps_gp
+            );
+        }
+        assert!(olga.stats().inputs == 8);
+        assert!(olga.model().len() >= 2);
+    }
+
+    #[test]
+    fn converges_then_stops_calling_udf() {
+        let mut olga = Olgapro::new(smooth_udf(), config(0.2));
+        let mut rng = StdRng::seed_from_u64(11);
+        let input = InputDistribution::diagonal_gaussian(&[(5.0, 0.4)]).unwrap();
+        // Warm up on repeated similar inputs.
+        for _ in 0..6 {
+            olga.process(&input, &mut rng).unwrap();
+        }
+        let calls_before = olga.udf().calls();
+        for _ in 0..4 {
+            let out = olga.process(&input, &mut rng).unwrap();
+            assert_eq!(out.points_added, 0, "converged model should not add points");
+        }
+        assert_eq!(olga.udf().calls(), calls_before, "no UDF calls at convergence");
+    }
+
+    #[test]
+    fn output_approximates_truth() {
+        // Compare the OLGAPRO output CDF against a huge direct-MC reference.
+        let mut olga = Olgapro::new(smooth_udf(), config(0.15));
+        let mut rng = StdRng::seed_from_u64(12);
+        let input = InputDistribution::diagonal_gaussian(&[(4.0, 0.3)]).unwrap();
+        // Let it converge.
+        let mut out = None;
+        for _ in 0..6 {
+            out = Some(olga.process(&input, &mut rng).unwrap());
+        }
+        let out = out.unwrap();
+
+        let mc = crate::mc::McEvaluator::new(smooth_udf());
+        let reference = mc
+            .compute_with_samples(&input, 40_000, 0.01, &mut rng)
+            .unwrap();
+        let d = udf_prob::metrics::lambda_discrepancy(&out.y_hat, &reference.ecdf, 0.02);
+        assert!(
+            d <= 0.15,
+            "λ-discrepancy to reference {d} exceeds requested ε"
+        );
+    }
+
+    #[test]
+    fn eager_retrains_every_time_never_retrains_never() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut cfg = config(0.2);
+        cfg.retrain = RetrainStrategy::Eager;
+        let mut eager = Olgapro::new(smooth_udf(), cfg.clone());
+        cfg.retrain = RetrainStrategy::Never;
+        let mut never = Olgapro::new(smooth_udf(), cfg);
+        for i in 0..4 {
+            let input =
+                InputDistribution::diagonal_gaussian(&[(1.0 + 2.0 * i as f64, 0.4)]).unwrap();
+            eager.process(&input, &mut rng).unwrap();
+            never.process(&input, &mut rng).unwrap();
+        }
+        assert!(eager.stats().retrains > 0);
+        assert_eq!(never.stats().retrains, 0);
+        assert!(eager.stats().retrains >= never.stats().retrains);
+    }
+
+    #[test]
+    fn random_tuning_adds_more_points_than_largest_variance() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let run = |heur: TuningHeuristic, rng: &mut StdRng| -> u64 {
+            let mut olga = Olgapro::new(
+                BlackBoxUdf::from_fn("bumpy", 1, |x| (x[0] * 3.0).sin() + (x[0] * 7.0).cos()),
+                config(0.15),
+            )
+            .with_tuning(heur);
+            for i in 0..10 {
+                let input = InputDistribution::diagonal_gaussian(&[(0.5 + 0.9 * i as f64, 0.5)])
+                    .unwrap();
+                olga.process(&input, rng).unwrap();
+            }
+            olga.stats().points_added
+        };
+        let lv = run(TuningHeuristic::LargestVariance, &mut rng);
+        let rnd = run(TuningHeuristic::Random, &mut rng);
+        // Largest-variance should need no more points (Fig. 5e trend).
+        assert!(
+            lv <= rnd + 2,
+            "largest-variance used {lv} points, random used {rnd}"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut olga = Olgapro::new(smooth_udf(), config(0.2));
+        let input = InputDistribution::diagonal_gaussian(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(15);
+        assert!(matches!(
+            olga.process(&input, &mut rng),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+}

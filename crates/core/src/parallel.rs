@@ -1,0 +1,220 @@
+//! Parallel stream processing — the paper's stated future work (§8:
+//! "consider to extend our techniques to allow for parallel processing for
+//! high performance").
+//!
+//! The design exploits the structure of OLGAPRO at convergence: processing a
+//! tuple is then a *read-only* pass (sample, local inference, error bound)
+//! against a fixed model, which parallelizes trivially. Only the occasional
+//! tuple whose error bound misses the budget needs the mutable path (online
+//! tuning / retraining). Each batch therefore runs in two phases:
+//!
+//! 1. **parallel phase** — all tuples inferred concurrently against the
+//!    shared immutable model (crossbeam scoped threads, one RNG per tuple
+//!    derived from the batch seed so results are independent of scheduling);
+//! 2. **sequential phase** — tuples that missed the ε_GP budget are re-run
+//!    through the full Algorithm 5 with tuning enabled.
+//!
+//! At steady state phase 2 is empty and the speedup approaches the worker
+//! count; on a cold model the behaviour (and output) degrades gracefully to
+//! the sequential algorithm.
+
+use crate::olgapro::Olgapro;
+use crate::output::GpOutput;
+use crate::{CoreError, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use udf_prob::InputDistribution;
+
+/// Batch-parallel wrapper around [`Olgapro`].
+#[derive(Debug)]
+pub struct ParallelOlgapro {
+    inner: Olgapro,
+    workers: usize,
+}
+
+/// Outcome counters for one batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Tuples fully served by the parallel read-only phase.
+    pub fast_path: usize,
+    /// Tuples that needed the sequential tuning phase.
+    pub slow_path: usize,
+}
+
+impl ParallelOlgapro {
+    /// Wrap a (possibly pre-warmed) OLGAPRO instance with `workers` threads.
+    pub fn new(inner: Olgapro, workers: usize) -> Self {
+        ParallelOlgapro {
+            inner,
+            workers: workers.max(1),
+        }
+    }
+
+    /// Borrow the wrapped evaluator.
+    pub fn inner(&self) -> &Olgapro {
+        &self.inner
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> Olgapro {
+        self.inner
+    }
+
+    /// Process a batch of tuples. `seed` derives one RNG per tuple, so the
+    /// output for a given `(batch, seed)` does not depend on thread timing.
+    pub fn process_batch(
+        &mut self,
+        inputs: &[InputDistribution],
+        seed: u64,
+    ) -> Result<(Vec<GpOutput>, BatchStats)> {
+        let mut outputs: Vec<Option<GpOutput>> = Vec::with_capacity(inputs.len());
+        outputs.resize_with(inputs.len(), || None);
+        let mut stats = BatchStats::default();
+
+        // Cold model: run the first tuple sequentially to bootstrap.
+        let mut start = 0;
+        if self.inner.model().is_empty() {
+            if let Some(first) = inputs.first() {
+                let mut rng = StdRng::seed_from_u64(seed);
+                outputs[0] = Some(self.inner.process(first, &mut rng)?);
+                stats.slow_path += 1;
+                start = 1;
+            }
+        }
+
+        // Phase 1: parallel read-only inference.
+        let pending = &inputs[start..];
+        if !pending.is_empty() {
+            let chunk = pending.len().div_ceil(self.workers);
+            let inner = &self.inner;
+            let results: Vec<(usize, Result<GpOutput>)> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (w, chunk_inputs) in pending.chunks(chunk).enumerate() {
+                    let base = start + w * chunk;
+                    handles.push(scope.spawn(move || {
+                        chunk_inputs
+                            .iter()
+                            .enumerate()
+                            .map(|(i, input)| {
+                                let idx = base + i;
+                                let mut rng =
+                                    StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37));
+                                (idx, inner.infer_only(input, &mut rng))
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
+            // Phase 2: sequential tuning for budget misses.
+            let eps_gp_budget = self.inner.config().split().eps_gp;
+            for (idx, res) in results {
+                match res {
+                    Ok(out) if out.eps_gp <= eps_gp_budget => {
+                        outputs[idx] = Some(out);
+                        stats.fast_path += 1;
+                    }
+                    Ok(_) | Err(CoreError::Gp(udf_gp::GpError::EmptyModel)) => {
+                        let mut rng =
+                            StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37));
+                        outputs[idx] = Some(self.inner.process(&inputs[idx], &mut rng)?);
+                        stats.slow_path += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        Ok((
+            outputs
+                .into_iter()
+                .map(|o| o.expect("every index filled"))
+                .collect(),
+            stats,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AccuracyRequirement, Metric, OlgaproConfig};
+    use crate::udf::BlackBoxUdf;
+    use udf_prob::InputDistribution;
+
+    fn setup(eps: f64) -> Olgapro {
+        let udf = BlackBoxUdf::from_fn("sin", 1, |x| (x[0] * 0.8).sin());
+        let acc = AccuracyRequirement::new(eps, 0.05, 0.02, Metric::Discrepancy).unwrap();
+        let cfg = OlgaproConfig::new(acc, 2.0).unwrap();
+        Olgapro::new(udf, cfg)
+    }
+
+    fn inputs(n: usize) -> Vec<InputDistribution> {
+        (0..n)
+            .map(|i| {
+                InputDistribution::diagonal_gaussian(&[(1.0 + 0.8 * i as f64 % 8.0, 0.4)])
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_match_accuracy_budget() {
+        let mut par = ParallelOlgapro::new(setup(0.2), 4);
+        let batch = inputs(10);
+        let (outs, stats) = par.process_batch(&batch, 7).unwrap();
+        assert_eq!(outs.len(), 10);
+        assert_eq!(stats.fast_path + stats.slow_path, 10);
+        let budget = par.inner().config().split().eps_gp;
+        for out in &outs {
+            assert!(
+                out.eps_gp <= budget || out.points_added == 10,
+                "eps_gp {} exceeds budget {budget}",
+                out.eps_gp
+            );
+        }
+    }
+
+    #[test]
+    fn warm_batches_take_fast_path() {
+        let mut par = ParallelOlgapro::new(setup(0.2), 4);
+        let batch = inputs(8);
+        par.process_batch(&batch, 1).unwrap();
+        par.process_batch(&batch, 2).unwrap();
+        let (_, stats) = par.process_batch(&batch, 3).unwrap();
+        assert!(
+            stats.fast_path >= 7,
+            "converged batch should be almost all fast-path: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ParallelOlgapro::new(setup(0.2), 2);
+        let mut b = ParallelOlgapro::new(setup(0.2), 8);
+        let batch = inputs(6);
+        // Warm both identically (sequential bootstrap shares the seed).
+        a.process_batch(&batch, 11).unwrap();
+        b.process_batch(&batch, 11).unwrap();
+        let (oa, _) = a.process_batch(&batch, 12).unwrap();
+        let (ob, _) = b.process_batch(&batch, 12).unwrap();
+        for (x, y) in oa.iter().zip(&ob) {
+            // Same seed, different worker counts → identical outputs as long
+            // as both batches were all fast-path.
+            if x.points_added == 0 && y.points_added == 0 {
+                assert_eq!(x.y_hat.values(), y.y_hat.values());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let mut par = ParallelOlgapro::new(setup(0.2), 4);
+        let (outs, stats) = par.process_batch(&[], 1).unwrap();
+        assert!(outs.is_empty());
+        assert_eq!(stats, BatchStats::default());
+    }
+}

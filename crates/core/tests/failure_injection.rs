@@ -1,0 +1,179 @@
+//! Failure-injection tests: misbehaving UDFs and hostile configurations
+//! must surface as typed errors, never as panics, poisoned state, or
+//! silently wrong distributions.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use udf_core::config::{AccuracyRequirement, Metric, OlgaproConfig};
+use udf_core::mc::McEvaluator;
+use udf_core::olgapro::Olgapro;
+use udf_core::udf::{BlackBoxUdf, UdfFunction};
+use udf_core::CoreError;
+use udf_prob::InputDistribution;
+
+/// A UDF that returns NaN after `healthy_calls` evaluations.
+struct FlakyUdf {
+    healthy_calls: u64,
+    calls: AtomicU64,
+}
+
+impl UdfFunction for FlakyUdf {
+    fn dim(&self) -> usize {
+        1
+    }
+    fn eval(&self, x: &[f64]) -> f64 {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed);
+        if n >= self.healthy_calls {
+            f64::NAN
+        } else {
+            (x[0] * 0.5).sin()
+        }
+    }
+    fn name(&self) -> &str {
+        "flaky"
+    }
+}
+
+fn acc() -> AccuracyRequirement {
+    AccuracyRequirement::new(0.2, 0.05, 0.02, Metric::Discrepancy).unwrap()
+}
+
+#[test]
+fn mc_reports_nan_with_offending_input() {
+    let udf = BlackBoxUdf::new(
+        Arc::new(FlakyUdf {
+            healthy_calls: 5,
+            calls: AtomicU64::new(0),
+        }),
+        udf_core::udf::CostModel::Free,
+    );
+    let mc = McEvaluator::new(udf);
+    let input = InputDistribution::diagonal_gaussian(&[(0.0, 1.0)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    match mc.compute_with_samples(&input, 50, 0.1, &mut rng) {
+        Err(CoreError::NonFiniteUdfOutput { input, value }) => {
+            assert!(value.is_nan());
+            assert_eq!(input.len(), 1);
+        }
+        other => panic!("expected NonFiniteUdfOutput, got {other:?}"),
+    }
+}
+
+#[test]
+fn olgapro_reports_nan_during_tuning_and_stays_usable() {
+    let udf = BlackBoxUdf::new(
+        Arc::new(FlakyUdf {
+            healthy_calls: 3,
+            calls: AtomicU64::new(0),
+        }),
+        udf_core::udf::CostModel::Free,
+    );
+    let cfg = OlgaproConfig::new(acc(), 2.0).unwrap();
+    let mut olga = Olgapro::new(udf, cfg);
+    let input = InputDistribution::diagonal_gaussian(&[(2.0, 0.5)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    // Bootstrap needs 5 points; the 4th call NaNs.
+    let err = olga.process(&input, &mut rng).unwrap_err();
+    assert!(matches!(err, CoreError::NonFiniteUdfOutput { .. }));
+    // The model keeps the healthy points it gathered and still predicts.
+    assert!(olga.model().len() >= 2);
+    assert!(olga.model().predict(&[2.0]).is_ok());
+}
+
+#[test]
+fn infinite_udf_output_also_rejected() {
+    let udf = BlackBoxUdf::from_fn("inf", 1, |x| 1.0 / (x[0] - x[0]).abs());
+    let mc = McEvaluator::new(udf);
+    let input = InputDistribution::diagonal_gaussian(&[(0.0, 1.0)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    assert!(matches!(
+        mc.compute_with_samples(&input, 10, 0.1, &mut rng),
+        Err(CoreError::NonFiniteUdfOutput { .. })
+    ));
+}
+
+#[test]
+fn constant_udf_degenerate_output_is_handled() {
+    // A constant function gives a point-mass output: the GP must converge
+    // instantly and the ECDF collapse to one value.
+    let udf = BlackBoxUdf::from_fn("const", 1, |_| 5.0);
+    let cfg = OlgaproConfig::new(acc(), 1.0).unwrap();
+    let mut olga = Olgapro::new(udf, cfg);
+    let input = InputDistribution::diagonal_gaussian(&[(0.0, 1.0)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let out = olga.process(&input, &mut rng).unwrap();
+    assert!((out.y_hat.min() - 5.0).abs() < 0.05);
+    assert!((out.y_hat.max() - 5.0).abs() < 0.05);
+}
+
+#[test]
+fn extreme_scale_udf_does_not_break_numerics() {
+    // Outputs of magnitude 1e9: Cholesky, ECDFs and bounds must survive.
+    let udf = BlackBoxUdf::from_fn("big", 1, |x| 1e9 * (x[0] * 0.3).sin());
+    let acc = AccuracyRequirement::new(0.2, 0.05, 1e7, Metric::Discrepancy).unwrap();
+    let cfg = OlgaproConfig::new(acc, 2e9).unwrap();
+    let mut olga = Olgapro::new(udf, cfg);
+    let input = InputDistribution::diagonal_gaussian(&[(3.0, 0.5)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..3 {
+        let out = olga.process(&input, &mut rng).unwrap();
+        assert!(out.y_hat.values().iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn tiny_input_variance_near_deterministic() {
+    // σ_I = 1e-9: the sample bounding box degenerates to ~a point.
+    let udf = BlackBoxUdf::from_fn("sin", 1, |x| (x[0] * 0.8).sin());
+    let cfg = OlgaproConfig::new(acc(), 2.0).unwrap();
+    let mut olga = Olgapro::new(udf, cfg);
+    let input = InputDistribution::diagonal_gaussian(&[(2.0, 1e-9)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(6);
+    let out = olga.process(&input, &mut rng).unwrap();
+    let truth = (2.0f64 * 0.8).sin();
+    assert!((out.y_hat.quantile(0.5) - truth).abs() < 0.05);
+}
+
+#[test]
+fn ks_metric_pipeline_end_to_end() {
+    // The KS accuracy path (Prop. 4.2) through OLGAPRO.
+    let udf = BlackBoxUdf::from_fn("sin", 1, |x| (x[0] * 0.8).sin());
+    let acc = AccuracyRequirement::new(0.15, 0.05, 0.0, Metric::Ks).unwrap();
+    let cfg = OlgaproConfig::new(acc, 2.0).unwrap();
+    let mut olga = Olgapro::new(udf.fork_counter(), cfg);
+    let input = InputDistribution::diagonal_gaussian(&[(4.0, 0.4)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut out = None;
+    for _ in 0..5 {
+        out = Some(olga.process(&input, &mut rng).unwrap());
+    }
+    let out = out.unwrap();
+    // Validate against a large reference in the KS metric.
+    let mc = McEvaluator::new(udf);
+    let reference = mc
+        .compute_with_samples(&input, 40_000, 0.01, &mut rng)
+        .unwrap();
+    let d = udf_prob::metrics::ks(&out.y_hat, &reference.ecdf);
+    assert!(d <= 0.15 + 0.02, "KS distance {d}");
+}
+
+#[test]
+fn zero_probability_region_input() {
+    // Input concentrated where the UDF is flat zero: output is a point mass
+    // at 0 and the bound must still hold.
+    let udf = BlackBoxUdf::from_fn("bump", 1, |x| {
+        if (3.0..4.0).contains(&x[0]) {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let cfg = OlgaproConfig::new(acc(), 1.0).unwrap();
+    let mut olga = Olgapro::new(udf, cfg);
+    let input = InputDistribution::diagonal_gaussian(&[(-50.0, 0.1)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    let out = olga.process(&input, &mut rng).unwrap();
+    assert!(out.y_hat.max().abs() < 0.2);
+}

@@ -1,0 +1,221 @@
+//! Simultaneous confidence bands (§4.2, "Computing Simultaneous Confidence
+//! Bands").
+//!
+//! A pointwise band `f̂(x) ± 2σ(x)` does not bound a GP *sample path*
+//! everywhere at once. The paper adopts Adler's approximation (Eq. 5):
+//!
+//! `Pr[sup_x Z(x) ≥ z] ≈ E[φ(A_z)]`
+//!
+//! where `Z(x) = (f̃(x) − f̂(x))/σ(x)` is the standardized error field and
+//! `φ(A_z)` the Euler characteristic of its excursion set above `z`. For a
+//! stationary unit-variance Gaussian field over a box with side lengths
+//! `T_i` and second spectral moments `λ₂,i`, the Gaussian kinematic formula
+//! gives
+//!
+//! `E[φ(A_z)] = Φ̄(z) + Σ_{j=1..d} e_j(T√λ₂) · (2π)^{−(j+1)/2} H_{j−1}(z) e^{−z²/2}`
+//!
+//! with `e_j` the elementary symmetric polynomials (sum over j-dimensional
+//! faces of the box) and `H` the probabilists' Hermite polynomials. We solve
+//! `2·E[φ(A_{z_α})] = α` (two-sided band, |Z| ≥ z) for `z_α` by bisection.
+//!
+//! Conservativeness: the standardized posterior error field is not exactly
+//! stationary; using the *prior* spectral moments is the standard practice
+//! the paper follows, and the EC heuristic upper-bounds the violation
+//! probability for the large-z regime of interest (small α).
+
+use crate::kernel::Kernel;
+use udf_prob::special::{hermite, norm_sf};
+use udf_spatial::BoundingBox;
+
+/// Expected Euler characteristic of the excursion set of a standardized
+/// stationary field above level `z` over `domain`.
+#[allow(clippy::needless_range_loop)] // e[j] is indexed by polynomial order j ≥ 1
+pub fn expected_euler_characteristic(kernel: &dyn Kernel, domain: &BoundingBox, z: f64) -> f64 {
+    let d = domain.dim();
+    let moments = kernel.spectral_moment();
+    // a_i = T_i sqrt(λ₂,i); isotropic kernels report one moment for all dims.
+    let a: Vec<f64> = (0..d)
+        .map(|i| {
+            let lam = if moments.len() == 1 {
+                moments[0]
+            } else {
+                moments[i]
+            };
+            (domain.hi()[i] - domain.lo()[i]) * lam.sqrt()
+        })
+        .collect();
+    let e = elementary_symmetric(&a);
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let gauss = (-0.5 * z * z).exp();
+    let mut total = norm_sf(z);
+    for j in 1..=d {
+        let rho_j = two_pi.powf(-((j as f64 + 1.0) / 2.0)) * hermite(j - 1, z) * gauss;
+        total += e[j] * rho_j;
+    }
+    total
+}
+
+/// Solve for the two-sided simultaneous band multiplier `z_α`:
+/// `Pr[sup_x |Z(x)| ≥ z_α] ≈ 2·E[φ(A_{z_α})] = α`.
+///
+/// Returns a value in `[1, 16]`; the caller treats `f̂ ± z_α σ` as the
+/// envelope `(f_S, f_L)` of Proposition 4.1.
+pub fn simultaneous_z(kernel: &dyn Kernel, domain: &BoundingBox, alpha: f64) -> f64 {
+    debug_assert!(alpha > 0.0 && alpha < 1.0);
+    let target = alpha / 2.0;
+    let f = |z: f64| expected_euler_characteristic(kernel, domain, z);
+    // E[φ] is decreasing in z on the z ≥ 1 regime of interest.
+    let (mut lo, mut hi) = (1.0, 16.0);
+    if f(lo) <= target {
+        return lo;
+    }
+    if f(hi) >= target {
+        return hi;
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Elementary symmetric polynomials `e_0..e_n` of `a` (DP in O(n²)).
+fn elementary_symmetric(a: &[f64]) -> Vec<f64> {
+    let mut e = vec![0.0; a.len() + 1];
+    e[0] = 1.0;
+    for (idx, &x) in a.iter().enumerate() {
+        for j in (1..=idx + 1).rev() {
+            e[j] += x * e[j - 1];
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SquaredExponential;
+
+    #[test]
+    fn elementary_symmetric_known() {
+        // (x+1)(x+2)(x+3) = x³ + 6x² + 11x + 6 → e = [1, 6, 11, 6].
+        let e = elementary_symmetric(&[1.0, 2.0, 3.0]);
+        assert_eq!(e, vec![1.0, 6.0, 11.0, 6.0]);
+    }
+
+    #[test]
+    fn ec_reduces_to_tail_for_tiny_domain() {
+        // As the domain shrinks, sup over the box → a single Gaussian, and
+        // E[φ(A_z)] → Φ̄(z).
+        let k = SquaredExponential::new(1.0, 1.0);
+        let tiny = BoundingBox::new(vec![0.0], vec![1e-9]);
+        for z in [1.0, 2.0, 3.0] {
+            let ec = expected_euler_characteristic(&k, &tiny, z);
+            assert!((ec - norm_sf(z)).abs() < 1e-9, "z = {z}");
+        }
+    }
+
+    #[test]
+    fn ec_grows_with_domain_and_roughness() {
+        let k = SquaredExponential::new(1.0, 1.0);
+        let small = BoundingBox::new(vec![0.0], vec![1.0]);
+        let large = BoundingBox::new(vec![0.0], vec![100.0]);
+        assert!(
+            expected_euler_characteristic(&k, &large, 2.0)
+                > expected_euler_characteristic(&k, &small, 2.0)
+        );
+        // Shorter lengthscale = rougher field = more upcrossings.
+        let rough = SquaredExponential::new(1.0, 0.1);
+        assert!(
+            expected_euler_characteristic(&rough, &small, 2.0)
+                > expected_euler_characteristic(&k, &small, 2.0)
+        );
+    }
+
+    #[test]
+    fn z_alpha_exceeds_pointwise_quantile() {
+        // A simultaneous band must be wider than the pointwise one.
+        let k = SquaredExponential::new(1.0, 0.5);
+        let domain = BoundingBox::new(vec![0.0], vec![10.0]);
+        let z = simultaneous_z(&k, &domain, 0.05);
+        assert!(z > 1.96, "z_α = {z}");
+        assert!(z < 16.0);
+    }
+
+    #[test]
+    fn z_alpha_monotone_in_alpha_and_domain() {
+        let k = SquaredExponential::new(1.0, 0.5);
+        let domain = BoundingBox::new(vec![0.0], vec![10.0]);
+        let z05 = simultaneous_z(&k, &domain, 0.05);
+        let z20 = simultaneous_z(&k, &domain, 0.20);
+        assert!(z05 > z20, "stricter α needs a wider band");
+        let bigger = BoundingBox::new(vec![0.0], vec![1000.0]);
+        assert!(simultaneous_z(&k, &bigger, 0.05) > z05);
+    }
+
+    #[test]
+    fn z_alpha_multidimensional() {
+        let k = SquaredExponential::new(1.0, 1.0);
+        let d1 = BoundingBox::new(vec![0.0], vec![10.0]);
+        let d2 = BoundingBox::new(vec![0.0, 0.0], vec![10.0, 10.0]);
+        let z1 = simultaneous_z(&k, &d1, 0.05);
+        let z2 = simultaneous_z(&k, &d2, 0.05);
+        assert!(z2 > z1, "2-D field has more excursions: {z1} vs {z2}");
+    }
+
+    #[test]
+    fn verify_band_coverage_by_simulation() {
+        // Draw GP prior paths on a grid and check the simultaneous band
+        // covers sup |Z| at least (1−α) of the time. The standardized prior
+        // field is exactly the stationary field the EC formula models.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use udf_linalg::{Cholesky, Matrix};
+        use udf_prob::dist::sample_standard_normal;
+
+        let lengthscale = 1.0;
+        let k = SquaredExponential::new(1.0, lengthscale);
+        let domain = BoundingBox::new(vec![0.0], vec![10.0]);
+        let alpha = 0.10;
+        let z_alpha = simultaneous_z(&k, &domain, alpha);
+
+        let grid: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 * 10.0 / 199.0]).collect();
+        let n = grid.len();
+        let kmat = {
+            let mut m = Matrix::from_symmetric_fn(n, |i, j| {
+                Kernel::eval(&k, &grid[i], &grid[j])
+            });
+            m.add_diagonal(1e-9).unwrap();
+            m
+        };
+        let chol = Cholesky::factor(&kmat).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let trials = 400;
+        let mut violations = 0;
+        for _ in 0..trials {
+            let z: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+            // Sample path = L z; standardized by σ = 1 (prior, unit variance).
+            let l = chol.lower();
+            let mut sup = 0.0f64;
+            for i in 0..n {
+                let mut v = 0.0;
+                for (kk, zk) in z.iter().enumerate().take(i + 1) {
+                    v += l.row(i)[kk] * zk;
+                }
+                sup = sup.max(v.abs());
+            }
+            if sup > z_alpha {
+                violations += 1;
+            }
+        }
+        let rate = violations as f64 / trials as f64;
+        assert!(
+            rate <= alpha * 1.5 + 0.02,
+            "violation rate {rate} far exceeds α = {alpha} (z_α = {z_alpha})"
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Local inference (§5.1).
+//!
+//! Far-away training points carry negligible kernel weight, so inference per
+//! input tuple can run against a *subset* of training points chosen around
+//! the bounding box of the input's Monte Carlo samples. The approximation
+//! error in the posterior mean is bounded by
+//!
+//! `γ = max_j |Σ_{ℓ excluded} k(x_j, x*_ℓ) α_ℓ|`
+//!
+//! which is bracketed per excluded point by the kernel value at the box's
+//! nearest/farthest corners (monotone isotropic kernels). The selection
+//! radius expands until `γ ≤ Γ`. As the paper's implementation note
+//! suggests, the sample box is bisected into sub-boxes and γ evaluated per
+//! sub-box for a tighter bound.
+
+use crate::model::{GpModel, Prediction};
+use crate::{GpError, Result};
+use udf_linalg::{dot, Cholesky, Matrix};
+use udf_spatial::BoundingBox;
+
+/// Result of choosing training points for local inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalSelection {
+    /// Selected training-point indices (into the model's training arrays).
+    pub indices: Vec<usize>,
+    /// Upper bound on the posterior-mean error |f̂ − f̂_L| over the sample box.
+    pub gamma: f64,
+    /// Final retrieval radius around the sample bounding box.
+    pub radius: f64,
+}
+
+/// Choose training points near `sample_box` so the mean-approximation error
+/// is at most `gamma_threshold` (the paper's Γ).
+///
+/// Requires an isotropic kernel (near/far-corner bracketing); returns
+/// [`GpError::InvalidParameter`] otherwise.
+pub fn select_local(
+    model: &GpModel,
+    sample_box: &BoundingBox,
+    gamma_threshold: f64,
+) -> Result<LocalSelection> {
+    if model.is_empty() {
+        return Err(GpError::EmptyModel);
+    }
+    if model.kernel().eval_dist(0.0).is_none() {
+        return Err(GpError::InvalidParameter {
+            what: "local inference requires an isotropic kernel",
+            value: f64::NAN,
+        });
+    }
+    if gamma_threshold <= 0.0 || gamma_threshold.is_nan() {
+        return Err(GpError::InvalidParameter {
+            what: "gamma_threshold",
+            value: gamma_threshold,
+        });
+    }
+
+    let n = model.len();
+    // Radius step: the kernel's half-value distance, found by bisection.
+    let step = half_value_distance(model);
+    let mut radius = step;
+    loop {
+        let mut selected = model.spatial_index().query_within(sample_box, radius);
+        selected.sort_unstable();
+        let gamma = gamma_bound(model, sample_box, &selected);
+        if gamma <= gamma_threshold || selected.len() == n {
+            return Ok(LocalSelection {
+                indices: selected,
+                gamma,
+                radius,
+            });
+        }
+        radius += step;
+    }
+}
+
+/// Distance at which the kernel decays to half its zero-distance value.
+fn half_value_distance(model: &GpModel) -> f64 {
+    let k = model.kernel();
+    let k0 = k.eval_dist(0.0).expect("checked isotropic");
+    let target = 0.5 * k0;
+    let mut hi = 1.0;
+    while k.eval_dist(hi).expect("isotropic") > target && hi < 1e6 {
+        hi *= 2.0;
+    }
+    let mut lo = 0.0;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if k.eval_dist(mid).expect("isotropic") > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Upper bound γ on the mean-approximation error over the sample box given
+/// the selected subset (γ = 0 when nothing is excluded).
+pub fn gamma_bound(model: &GpModel, sample_box: &BoundingBox, selected: &[usize]) -> f64 {
+    let n = model.len();
+    if selected.len() == n {
+        return 0.0;
+    }
+    let mut is_selected = vec![false; n];
+    for &i in selected {
+        is_selected[i] = true;
+    }
+    let kernel = model.kernel();
+    let alpha = model.alpha();
+    let xs = model.inputs();
+
+    // Sub-box refinement: split along the longest axes (2^min(d,3) boxes).
+    let sub_boxes = sample_box.bisect(sample_box.dim().min(3));
+    let mut gamma = 0.0f64;
+    for sb in &sub_boxes {
+        let (mut lo_sum, mut hi_sum) = (0.0f64, 0.0f64);
+        for l in 0..n {
+            if is_selected[l] {
+                continue;
+            }
+            let near = sb.min_dist(&xs[l]);
+            let far = sb.max_dist(&xs[l]);
+            let k_near = kernel.eval_dist(near).expect("isotropic");
+            let k_far = kernel.eval_dist(far).expect("isotropic");
+            let a = alpha[l];
+            if a >= 0.0 {
+                hi_sum += k_near * a;
+                lo_sum += k_far * a;
+            } else {
+                hi_sum += k_far * a;
+                lo_sum += k_near * a;
+            }
+        }
+        gamma = gamma.max(hi_sum.abs()).max(lo_sum.abs());
+    }
+    gamma
+}
+
+/// Inference against a fixed subset of training points.
+///
+/// The posterior mean uses the *global* weight vector restricted to the
+/// subset (the paper's `α_L`), so `γ` bounds its deviation from global
+/// inference; the posterior variance uses the subset's own covariance
+/// factor, which is conservative (never smaller than the global variance).
+#[derive(Debug)]
+pub struct LocalPredictor<'m> {
+    model: &'m GpModel,
+    indices: Vec<usize>,
+    chol: Cholesky,
+}
+
+impl<'m> LocalPredictor<'m> {
+    /// Build the subset factorization (O(l³) for l selected points).
+    pub fn new(model: &'m GpModel, indices: Vec<usize>) -> Result<Self> {
+        if indices.is_empty() {
+            return Err(GpError::EmptyModel);
+        }
+        let xs = model.inputs();
+        let k = Matrix::from_symmetric_fn(indices.len(), |i, j| {
+            model.kernel().eval(&xs[indices[i]], &xs[indices[j]])
+        });
+        let (chol, _) = Cholesky::factor_with_jitter(&k, model.jitter(), 8)?;
+        Ok(LocalPredictor {
+            model,
+            indices,
+            chol,
+        })
+    }
+
+    /// Number of selected training points `l`.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when no points were selected (unreachable by construction).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Posterior mean/variance at `x` using only the selected subset —
+    /// O(l) mean, O(l²) variance.
+    pub fn predict(&self, x: &[f64]) -> Result<Prediction> {
+        if x.len() != self.model.dim() {
+            return Err(GpError::DimensionMismatch {
+                expected: self.model.dim(),
+                found: x.len(),
+            });
+        }
+        let xs = self.model.inputs();
+        let alpha = self.model.alpha();
+        let kernel = self.model.kernel();
+        let k: Vec<f64> = self
+            .indices
+            .iter()
+            .map(|&i| kernel.eval(&xs[i], x))
+            .collect();
+        // Mean with the restricted global weights α_L.
+        let mean = self
+            .indices
+            .iter()
+            .zip(&k)
+            .map(|(&i, kv)| kv * alpha[i])
+            .sum();
+        let v = self.chol.solve_lower(&k)?;
+        let var = (kernel.eval(x, x) - dot(&v, &v)).max(0.0);
+        Ok(Prediction { mean, var })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{SquaredExponential, SquaredExponentialArd};
+    use crate::model::GpModel;
+
+    /// 1-D model with clustered training data far from / near the query box.
+    fn clustered_model() -> GpModel {
+        let mut m = GpModel::new(Box::new(SquaredExponential::new(1.0, 0.5)), 1);
+        let mut xs = Vec::new();
+        // Cluster A near 0, cluster B near 100.
+        for i in 0..20 {
+            xs.push(vec![i as f64 * 0.1]);
+        }
+        for i in 0..20 {
+            xs.push(vec![100.0 + i as f64 * 0.1]);
+        }
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 0.7).sin()).collect();
+        m.fit(xs, ys).unwrap();
+        m
+    }
+
+    #[test]
+    fn far_cluster_is_excluded() {
+        let m = clustered_model();
+        let qbox = BoundingBox::new(vec![0.5], vec![1.5]);
+        let sel = select_local(&m, &qbox, 1e-6).unwrap();
+        assert!(sel.indices.len() < m.len(), "should not select everything");
+        assert!(
+            sel.indices.iter().all(|&i| i < 20),
+            "far cluster leaked into selection: {:?}",
+            sel.indices
+        );
+        assert!(sel.gamma <= 1e-6);
+    }
+
+    #[test]
+    fn local_mean_close_to_global() {
+        let m = clustered_model();
+        let qbox = BoundingBox::new(vec![0.5], vec![1.5]);
+        let gamma_threshold = 1e-4;
+        let sel = select_local(&m, &qbox, gamma_threshold).unwrap();
+        let lp = LocalPredictor::new(&m, sel.indices.clone()).unwrap();
+        for q in [0.55, 0.9, 1.2, 1.45] {
+            let g = m.predict(&[q]).unwrap();
+            let l = lp.predict(&[q]).unwrap();
+            assert!(
+                (g.mean - l.mean).abs() <= gamma_threshold + 1e-9,
+                "q={q}: |{} - {}| > γ",
+                g.mean,
+                l.mean
+            );
+            // Local variance is conservative.
+            assert!(l.var >= g.var - 1e-9, "q={q}");
+        }
+    }
+
+    #[test]
+    fn gamma_zero_when_all_selected() {
+        let m = clustered_model();
+        let qbox = BoundingBox::new(vec![0.0], vec![100.0]);
+        let all: Vec<usize> = (0..m.len()).collect();
+        assert_eq!(gamma_bound(&m, &qbox, &all), 0.0);
+    }
+
+    #[test]
+    fn tighter_threshold_selects_more_points() {
+        let m = clustered_model();
+        let qbox = BoundingBox::new(vec![0.5], vec![1.5]);
+        let loose = select_local(&m, &qbox, 1e-2).unwrap();
+        let tight = select_local(&m, &qbox, 1e-10).unwrap();
+        assert!(tight.indices.len() >= loose.indices.len());
+    }
+
+    #[test]
+    fn ard_kernel_rejected() {
+        let mut m = GpModel::new(Box::new(SquaredExponentialArd::new(1.0, &[1.0, 1.0])), 2);
+        m.fit(vec![vec![0.0, 0.0], vec![1.0, 1.0]], vec![0.0, 1.0])
+            .unwrap();
+        let qbox = BoundingBox::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert!(matches!(
+            select_local(&m, &qbox, 0.1),
+            Err(GpError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn gamma_bound_is_sound() {
+        // The bound must dominate the actual |global − local| mean error at
+        // any point inside the box.
+        let m = clustered_model();
+        let qbox = BoundingBox::new(vec![1.0], vec![3.0]);
+        for threshold in [1e-2, 1e-4] {
+            let sel = select_local(&m, &qbox, threshold).unwrap();
+            let lp = LocalPredictor::new(&m, sel.indices.clone()).unwrap();
+            for i in 0..=20 {
+                let q = 1.0 + 2.0 * i as f64 / 20.0;
+                let g = m.predict_mean(&[q]).unwrap();
+                let l = lp.predict(&[q]).unwrap().mean;
+                assert!(
+                    (g - l).abs() <= sel.gamma + 1e-12,
+                    "actual error {} exceeds γ {}",
+                    (g - l).abs(),
+                    sel.gamma
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_selection_rejected() {
+        let m = clustered_model();
+        assert!(LocalPredictor::new(&m, vec![]).is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! Exact GP regression with incremental updates (§3.3, §5.2).
+
+use crate::kernel::Kernel;
+use crate::{GpError, Result};
+use udf_linalg::{dot, Cholesky, Matrix};
+use udf_spatial::RTree;
+
+/// Default diagonal jitter added to the training covariance. The paper's
+/// UDFs are deterministic, so this is numerical regularization rather than
+/// observation noise.
+pub const DEFAULT_JITTER: f64 = 1e-8;
+
+/// A Gaussian-process regression model over a black-box function.
+///
+/// Maintains the training set `(X*, y*)`, the Cholesky factor of
+/// `K(X*, X*) + jitter·I`, the weight vector `α = K⁻¹ y*` (the paper's α,
+/// §5.1), and an R-tree over the inputs for local inference.
+#[derive(Debug)]
+pub struct GpModel {
+    kernel: Box<dyn Kernel>,
+    dim: usize,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    jitter: f64,
+    chol: Option<Cholesky>,
+    alpha: Vec<f64>,
+    index: RTree,
+}
+
+/// A posterior prediction at one point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Posterior mean `f̂(x)`.
+    pub mean: f64,
+    /// Posterior variance `σ²(x)` (clamped at 0).
+    pub var: f64,
+}
+
+impl GpModel {
+    /// Empty model for `dim`-dimensional inputs.
+    pub fn new(kernel: Box<dyn Kernel>, dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        GpModel {
+            kernel,
+            dim,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            jitter: DEFAULT_JITTER,
+            chol: None,
+            alpha: Vec::new(),
+            index: RTree::new(dim),
+        }
+    }
+
+    /// Override the diagonal jitter (must be non-negative).
+    pub fn with_jitter(mut self, jitter: f64) -> Result<Self> {
+        if !(jitter >= 0.0 && jitter.is_finite()) {
+            return Err(GpError::InvalidParameter {
+                what: "jitter",
+                value: jitter,
+            });
+        }
+        self.jitter = jitter;
+        Ok(self)
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of training points `n`.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when no training data is present.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Training inputs.
+    pub fn inputs(&self) -> &[Vec<f64>] {
+        &self.xs
+    }
+
+    /// Training targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The weight vector `α = K(X*, X*)⁻¹ y*`.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Borrow the kernel.
+    pub fn kernel(&self) -> &dyn Kernel {
+        self.kernel.as_ref()
+    }
+
+    /// Borrow the spatial index over training inputs.
+    pub fn spatial_index(&self) -> &RTree {
+        &self.index
+    }
+
+    /// Jitter in use.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Replace the kernel hyperparameters and refactor (O(n³)).
+    pub fn set_hyperparams(&mut self, theta: &[f64]) -> Result<()> {
+        self.kernel.set_params(theta);
+        self.refit()
+    }
+
+    /// Replace all training data and refactor (O(n³)).
+    pub fn fit(&mut self, xs: Vec<Vec<f64>>, ys: Vec<f64>) -> Result<()> {
+        if xs.len() != ys.len() {
+            return Err(GpError::DimensionMismatch {
+                expected: xs.len(),
+                found: ys.len(),
+            });
+        }
+        for x in &xs {
+            if x.len() != self.dim {
+                return Err(GpError::DimensionMismatch {
+                    expected: self.dim,
+                    found: x.len(),
+                });
+            }
+        }
+        self.xs = xs;
+        self.ys = ys;
+        self.index = RTree::bulk_load(
+            self.dim,
+            self.xs.iter().cloned().enumerate().map(|(i, p)| (p, i)).collect(),
+        );
+        self.refit()
+    }
+
+    /// Re-factor the covariance from scratch (after hyperparameter change).
+    fn refit(&mut self) -> Result<()> {
+        if self.xs.is_empty() {
+            self.chol = None;
+            self.alpha.clear();
+            return Ok(());
+        }
+        let n = self.xs.len();
+        let k = Matrix::from_symmetric_fn(n, |i, j| self.kernel.eval(&self.xs[i], &self.xs[j]));
+        let (chol, _) = Cholesky::factor_with_jitter(&k, self.jitter, 8)?;
+        self.alpha = chol.solve(&self.ys)?;
+        self.chol = Some(chol);
+        Ok(())
+    }
+
+    /// Add one training point incrementally: O(n²) Cholesky append plus an
+    /// O(n²) re-solve for α (§5.2's block-matrix update).
+    pub fn add_point(&mut self, x: Vec<f64>, y: f64) -> Result<()> {
+        if x.len() != self.dim {
+            return Err(GpError::DimensionMismatch {
+                expected: self.dim,
+                found: x.len(),
+            });
+        }
+        match &mut self.chol {
+            None => {
+                self.xs.push(x.clone());
+                self.ys.push(y);
+                self.index.insert(x, self.xs.len() - 1);
+                self.refit()
+            }
+            Some(chol) => {
+                let k: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, &x)).collect();
+                let kss = self.kernel.eval(&x, &x) + self.jitter;
+                match chol.append(&k, kss) {
+                    Ok(()) => {
+                        self.xs.push(x.clone());
+                        self.ys.push(y);
+                        self.index.insert(x, self.xs.len() - 1);
+                        self.alpha = self
+                            .chol
+                            .as_ref()
+                            .expect("factor present")
+                            .solve(&self.ys)?;
+                        Ok(())
+                    }
+                    Err(_) => {
+                        // Nearly duplicate point: fall back to a fresh
+                        // factorization with escalated jitter.
+                        self.xs.push(x.clone());
+                        self.ys.push(y);
+                        self.index.insert(x, self.xs.len() - 1);
+                        self.refit()
+                    }
+                }
+            }
+        }
+    }
+
+    /// Posterior mean and variance at `x` (global inference, Eq. 2).
+    pub fn predict(&self, x: &[f64]) -> Result<Prediction> {
+        let chol = self.chol.as_ref().ok_or(GpError::EmptyModel)?;
+        if x.len() != self.dim {
+            return Err(GpError::DimensionMismatch {
+                expected: self.dim,
+                found: x.len(),
+            });
+        }
+        let k: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean = dot(&k, &self.alpha);
+        // σ²(x) = k(x,x) − kᵀ K⁻¹ k, via v = L⁻¹k.
+        let v = chol.solve_lower(&k)?;
+        let var = (self.kernel.eval(x, x) - dot(&v, &v)).max(0.0);
+        Ok(Prediction { mean, var })
+    }
+
+    /// Posterior mean only — O(n) per point (§5.1 notes the mean is the
+    /// cheap part; the variance dominates inference cost).
+    pub fn predict_mean(&self, x: &[f64]) -> Result<f64> {
+        if self.chol.is_none() {
+            return Err(GpError::EmptyModel);
+        }
+        if x.len() != self.dim {
+            return Err(GpError::DimensionMismatch {
+                expected: self.dim,
+                found: x.len(),
+            });
+        }
+        let k: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        Ok(dot(&k, &self.alpha))
+    }
+
+    /// Predict at many points.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Prediction>> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Log marginal likelihood `log p(y* | X*, θ)` (§3.4):
+    /// `−½ y*ᵀα − Σ log L_ii − (n/2) log 2π`.
+    pub fn log_marginal_likelihood(&self) -> Result<f64> {
+        let chol = self.chol.as_ref().ok_or(GpError::EmptyModel)?;
+        let n = self.xs.len() as f64;
+        Ok(-0.5 * dot(&self.ys, &self.alpha)
+            - 0.5 * chol.log_det()
+            - 0.5 * n * (2.0 * std::f64::consts::PI).ln())
+    }
+
+    /// Gradient of the log marginal likelihood w.r.t. the kernel's
+    /// log-hyperparameters: `∂L/∂θ_j = ½ tr((ααᵀ − K⁻¹) ∂K/∂θ_j)`.
+    pub fn lml_gradient(&self) -> Result<Vec<f64>> {
+        let chol = self.chol.as_ref().ok_or(GpError::EmptyModel)?;
+        let n = self.xs.len();
+        let p = self.kernel.n_params();
+        let kinv = chol.inverse()?;
+        let mut grad = vec![0.0; p];
+        for i in 0..n {
+            for j in 0..n {
+                let g = self.kernel.grad(&self.xs[i], &self.xs[j]);
+                let w = self.alpha[i] * self.alpha[j] - kinv[(i, j)];
+                for (gj, gv) in grad.iter_mut().zip(&g) {
+                    *gj += 0.5 * w * gv;
+                }
+            }
+        }
+        Ok(grad)
+    }
+
+    /// Diagonal second derivatives of the log marginal likelihood,
+    /// `∂²L/∂θ_j²`, used by the Newton retraining heuristic (§5.3):
+    ///
+    /// `∂²L/∂θ² = ½ αᵀK''α − αᵀK'K⁻¹K'α − ½ tr(K⁻¹K'') + ½ tr(K⁻¹K'K⁻¹K')`.
+    #[allow(clippy::needless_range_loop)] // out[j] paired with the j-th K' matrix
+    pub fn lml_hessian_diag(&self) -> Result<Vec<f64>> {
+        let chol = self.chol.as_ref().ok_or(GpError::EmptyModel)?;
+        let n = self.xs.len();
+        let p = self.kernel.n_params();
+        let kinv = chol.inverse()?;
+        let mut out = vec![0.0; p];
+        // Materialize K' per hyperparameter (p small: 2..=d+1).
+        for j in 0..p {
+            let kp = Matrix::from_symmetric_fn(n, |r, c| self.kernel.grad(&self.xs[r], &self.xs[c])[j]);
+            let kpp =
+                Matrix::from_symmetric_fn(n, |r, c| self.kernel.second_deriv(&self.xs[r], &self.xs[c])[j]);
+            let kp_alpha = kp.matvec(&self.alpha)?;
+            let kinv_kp_alpha = chol.solve(&kp_alpha)?;
+            let term1 = 0.5 * dot(&self.alpha, &kpp.matvec(&self.alpha)?);
+            let term2 = dot(&kp_alpha, &kinv_kp_alpha);
+            // tr(K⁻¹K'') and tr(K⁻¹K'K⁻¹K').
+            let kinv_kpp = kinv.matmul(&kpp)?;
+            let kinv_kp = kinv.matmul(&kp)?;
+            let tr1 = kinv_kpp.trace()?;
+            let prod = kinv_kp.matmul(&kinv_kp)?;
+            let tr2 = prod.trace()?;
+            out[j] = term1 - term2 - 0.5 * tr1 + 0.5 * tr2;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SquaredExponential;
+
+    fn toy_model(n: usize) -> GpModel {
+        let mut m = GpModel::new(Box::new(SquaredExponential::new(1.0, 1.0)), 1);
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 0.5]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin()).collect();
+        m.fit(xs, ys).unwrap();
+        m
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let m = toy_model(10);
+        for (x, y) in m.inputs().to_vec().iter().zip(m.targets().to_vec()) {
+            let p = m.predict(x).unwrap();
+            assert!((p.mean - y).abs() < 1e-3, "mean {} vs {}", p.mean, y);
+            assert!(p.var < 1e-4, "variance at training point: {}", p.var);
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let m = toy_model(6); // points in [0, 2.5]
+        let near = m.predict(&[1.0]).unwrap();
+        let far = m.predict(&[10.0]).unwrap();
+        assert!(far.var > near.var);
+        // At great distance the prior variance σ_f² is recovered.
+        assert!((far.var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn incremental_add_matches_batch_fit() {
+        let mut inc = GpModel::new(Box::new(SquaredExponential::new(1.0, 1.0)), 1);
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 * 0.4]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0].cos()).collect();
+        for (x, y) in xs.iter().zip(&ys) {
+            inc.add_point(x.clone(), *y).unwrap();
+        }
+        let mut batch = GpModel::new(Box::new(SquaredExponential::new(1.0, 1.0)), 1);
+        batch.fit(xs, ys).unwrap();
+        for q in [0.13, 1.77, 3.9, 6.0] {
+            let a = inc.predict(&[q]).unwrap();
+            let b = batch.predict(&[q]).unwrap();
+            assert!((a.mean - b.mean).abs() < 1e-8, "q={q}");
+            assert!((a.var - b.var).abs() < 1e-8, "q={q}");
+        }
+    }
+
+    #[test]
+    fn duplicate_points_fall_back_gracefully() {
+        let mut m = GpModel::new(Box::new(SquaredExponential::new(1.0, 1.0)), 1);
+        for _ in 0..5 {
+            m.add_point(vec![1.0], 2.0).unwrap();
+        }
+        let p = m.predict(&[1.0]).unwrap();
+        assert!((p.mean - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_model_errors() {
+        let m = GpModel::new(Box::new(SquaredExponential::new(1.0, 1.0)), 2);
+        assert!(matches!(m.predict(&[0.0, 0.0]), Err(GpError::EmptyModel)));
+        assert!(matches!(
+            m.log_marginal_likelihood(),
+            Err(GpError::EmptyModel)
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let m = toy_model(4);
+        assert!(matches!(
+            m.predict(&[0.0, 0.0]),
+            Err(GpError::DimensionMismatch { .. })
+        ));
+        let mut m2 = toy_model(4);
+        assert!(m2.add_point(vec![0.0, 1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn lml_gradient_matches_finite_difference() {
+        let mut m = toy_model(8);
+        let theta0 = m.kernel().params();
+        let grad = m.lml_gradient().unwrap();
+        let eps = 1e-5;
+        for j in 0..theta0.len() {
+            let mut tp = theta0.clone();
+            tp[j] += eps;
+            m.set_hyperparams(&tp).unwrap();
+            let lp = m.log_marginal_likelihood().unwrap();
+            let mut tm = theta0.clone();
+            tm[j] -= eps;
+            m.set_hyperparams(&tm).unwrap();
+            let lm = m.log_marginal_likelihood().unwrap();
+            m.set_hyperparams(&theta0).unwrap();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad[j]).abs() < 1e-4 * (1.0 + grad[j].abs()),
+                "grad[{j}]: fd {fd} vs analytic {}",
+                grad[j]
+            );
+        }
+    }
+
+    #[test]
+    fn lml_hessian_diag_matches_finite_difference() {
+        let mut m = toy_model(8);
+        let theta0 = m.kernel().params();
+        let hess = m.lml_hessian_diag().unwrap();
+        let eps = 1e-4;
+        for j in 0..theta0.len() {
+            let mut tp = theta0.clone();
+            tp[j] += eps;
+            m.set_hyperparams(&tp).unwrap();
+            let gp = m.lml_gradient().unwrap()[j];
+            let mut tm = theta0.clone();
+            tm[j] -= eps;
+            m.set_hyperparams(&tm).unwrap();
+            let gm = m.lml_gradient().unwrap()[j];
+            m.set_hyperparams(&theta0).unwrap();
+            let fd = (gp - gm) / (2.0 * eps);
+            assert!(
+                (fd - hess[j]).abs() < 1e-3 * (1.0 + hess[j].abs()),
+                "hess[{j}]: fd {fd} vs analytic {}",
+                hess[j]
+            );
+        }
+    }
+
+    #[test]
+    fn spatial_index_stays_in_sync() {
+        let mut m = toy_model(5);
+        assert_eq!(m.spatial_index().len(), 5);
+        m.add_point(vec![9.0], 0.5).unwrap();
+        assert_eq!(m.spatial_index().len(), 6);
+        let mut all = m.spatial_index().all_ids();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,202 @@
+//! Hyperparameter learning (§3.4) and the retraining decision (§5.3).
+//!
+//! MLE is performed by adaptive gradient *ascent* on the log marginal
+//! likelihood over log-hyperparameters: the step doubles after an improving
+//! step and halves (with rollback) after a worsening one. This is the
+//! "gradient descent" of §3.4 modulo sign conventions, robust without
+//! line-search machinery.
+//!
+//! The retraining decision uses the paper's §5.3 heuristic: compute the
+//! *first Newton step* `δθ = −L''(θ)⁻¹ L'(θ)` (diagonal Hessian) and retrain
+//! only when `‖δθ‖∞` exceeds the threshold Δθ — i.e. when the optimizer
+//! "would move far" from the current hyperparameters.
+
+use crate::model::GpModel;
+use crate::Result;
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Log marginal likelihood before training.
+    pub initial_lml: f64,
+    /// Log marginal likelihood after training.
+    pub final_lml: f64,
+    /// Gradient-ascent iterations performed.
+    pub iterations: usize,
+    /// Final log-hyperparameters.
+    pub theta: Vec<f64>,
+}
+
+/// Configuration for gradient-ascent MLE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Maximum gradient steps.
+    pub max_iters: usize,
+    /// Stop when the infinity-norm of the gradient falls below this.
+    pub grad_tol: f64,
+    /// Initial step size in log-parameter space.
+    pub initial_step: f64,
+    /// Hyperparameters are clamped to `[-bound, bound]` in log space to
+    /// keep the covariance numerically sane.
+    pub log_bound: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            max_iters: 50,
+            grad_tol: 1e-3,
+            initial_step: 0.1,
+            log_bound: 8.0,
+        }
+    }
+}
+
+/// Maximize the log marginal likelihood in place.
+pub fn train(model: &mut GpModel, config: &TrainConfig) -> Result<TrainReport> {
+    let initial_lml = model.log_marginal_likelihood()?;
+    let mut best_lml = initial_lml;
+    let mut theta = model.kernel().params();
+    let mut step = config.initial_step;
+    let mut iterations = 0;
+
+    for _ in 0..config.max_iters {
+        iterations += 1;
+        let grad = model.lml_gradient()?;
+        let gnorm = grad.iter().fold(0.0f64, |m, g| m.max(g.abs()));
+        if gnorm < config.grad_tol {
+            break;
+        }
+        // Normalized ascent step, clamped into the trust box.
+        let proposal: Vec<f64> = theta
+            .iter()
+            .zip(&grad)
+            .map(|(t, g)| (t + step * g / gnorm).clamp(-config.log_bound, config.log_bound))
+            .collect();
+        model.set_hyperparams(&proposal)?;
+        let lml = model.log_marginal_likelihood()?;
+        if lml > best_lml {
+            best_lml = lml;
+            theta = proposal;
+            step = (step * 2.0).min(1.0);
+        } else {
+            // Roll back and shrink.
+            model.set_hyperparams(&theta)?;
+            step *= 0.5;
+            if step < 1e-4 {
+                break;
+            }
+        }
+    }
+    Ok(TrainReport {
+        initial_lml,
+        final_lml: best_lml,
+        iterations,
+        theta,
+    })
+}
+
+/// Size of the first Newton step `‖−L''⁻¹ L'‖∞` over the diagonal Hessian.
+///
+/// Coordinates with non-negative curvature (locally convex or flat in that
+/// direction) fall back to a unit-curvature gradient step, which errs toward
+/// retraining — the safe direction.
+pub fn newton_step_norm(model: &GpModel) -> Result<f64> {
+    let grad = model.lml_gradient()?;
+    let hess = model.lml_hessian_diag()?;
+    let mut norm = 0.0f64;
+    for (g, h) in grad.iter().zip(&hess) {
+        let step = if *h < -1e-12 { -g / h } else { *g };
+        norm = norm.max(step.abs());
+    }
+    Ok(norm)
+}
+
+/// The §5.3 retraining decision: retrain iff the first Newton step exceeds
+/// `delta_theta`.
+pub fn should_retrain(model: &GpModel, delta_theta: f64) -> Result<bool> {
+    Ok(newton_step_norm(model)? > delta_theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SquaredExponential;
+    use crate::model::GpModel;
+
+    /// A smooth 1-D function sampled on a grid.
+    fn fitted_model(lengthscale_guess: f64, n: usize) -> GpModel {
+        let mut m = GpModel::new(Box::new(SquaredExponential::new(1.0, lengthscale_guess)), 1);
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 10.0 / n as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 0.8).sin() * 2.0).collect();
+        m.fit(xs, ys).unwrap();
+        m
+    }
+
+    #[test]
+    fn training_improves_likelihood() {
+        // Deliberately bad initial lengthscale.
+        let mut m = fitted_model(0.05, 25);
+        let report = train(&mut m, &TrainConfig::default()).unwrap();
+        assert!(
+            report.final_lml > report.initial_lml + 1.0,
+            "LML {} -> {}",
+            report.initial_lml,
+            report.final_lml
+        );
+        // Hyperparameters actually moved.
+        assert!(report.iterations > 1);
+    }
+
+    #[test]
+    fn training_improves_prediction() {
+        let mut m = fitted_model(0.05, 25);
+        let before = m.predict(&[5.17]).unwrap().mean;
+        train(&mut m, &TrainConfig::default()).unwrap();
+        let after = m.predict(&[5.17]).unwrap().mean;
+        let truth = (5.17f64 * 0.8).sin() * 2.0;
+        assert!(
+            (after - truth).abs() <= (before - truth).abs() + 1e-9,
+            "prediction got worse: {before} -> {after} (truth {truth})"
+        );
+    }
+
+    #[test]
+    fn converged_model_stops_quickly() {
+        let mut m = fitted_model(1.0, 25);
+        let big = TrainConfig {
+            max_iters: 400,
+            ..TrainConfig::default()
+        };
+        let r1 = train(&mut m, &big).unwrap();
+        // Once converged, another run barely moves the likelihood.
+        let r2 = train(&mut m, &big).unwrap();
+        assert!(r2.final_lml >= r1.final_lml - 1e-9);
+        assert!(
+            (r2.final_lml - r2.initial_lml).abs() < 0.5,
+            "second run still improved by {}",
+            r2.final_lml - r2.initial_lml
+        );
+    }
+
+    #[test]
+    fn newton_step_large_when_misfit_small_when_fit() {
+        let mut m = fitted_model(0.05, 25);
+        let before = newton_step_norm(&m).unwrap();
+        train(&mut m, &TrainConfig::default()).unwrap();
+        let after = newton_step_norm(&m).unwrap();
+        assert!(
+            before > after,
+            "Newton step should shrink after training: {before} -> {after}"
+        );
+        assert!(should_retrain(&m, before).unwrap() == (after > before));
+    }
+
+    #[test]
+    fn should_retrain_thresholding() {
+        let m = fitted_model(0.05, 20);
+        let step = newton_step_norm(&m).unwrap();
+        assert!(should_retrain(&m, step * 0.5).unwrap());
+        assert!(!should_retrain(&m, step * 2.0).unwrap());
+    }
+}

@@ -1,0 +1,350 @@
+//! Cholesky factorization with incremental updates.
+//!
+//! The GP posterior (Eq. 2 of the paper) requires solving with the training
+//! covariance `K(X*, X*)`. We keep its lower Cholesky factor `L` and support:
+//!
+//! * `solve` — `A x = b` via forward + back substitution, O(n²);
+//! * `log_det` — `2 Σ log L_ii`, used by the marginal likelihood (§3.4);
+//! * `inverse` — explicit `A⁻¹` for the likelihood gradient/Hessian;
+//! * [`Cholesky::append`] — the O(n²) block update used by online tuning
+//!   (§5.2): when training point n+1 arrives, the new factor row is
+//!   `w = L⁻¹ k`, `d = sqrt(k** − w·w)`, avoiding an O(n³) refactorization.
+
+use crate::{dot, LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    /// Lower factor stored as a full square matrix (upper part zero).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix `A = L Lᵀ`.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] when a pivot is not
+    /// strictly positive — for GP covariance matrices this signals that more
+    /// jitter is needed.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factor `A + jitter·I`, escalating jitter by 10x up to `max_tries`
+    /// times if the factorization fails. Returns the factor and the jitter
+    /// that succeeded.
+    ///
+    /// This is the standard defensive pattern for GP covariance matrices
+    /// whose eigenvalues underflow when training points nearly coincide.
+    pub fn factor_with_jitter(a: &Matrix, jitter: f64, max_tries: u32) -> Result<(Self, f64)> {
+        let mut j = jitter;
+        let mut last = LinalgError::NotPositiveDefinite { pivot: 0 };
+        for _ in 0..max_tries.max(1) {
+            let mut aj = a.clone();
+            if j > 0.0 {
+                aj.add_diagonal(j)?;
+            }
+            match Cholesky::factor(&aj) {
+                Ok(c) => return Ok((c, j)),
+                Err(e) => {
+                    last = e;
+                    j = if j == 0.0 { 1e-10 } else { j * 10.0 };
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Dimension of the factored matrix.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow the lower factor.
+    #[inline]
+    pub fn lower(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `L y = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+                context: "Cholesky::solve_lower",
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            let row = self.l.row(i);
+            for k in 0..i {
+                sum -= row[k] * y[k];
+            }
+            y[i] = sum / row[i];
+        }
+        Ok(y)
+    }
+
+    /// Solve `Lᵀ x = y` (back substitution).
+    #[allow(clippy::needless_range_loop)] // indexing two arrays in lockstep
+    pub fn solve_upper(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if y.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: y.len(),
+                context: "Cholesky::solve_upper",
+            });
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solve `A x = b` where `A = L Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.solve_lower(b)?;
+        self.solve_upper(&y)
+    }
+
+    /// Solve `A X = B` column-wise.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: b.rows(),
+                context: "Cholesky::solve_matrix",
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// `log det A = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Explicit inverse `A⁻¹` (O(n³)); used only by the likelihood
+    /// gradient/Hessian in retraining, never in the inference hot path.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Append one row/column to the factored matrix: given the factor of
+    /// `A (n x n)`, produce the factor of
+    /// `[[A, k], [kᵀ, kss]]` in O(n²).
+    ///
+    /// `k` is the covariance between the new point and the existing points,
+    /// `kss` the new point's self-covariance (including jitter).
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] when the Schur complement
+    /// `kss − wᵀw` is not strictly positive.
+    pub fn append(&mut self, k: &[f64], kss: f64) -> Result<()> {
+        let n = self.dim();
+        if k.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: k.len(),
+                context: "Cholesky::append",
+            });
+        }
+        let w = self.solve_lower(k)?;
+        let schur = kss - dot(&w, &w);
+        if schur <= 0.0 || !schur.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: n });
+        }
+        let d = schur.sqrt();
+        // Grow the factor: copy into an (n+1)x(n+1) matrix.
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            let (src, dst) = (self.l.row(i), l.row_mut(i));
+            dst[..=i].copy_from_slice(&src[..=i]);
+        }
+        l.row_mut(n)[..n].copy_from_slice(&w);
+        l[(n, n)] = d;
+        self.l = l;
+        Ok(())
+    }
+
+    /// Reconstruct `A = L Lᵀ` (test/diagnostic helper).
+    pub fn reconstruct(&self) -> Matrix {
+        let lt = self.l.transpose();
+        self.l.matmul(&lt).expect("square factors always multiply")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for B with distinct entries: guaranteed SPD.
+        Matrix::from_rows(&[
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_and_reconstruct() {
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let r = c.reconstruct();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let b = vec![1.0, -2.0, 3.0];
+        let x = c.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (bi, vi) in b.iter().zip(&back) {
+            assert!((bi - vi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_det_2x2() {
+        let a = Matrix::from_rows(&[vec![4.0, 0.0], vec![0.0, 9.0]]).unwrap();
+        let c = Cholesky::factor(&a).unwrap();
+        assert!((c.log_det() - 36.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let a = spd3();
+        let inv = Cholesky::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let id = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((prod[(i, j)] - id[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap(); // eigenvalue -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_recovers_semidefinite() {
+        // Rank-1 PSD matrix: plain factorization fails, jitter succeeds.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        assert!(Cholesky::factor(&a).is_err());
+        let (c, j) = Cholesky::factor_with_jitter(&a, 1e-10, 12).unwrap();
+        assert!(j > 0.0);
+        assert_eq!(c.dim(), 2);
+    }
+
+    #[test]
+    fn append_matches_full_factorization() {
+        let a4 = Matrix::from_rows(&[
+            vec![6.0, 2.0, 1.0, 0.5],
+            vec![2.0, 5.0, 2.0, 1.0],
+            vec![1.0, 2.0, 4.0, 1.5],
+            vec![0.5, 1.0, 1.5, 3.0],
+        ])
+        .unwrap();
+        // Factor the leading 3x3, then append the last row/col.
+        let mut c = Cholesky::factor(&spd3()).unwrap();
+        c.append(&[0.5, 1.0, 1.5], 3.0).unwrap();
+        let full = Cholesky::factor(&a4).unwrap();
+        for i in 0..4 {
+            for j in 0..=i {
+                assert!(
+                    (c.lower()[(i, j)] - full.lower()[(i, j)]).abs() < 1e-12,
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn append_rejects_inconsistent() {
+        let mut c = Cholesky::factor(&spd3()).unwrap();
+        assert!(c.append(&[1.0], 1.0).is_err()); // wrong length
+        assert!(c.append(&[10.0, 10.0, 10.0], 0.1).is_err()); // breaks PD
+    }
+
+    #[test]
+    fn solve_matrix_identity_gives_inverse_columns() {
+        let a = spd3();
+        let c = Cholesky::factor(&a).unwrap();
+        let x = c.solve_matrix(&Matrix::identity(3)).unwrap();
+        let prod = a.matmul(&x).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - want).abs() < 1e-10);
+            }
+        }
+    }
+}

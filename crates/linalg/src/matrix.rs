@@ -1,0 +1,351 @@
+//! Row-major dense matrix.
+
+use crate::{LinalgError, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `rows x cols` matrix of `f64`, stored row-major.
+///
+/// This is deliberately minimal: it supports exactly the operations the GP
+/// stack needs (construction, element access, matrix/vector products,
+/// transpose, symmetrization helpers). Heavier algorithms (factorizations)
+/// live in [`crate::Cholesky`].
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: rows * cols,
+                found: data.len(),
+                context: "Matrix::from_vec",
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Build from nested rows (each inner slice is one row).
+    ///
+    /// Returns an error if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(Matrix::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: cols,
+                    found: r.len(),
+                    context: "Matrix::from_rows",
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Build an `n x n` matrix from a symmetric generator `g(i, j)`,
+    /// evaluating `g` only for `j <= i` and mirroring.
+    pub fn from_symmetric_fn(n: usize, mut g: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = g(i, j);
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// Returns an error on dimension mismatch.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                found: x.len(),
+                context: "Matrix::matvec",
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| crate::dot(self.row(i), x))
+            .collect())
+    }
+
+    /// Matrix product `A B`.
+    ///
+    /// Returns an error on dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                found: other.rows,
+                context: "Matrix::matmul",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // ikj loop order: stream over `other`'s rows for cache friendliness.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, b) in out_row.iter_mut().zip(orow) {
+                    *o += aik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Add `v` to every diagonal element (jitter / noise term).
+    ///
+    /// Returns an error if the matrix is not square.
+    pub fn add_diagonal(&mut self, v: f64) -> Result<()> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        for i in 0..self.rows {
+            self[(i, i)] += v;
+        }
+        Ok(())
+    }
+
+    /// Trace (sum of diagonal elements).
+    ///
+    /// Returns an error if the matrix is not square.
+    pub fn trace(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok((0..self.rows).map(|i| self[(i, i)]).sum())
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute asymmetry `max |A_ij - A_ji|` (0 for non-square).
+    pub fn asymmetry(&self) -> f64 {
+        if !self.is_square() {
+            return 0.0;
+        }
+        let mut m = 0.0f64;
+        for i in 0..self.rows {
+            for j in 0..i {
+                m = m.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        m
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}]", if self.cols > 8 { "..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert!(!m.is_square());
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_len() {
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let i3 = Matrix::identity(3);
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(i3.matvec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn matvec_dimension_checked() {
+        let m = Matrix::zeros(2, 3);
+        assert!(m.matvec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn symmetric_generator_is_symmetric() {
+        let m = Matrix::from_symmetric_fn(4, |i, j| (i * 7 + j * 3) as f64);
+        assert_eq!(m.asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn diagonal_and_trace() {
+        let mut m = Matrix::identity(3);
+        m.add_diagonal(0.5).unwrap();
+        assert_eq!(m.trace().unwrap(), 4.5);
+        let rect = Matrix::zeros(2, 3);
+        assert!(rect.trace().is_err());
+    }
+
+    #[test]
+    fn frobenius() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]).unwrap();
+        assert_eq!(m.frobenius_norm(), 5.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Stress and numerical-stability tests for the Cholesky machinery under
+//! the usage patterns OLGAPRO generates: long chains of incremental appends
+//! and covariance matrices near the edge of positive definiteness.
+
+use udf_linalg::{Cholesky, Matrix};
+
+/// SE-kernel covariance over a 1-D grid with spacing `h`.
+fn se_cov(n: usize, h: f64, lengthscale: f64, jitter: f64) -> Matrix {
+    let mut m = Matrix::from_symmetric_fn(n, |i, j| {
+        let d = (i as f64 - j as f64) * h;
+        (-0.5 * d * d / (lengthscale * lengthscale)).exp()
+    });
+    m.add_diagonal(jitter).unwrap();
+    m
+}
+
+#[test]
+fn long_append_chain_stays_accurate() {
+    // 150 sequential appends must match a one-shot factorization.
+    let n = 150;
+    let full = se_cov(n, 0.35, 1.0, 1e-8);
+    let lead = Matrix::from_symmetric_fn(2, |i, j| full[(i, j)]);
+    let mut inc = Cholesky::factor(&lead).unwrap();
+    for k in 2..n {
+        let col: Vec<f64> = (0..k).map(|i| full[(i, k)]).collect();
+        inc.append(&col, full[(k, k)]).unwrap();
+    }
+    let reference = Cholesky::factor(&full).unwrap();
+    // Compare solves rather than raw factors (factors can differ in the
+    // last digits while the solve agrees).
+    let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7).sin()).collect();
+    let x1 = inc.solve(&b).unwrap();
+    let x2 = reference.solve(&b).unwrap();
+    for (a, c) in x1.iter().zip(&x2) {
+        assert!((a - c).abs() < 1e-6 * (1.0 + c.abs()), "{a} vs {c}");
+    }
+}
+
+#[test]
+fn near_singular_grid_requires_escalated_jitter() {
+    // Spacing far below the lengthscale: plain factorization fails, the
+    // jitter ladder rescues it.
+    let tight = se_cov(40, 1e-6, 1.0, 0.0);
+    assert!(Cholesky::factor(&tight).is_err());
+    let (chol, used) = Cholesky::factor_with_jitter(&tight, 1e-10, 12).unwrap();
+    assert!(used > 0.0);
+    assert_eq!(chol.dim(), 40);
+    // The solve is still usable: residual smaller than the jitter scale.
+    let b = vec![1.0; 40];
+    let x = chol.solve(&b).unwrap();
+    assert!(x.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn log_det_matches_eigen_structure() {
+    // For K = Q Λ Qᵀ with known structure (identity + rank-1), use the
+    // matrix determinant lemma: det(I + c·vvᵀ) = 1 + c‖v‖².
+    let n = 25;
+    let c = 0.5;
+    let v: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.3).cos()).collect();
+    let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+    let mut k = Matrix::identity(n);
+    for i in 0..n {
+        for j in 0..n {
+            k[(i, j)] += c * v[i] * v[j];
+        }
+    }
+    let chol = Cholesky::factor(&k).unwrap();
+    let expect = (1.0 + c * vnorm2).ln();
+    assert!(
+        (chol.log_det() - expect).abs() < 1e-9,
+        "log det {} vs {expect}",
+        chol.log_det()
+    );
+}
+
+#[test]
+fn solve_residuals_small_for_moderate_conditioning() {
+    for (h, tol) in [(1.0, 1e-9), (0.5, 1e-8), (0.25, 1e-6)] {
+        let n = 80;
+        let k = se_cov(n, h, 1.0, 1e-8);
+        let chol = Cholesky::factor(&k).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 1.1).sin()).collect();
+        let x = chol.solve(&b).unwrap();
+        let back = k.matvec(&x).unwrap();
+        let res: f64 = b
+            .iter()
+            .zip(&back)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max);
+        assert!(res < tol, "h = {h}: residual {res}");
+    }
+}
+
+#[test]
+fn inverse_of_appended_matches_direct() {
+    let n = 30;
+    let full = se_cov(n, 0.8, 1.0, 1e-6);
+    let lead = Matrix::from_symmetric_fn(n - 1, |i, j| full[(i, j)]);
+    let mut inc = Cholesky::factor(&lead).unwrap();
+    let col: Vec<f64> = (0..n - 1).map(|i| full[(i, n - 1)]).collect();
+    inc.append(&col, full[(n - 1, n - 1)]).unwrap();
+    let inv_inc = inc.inverse().unwrap();
+    let inv_ref = Cholesky::factor(&full).unwrap().inverse().unwrap();
+    for i in 0..n {
+        for j in 0..n {
+            assert!(
+                (inv_inc[(i, j)] - inv_ref[(i, j)]).abs() < 1e-7,
+                "({i},{j})"
+            );
+        }
+    }
+}

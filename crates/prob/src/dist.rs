@@ -1,0 +1,597 @@
+//! Univariate distributions with sampling (via `rand`), pdf/cdf, and moments.
+//!
+//! The paper evaluates on Gaussian inputs by default and additionally on
+//! Gamma and exponential inputs (§6.1-B); Gaussian mixtures double as the
+//! synthetic UDF *shape* generator (§6.1-A). Sampling algorithms:
+//! Box–Muller-free polar method for the normal, inverse CDF for the
+//! exponential, Marsaglia–Tsang for the Gamma.
+
+use crate::special::{gamma_p, ln_gamma, norm_cdf, norm_pdf, norm_ppf};
+use crate::{ProbError, Result};
+use rand::Rng;
+
+/// A univariate continuous distribution.
+///
+/// Object-safe so heterogeneous marginals can be boxed inside an
+/// [`crate::InputDistribution`].
+pub trait Univariate: Send + Sync + std::fmt::Debug {
+    /// Draw one sample.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64;
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+    /// Cumulative distribution at `x`.
+    fn cdf(&self, x: f64) -> f64;
+    /// Mean.
+    fn mean(&self) -> f64;
+    /// Variance.
+    fn variance(&self) -> f64;
+    /// Quantile function; default inverts the CDF by bisection over an
+    /// envelope around the mean (distributions override when analytic).
+    fn quantile(&self, p: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&p));
+        let (mut lo, mut hi) = (
+            self.mean() - 20.0 * self.variance().sqrt().max(1e-12),
+            self.mean() + 20.0 * self.variance().sqrt().max(1e-12),
+        );
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// Draw a standard normal deviate by the Marsaglia polar method.
+pub fn sample_standard_normal(rng: &mut dyn rand::RngCore) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal distribution `N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Create `N(mu, sigma²)`; `sigma` must be positive and finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !(sigma > 0.0 && sigma.is_finite() && mu.is_finite()) {
+            return Err(ProbError::InvalidParameter {
+                what: "Normal sigma/mu",
+                value: sigma,
+            });
+        }
+        Ok(Normal { mu, sigma })
+    }
+
+    /// Mean parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation parameter.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Univariate for Normal {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.mu + self.sigma * sample_standard_normal(rng)
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        norm_pdf((x - self.mu) / self.sigma) / self.sigma
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        norm_cdf((x - self.mu) / self.sigma)
+    }
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        self.mu + self.sigma * norm_ppf(p)
+    }
+}
+
+/// Continuous uniform on `[a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    a: f64,
+    b: f64,
+}
+
+impl Uniform {
+    /// Create `U[a, b)`; requires `a < b`.
+    pub fn new(a: f64, b: f64) -> Result<Self> {
+        if !(a < b && a.is_finite() && b.is_finite()) {
+            return Err(ProbError::InvalidParameter {
+                what: "Uniform bounds",
+                value: b - a,
+            });
+        }
+        Ok(Uniform { a, b })
+    }
+}
+
+impl Univariate for Uniform {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        rng.gen_range(self.a..self.b)
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x >= self.a && x < self.b {
+            1.0 / (self.b - self.a)
+        } else {
+            0.0
+        }
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.a) / (self.b - self.a)).clamp(0.0, 1.0)
+    }
+    fn mean(&self) -> f64 {
+        0.5 * (self.a + self.b)
+    }
+    fn variance(&self) -> f64 {
+        (self.b - self.a).powi(2) / 12.0
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        self.a + p * (self.b - self.a)
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Create `Exp(lambda)`; `lambda` must be positive and finite.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda > 0.0 && lambda.is_finite()) {
+            return Err(ProbError::InvalidParameter {
+                what: "Exponential lambda",
+                value: lambda,
+            });
+        }
+        Ok(Exponential { lambda })
+    }
+}
+
+impl Univariate for Exponential {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        -(1.0 - u).ln() / self.lambda
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.lambda * (-self.lambda * x).exp()
+        }
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.lambda * x).exp()
+        }
+    }
+    fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+    fn variance(&self) -> f64 {
+        1.0 / (self.lambda * self.lambda)
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        -(1.0 - p).ln() / self.lambda
+    }
+}
+
+/// Gamma distribution with shape `k` and scale `theta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Create `Gamma(shape, scale)`; both must be positive and finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        if !(shape > 0.0 && shape.is_finite()) {
+            return Err(ProbError::InvalidParameter {
+                what: "Gamma shape",
+                value: shape,
+            });
+        }
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(ProbError::InvalidParameter {
+                what: "Gamma scale",
+                value: scale,
+            });
+        }
+        Ok(Gamma { shape, scale })
+    }
+
+    /// Marsaglia–Tsang sampler for shape ≥ 1 (boosted for shape < 1).
+    fn sample_raw(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let a = if self.shape < 1.0 {
+            self.shape + 1.0
+        } else {
+            self.shape
+        };
+        let d = a - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        let g = loop {
+            let x = sample_standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.gen_range(0.0f64..1.0);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                break d * v;
+            }
+        };
+        if self.shape < 1.0 {
+            let u: f64 = rng.gen_range(0.0f64..1.0);
+            g * u.powf(1.0 / self.shape)
+        } else {
+            g
+        }
+    }
+}
+
+impl Univariate for Gamma {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.sample_raw(rng) * self.scale
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let k = self.shape;
+        ((k - 1.0) * (x / self.scale).ln() - x / self.scale - ln_gamma(k)).exp() / self.scale
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.shape, x / self.scale)
+        }
+    }
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+}
+
+/// Normal distribution truncated to `[lo, hi]`, used when a selection
+/// predicate truncates a result distribution (§2.1, Q2 discussion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    base: Normal,
+    lo: f64,
+    hi: f64,
+    /// Φ((lo-μ)/σ), cached.
+    cdf_lo: f64,
+    /// Mass of the untruncated distribution inside [lo, hi], cached.
+    mass: f64,
+}
+
+impl TruncatedNormal {
+    /// Truncate `base` to `[lo, hi]`; requires `lo < hi` and nonzero mass.
+    pub fn new(base: Normal, lo: f64, hi: f64) -> Result<Self> {
+        if lo >= hi {
+            return Err(ProbError::InvalidParameter {
+                what: "TruncatedNormal bounds",
+                value: hi - lo,
+            });
+        }
+        let cdf_lo = base.cdf(lo);
+        let mass = base.cdf(hi) - cdf_lo;
+        if mass <= 0.0 {
+            return Err(ProbError::InvalidParameter {
+                what: "TruncatedNormal mass",
+                value: mass,
+            });
+        }
+        Ok(TruncatedNormal {
+            base,
+            lo,
+            hi,
+            cdf_lo,
+            mass,
+        })
+    }
+}
+
+impl Univariate for TruncatedNormal {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        // Inverse-CDF sampling; exact and branch-free for moderate truncation.
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        self.base.quantile(self.cdf_lo + u * self.mass)
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            0.0
+        } else {
+            self.base.pdf(x) / self.mass
+        }
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (self.base.cdf(x) - self.cdf_lo) / self.mass
+        }
+    }
+    fn mean(&self) -> f64 {
+        // μ + σ (φ(α) − φ(β)) / Z with α, β standardized bounds.
+        let (mu, s) = (self.base.mu(), self.base.sigma());
+        let a = (self.lo - mu) / s;
+        let b = (self.hi - mu) / s;
+        mu + s * (norm_pdf(a) - norm_pdf(b)) / self.mass
+    }
+    fn variance(&self) -> f64 {
+        let (mu, s) = (self.base.mu(), self.base.sigma());
+        let a = (self.lo - mu) / s;
+        let b = (self.hi - mu) / s;
+        let z = self.mass;
+        let term = (a * norm_pdf(a) - b * norm_pdf(b)) / z;
+        let shift = (norm_pdf(a) - norm_pdf(b)) / z;
+        s * s * (1.0 + term - shift * shift)
+    }
+}
+
+/// A degenerate (point-mass) distribution — a deterministic attribute viewed
+/// as a random variable, so deterministic and uncertain columns mix freely
+/// in one input vector (Q2 passes the constant `AREA` to `ComoveVol`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degenerate {
+    value: f64,
+}
+
+impl Degenerate {
+    /// Point mass at `value` (must be finite).
+    pub fn new(value: f64) -> Result<Self> {
+        if !value.is_finite() {
+            return Err(ProbError::InvalidParameter {
+                what: "Degenerate value",
+                value,
+            });
+        }
+        Ok(Degenerate { value })
+    }
+}
+
+impl Univariate for Degenerate {
+    fn sample(&self, _rng: &mut dyn rand::RngCore) -> f64 {
+        self.value
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        if x == self.value {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        if x >= self.value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+    fn mean(&self) -> f64 {
+        self.value
+    }
+    fn variance(&self) -> f64 {
+        0.0
+    }
+    fn quantile(&self, _p: f64) -> f64 {
+        self.value
+    }
+}
+
+/// One-dimensional Gaussian mixture `Σ w_i N(mu_i, sigma_i²)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianMixture1d {
+    components: Vec<(f64, Normal)>,
+}
+
+impl GaussianMixture1d {
+    /// Create a mixture from `(weight, component)` pairs; weights must be
+    /// positive and are normalized to sum to 1.
+    pub fn new(components: Vec<(f64, Normal)>) -> Result<Self> {
+        if components.is_empty() {
+            return Err(ProbError::Empty("mixture components"));
+        }
+        let total: f64 = components.iter().map(|(w, _)| w).sum();
+        if !(total > 0.0 && total.is_finite()) {
+            return Err(ProbError::InvalidParameter {
+                what: "mixture weight sum",
+                value: total,
+            });
+        }
+        Ok(GaussianMixture1d {
+            components: components
+                .into_iter()
+                .map(|(w, n)| (w / total, n))
+                .collect(),
+        })
+    }
+
+    /// Component view.
+    pub fn components(&self) -> &[(f64, Normal)] {
+        &self.components
+    }
+}
+
+impl Univariate for GaussianMixture1d {
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let mut u: f64 = rng.gen_range(0.0f64..1.0);
+        for (w, n) in &self.components {
+            if u < *w {
+                return n.sample(rng);
+            }
+            u -= w;
+        }
+        // Guard against floating-point slop in the weight sum.
+        self.components.last().expect("non-empty").1.sample(rng)
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|(w, n)| w * n.pdf(x)).sum()
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        self.components.iter().map(|(w, n)| w * n.cdf(x)).sum()
+    }
+    fn mean(&self) -> f64 {
+        self.components.iter().map(|(w, n)| w * n.mean()).sum()
+    }
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.components
+            .iter()
+            .map(|(w, n)| w * (n.variance() + (n.mean() - m).powi(2)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_stats(d: &dyn Univariate, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments_and_sampling() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        assert_eq!(d.mean(), 3.0);
+        assert_eq!(d.variance(), 4.0);
+        let (m, v) = sample_stats(&d, 40_000, 42);
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+        assert!((v - 4.0).abs() < 0.15, "var {v}");
+        assert!((d.cdf(3.0) - 0.5).abs() < 1e-9);
+        assert!((d.quantile(0.975) - (3.0 + 2.0 * 1.959964)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normal_rejects_bad_sigma() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_basics() {
+        let d = Uniform::new(-1.0, 3.0).unwrap();
+        assert_eq!(d.mean(), 1.0);
+        assert!((d.variance() - 16.0 / 12.0).abs() < 1e-12);
+        assert_eq!(d.cdf(-2.0), 0.0);
+        assert_eq!(d.cdf(5.0), 1.0);
+        assert!((d.quantile(0.25) - 0.0).abs() < 1e-12);
+        assert!(Uniform::new(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn exponential_cdf_sampling() {
+        let d = Exponential::new(2.0).unwrap();
+        assert!((d.mean() - 0.5).abs() < 1e-12);
+        let (m, _) = sample_stats(&d, 40_000, 7);
+        assert!((m - 0.5).abs() < 0.02);
+        assert!((d.cdf(d.quantile(0.9)) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_moments_and_cdf() {
+        let d = Gamma::new(3.0, 2.0).unwrap();
+        assert_eq!(d.mean(), 6.0);
+        assert_eq!(d.variance(), 12.0);
+        let (m, v) = sample_stats(&d, 60_000, 11);
+        assert!((m - 6.0).abs() < 0.1, "mean {m}");
+        assert!((v - 12.0).abs() < 0.6, "var {v}");
+        // CDF at the mean of an Erlang(3) should be in a sane band.
+        let c = d.cdf(6.0);
+        assert!(c > 0.5 && c < 0.7, "cdf {c}");
+        // Shape < 1 branch.
+        let d2 = Gamma::new(0.5, 1.0).unwrap();
+        let (m2, _) = sample_stats(&d2, 60_000, 13);
+        assert!((m2 - 0.5).abs() < 0.02, "mean {m2}");
+    }
+
+    #[test]
+    fn truncated_normal_mass_and_moments() {
+        let base = Normal::new(0.0, 1.0).unwrap();
+        let d = TruncatedNormal::new(base, -1.0, 2.0).unwrap();
+        assert_eq!(d.cdf(-1.5), 0.0);
+        assert_eq!(d.cdf(2.5), 1.0);
+        let (m, v) = sample_stats(&d, 60_000, 17);
+        assert!((m - d.mean()).abs() < 0.02, "mean {m} vs {}", d.mean());
+        assert!((v - d.variance()).abs() < 0.02);
+        // Zero-mass truncation rejected.
+        assert!(TruncatedNormal::new(base, 50.0, 51.0).is_err());
+        assert!(TruncatedNormal::new(base, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn mixture_normalizes_weights() {
+        let m = GaussianMixture1d::new(vec![
+            (2.0, Normal::new(-2.0, 0.5).unwrap()),
+            (2.0, Normal::new(2.0, 0.5).unwrap()),
+        ])
+        .unwrap();
+        assert!((m.mean()).abs() < 1e-12);
+        assert!((m.cdf(0.0) - 0.5).abs() < 1e-9);
+        let (mean, _) = sample_stats(&m, 40_000, 19);
+        assert!(mean.abs() < 0.05);
+        assert!(GaussianMixture1d::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn mixture_variance_law_of_total_variance() {
+        let m = GaussianMixture1d::new(vec![
+            (1.0, Normal::new(0.0, 1.0).unwrap()),
+            (1.0, Normal::new(4.0, 1.0).unwrap()),
+        ])
+        .unwrap();
+        // Var = E[Var] + Var[E] = 1 + 4.
+        assert!((m.variance() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generic_quantile_bisection() {
+        // Gamma has no closed-form quantile: exercise the default method.
+        let d = Gamma::new(2.0, 1.0).unwrap();
+        for &p in &[0.1, 0.5, 0.9] {
+            let q = d.quantile(p);
+            assert!((d.cdf(q) - p).abs() < 1e-6, "p = {p}");
+        }
+    }
+}

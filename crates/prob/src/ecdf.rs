@@ -1,0 +1,193 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Algorithm 1 (and Algorithm 2 for the GP path) both return
+//! `Pr(Y' ≤ y) = (1/m) Σ 1[y_i, ∞)(y)` — an [`Ecdf`] built from output
+//! samples. Queries are O(log m) binary searches over the sorted sample
+//! array.
+
+use crate::{ProbError, Result};
+
+/// Empirical CDF over a sorted sample of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    /// Sorted, finite sample values.
+    values: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (sorted internally). Non-finite samples are
+    /// rejected — they would poison every quantile query downstream.
+    pub fn new(mut samples: Vec<f64>) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(ProbError::Empty("ECDF samples"));
+        }
+        if samples.iter().any(|v| !v.is_finite()) {
+            return Err(ProbError::InvalidParameter {
+                what: "ECDF sample (non-finite)",
+                value: f64::NAN,
+            });
+        }
+        samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ok(Ecdf { values: samples })
+    }
+
+    /// Number of samples `m`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when there are no samples (unreachable by construction; kept for
+    /// API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sorted sample values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// `F(y) = Pr(Y' ≤ y)`.
+    pub fn cdf(&self, y: f64) -> f64 {
+        self.count_le(y) as f64 / self.values.len() as f64
+    }
+
+    /// Number of samples ≤ `y` (rank).
+    pub fn count_le(&self, y: f64) -> usize {
+        // partition_point: first index where v > y.
+        self.values.partition_point(|&v| v <= y)
+    }
+
+    /// `Pr(Y' ∈ [a, b])` for a closed interval.
+    pub fn interval_prob(&self, a: f64, b: f64) -> f64 {
+        if b < a {
+            return 0.0;
+        }
+        let hi = self.count_le(b);
+        let lo = self.values.partition_point(|&v| v < a);
+        (hi - lo) as f64 / self.values.len() as f64
+    }
+
+    /// Empirical quantile (inverse CDF): smallest sample `y` with
+    /// `F(y) ≥ p`. `p` is clamped to (0, 1].
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let m = self.values.len();
+        let k = ((p * m as f64).ceil() as usize).clamp(1, m);
+        self.values[k - 1]
+    }
+
+    /// Smallest sample value.
+    pub fn min(&self) -> f64 {
+        self.values[0]
+    }
+
+    /// Largest sample value.
+    pub fn max(&self) -> f64 {
+        *self.values.last().expect("non-empty by construction")
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample variance (unbiased; 0 for a single sample).
+    pub fn variance(&self) -> f64 {
+        let m = self.values.len();
+        if m < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (m - 1) as f64
+    }
+
+    /// A kernel-free histogram-style pdf estimate over `bins` equal-width
+    /// bins spanning the sample range; returns `(bin_center, density)` pairs.
+    /// Used to render Fig 6(a)-style output pdfs.
+    pub fn density_histogram(&self, bins: usize) -> Vec<(f64, f64)> {
+        let bins = bins.max(1);
+        let (lo, hi) = (self.min(), self.max());
+        let width = ((hi - lo) / bins as f64).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0usize; bins];
+        for &v in &self.values {
+            let idx = (((v - lo) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        let m = self.values.len() as f64;
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (lo + (i as f64 + 0.5) * width, c as f64 / (m * width)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(v: &[f64]) -> Ecdf {
+        Ecdf::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn cdf_step_function() {
+        let d = e(&[3.0, 1.0, 2.0]);
+        assert_eq!(d.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert!((d.cdf(1.0) - 1.0 / 3.0).abs() < 1e-15);
+        assert!((d.cdf(2.5) - 2.0 / 3.0).abs() < 1e-15);
+        assert_eq!(d.cdf(3.0), 1.0);
+        assert_eq!(d.cdf(99.0), 1.0);
+    }
+
+    #[test]
+    fn interval_probability_closed() {
+        let d = e(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((d.interval_prob(2.0, 3.0) - 0.5).abs() < 1e-15);
+        assert!((d.interval_prob(1.5, 1.9) - 0.0).abs() < 1e-15);
+        assert!((d.interval_prob(0.0, 10.0) - 1.0).abs() < 1e-15);
+        assert_eq!(d.interval_prob(3.0, 2.0), 0.0);
+        // Closed interval includes endpoints.
+        assert!((d.interval_prob(2.0, 2.0) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantiles() {
+        let d = e(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(d.quantile(0.25), 10.0);
+        assert_eq!(d.quantile(0.26), 20.0);
+        assert_eq!(d.quantile(1.0), 40.0);
+        assert_eq!(d.quantile(0.0), 10.0); // clamped
+        assert_eq!(d.min(), 10.0);
+        assert_eq!(d.max(), 40.0);
+    }
+
+    #[test]
+    fn moments() {
+        let d = e(&[1.0, 2.0, 3.0]);
+        assert!((d.mean() - 2.0).abs() < 1e-15);
+        assert!((d.variance() - 1.0).abs() < 1e-15);
+        assert_eq!(e(&[5.0]).variance(), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Ecdf::new(vec![]).is_err());
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_err());
+        assert!(Ecdf::new(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn histogram_integrates_to_one() {
+        let d = e(&(0..100).map(|i| i as f64 / 10.0).collect::<Vec<_>>());
+        let hist = d.density_histogram(20);
+        let width = (d.max() - d.min()) / 20.0;
+        let total: f64 = hist.iter().map(|(_, p)| p * width).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Multivariate uncertain inputs.
+//!
+//! A tuple with uncertain attributes carries a random vector `X` (§1, problem
+//! statement). The paper's default is independent Gaussian attributes but
+//! notes that "supporting correlated input is not harder — we just need to
+//! sample from the joint distributions" (§6.1-B); both cases are supported.
+
+use crate::dist::{sample_standard_normal, Univariate};
+use crate::{ProbError, Result};
+use udf_linalg::{Cholesky, Matrix};
+
+/// The joint distribution of a tuple's uncertain attribute vector.
+#[derive(Debug)]
+pub enum InputDistribution {
+    /// Independent marginals, one per dimension.
+    Independent(Vec<Box<dyn Univariate>>),
+    /// Correlated Gaussian `N(mean, Σ)` with pre-factored covariance.
+    Gaussian {
+        /// Mean vector.
+        mean: Vec<f64>,
+        /// Lower Cholesky factor of the covariance.
+        chol: Cholesky,
+    },
+}
+
+impl InputDistribution {
+    /// Build an independent product distribution.
+    pub fn independent(marginals: Vec<Box<dyn Univariate>>) -> Result<Self> {
+        if marginals.is_empty() {
+            return Err(ProbError::Empty("marginals"));
+        }
+        Ok(InputDistribution::Independent(marginals))
+    }
+
+    /// Build a correlated Gaussian from a mean and full covariance matrix.
+    pub fn gaussian(mean: Vec<f64>, cov: &Matrix) -> Result<Self> {
+        if cov.rows() != mean.len() || cov.cols() != mean.len() {
+            return Err(ProbError::DimensionMismatch {
+                expected: mean.len(),
+                found: cov.rows(),
+            });
+        }
+        let chol = Cholesky::factor(cov).map_err(|_| ProbError::InvalidParameter {
+            what: "covariance (not SPD)",
+            value: f64::NAN,
+        })?;
+        Ok(InputDistribution::Gaussian { mean, chol })
+    }
+
+    /// Convenience: independent Gaussian with per-dimension `(mu, sigma)`.
+    pub fn diagonal_gaussian(params: &[(f64, f64)]) -> Result<Self> {
+        let marginals = params
+            .iter()
+            .map(|&(mu, sigma)| {
+                crate::Normal::new(mu, sigma).map(|n| Box::new(n) as Box<dyn Univariate>)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        InputDistribution::independent(marginals)
+    }
+
+    /// Dimensionality of the random vector.
+    pub fn dim(&self) -> usize {
+        match self {
+            InputDistribution::Independent(m) => m.len(),
+            InputDistribution::Gaussian { mean, .. } => mean.len(),
+        }
+    }
+
+    /// Mean vector.
+    pub fn mean(&self) -> Vec<f64> {
+        match self {
+            InputDistribution::Independent(m) => m.iter().map(|d| d.mean()).collect(),
+            InputDistribution::Gaussian { mean, .. } => mean.clone(),
+        }
+    }
+
+    /// Draw one sample of `X` into a fresh vector.
+    pub fn sample(&self, rng: &mut dyn rand::RngCore) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim()];
+        self.sample_into(rng, &mut out);
+        out
+    }
+
+    /// Draw one sample of `X` into `out` (length must equal `dim()`).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.dim()` (caller bug).
+    pub fn sample_into(&self, rng: &mut dyn rand::RngCore, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim(), "sample_into: wrong output length");
+        match self {
+            InputDistribution::Independent(marginals) => {
+                for (o, d) in out.iter_mut().zip(marginals) {
+                    *o = d.sample(rng);
+                }
+            }
+            InputDistribution::Gaussian { mean, chol } => {
+                let n = mean.len();
+                let z: Vec<f64> = (0..n).map(|_| sample_standard_normal(rng)).collect();
+                // x = mean + L z
+                let l = chol.lower();
+                for i in 0..n {
+                    let mut v = mean[i];
+                    let row = l.row(i);
+                    for (k, zk) in z.iter().enumerate().take(i + 1) {
+                        v += row[k] * zk;
+                    }
+                    out[i] = v;
+                }
+            }
+        }
+    }
+
+    /// Draw `m` samples as row vectors.
+    pub fn sample_n(&self, rng: &mut dyn rand::RngCore, m: usize) -> Vec<Vec<f64>> {
+        (0..m).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Exponential, Normal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn independent_sampling_matches_marginals() {
+        let d = InputDistribution::independent(vec![
+            Box::new(Normal::new(1.0, 0.5).unwrap()),
+            Box::new(Exponential::new(2.0).unwrap()),
+        ])
+        .unwrap();
+        assert_eq!(d.dim(), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = d.sample_n(&mut rng, 30_000);
+        let m0 = samples.iter().map(|s| s[0]).sum::<f64>() / samples.len() as f64;
+        let m1 = samples.iter().map(|s| s[1]).sum::<f64>() / samples.len() as f64;
+        assert!((m0 - 1.0).abs() < 0.02);
+        assert!((m1 - 0.5).abs() < 0.02);
+        assert_eq!(d.mean(), vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn correlated_gaussian_covariance() {
+        let cov =
+            Matrix::from_rows(&[vec![1.0, 0.8], vec![0.8, 1.0]]).unwrap();
+        let d = InputDistribution::gaussian(vec![0.0, 0.0], &cov).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = d.sample_n(&mut rng, 50_000);
+        let n = samples.len() as f64;
+        let mx = samples.iter().map(|s| s[0]).sum::<f64>() / n;
+        let my = samples.iter().map(|s| s[1]).sum::<f64>() / n;
+        let cxy = samples
+            .iter()
+            .map(|s| (s[0] - mx) * (s[1] - my))
+            .sum::<f64>()
+            / (n - 1.0);
+        assert!((cxy - 0.8).abs() < 0.03, "sample covariance {cxy}");
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(InputDistribution::independent(vec![]).is_err());
+        let non_spd = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(InputDistribution::gaussian(vec![0.0, 0.0], &non_spd).is_err());
+        let wrong_dim = Matrix::identity(3);
+        assert!(InputDistribution::gaussian(vec![0.0, 0.0], &wrong_dim).is_err());
+    }
+
+    #[test]
+    fn diagonal_gaussian_helper() {
+        let d = InputDistribution::diagonal_gaussian(&[(5.0, 0.5), (2.0, 0.1)]).unwrap();
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.mean(), vec![5.0, 2.0]);
+        assert!(InputDistribution::diagonal_gaussian(&[(0.0, -1.0)]).is_err());
+    }
+}

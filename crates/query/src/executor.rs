@@ -1,0 +1,284 @@
+//! Query execution: UDF projection and UDF selection over relations.
+
+use crate::relation::{Relation, Tuple, UdfCall};
+use crate::Result;
+use udf_core::config::{AccuracyRequirement, OlgaproConfig};
+use udf_core::filtering::{gp_filtered, mc_filtered, FilterDecision, Predicate};
+use udf_core::olgapro::Olgapro;
+use udf_core::output::OutputDistribution;
+use udf_core::McEvaluator;
+
+/// How UDF outputs are computed per tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalStrategy {
+    /// Direct Monte Carlo sampling (Algorithm 1).
+    Mc,
+    /// OLGAPRO (Algorithm 5). State (the GP model) persists across tuples,
+    /// which is where the online speedup comes from.
+    Gp,
+}
+
+/// Execution counters for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Tuples examined.
+    pub tuples_in: u64,
+    /// Tuples emitted (survived filters).
+    pub tuples_out: u64,
+    /// UDF invocations across all tuples.
+    pub udf_calls: u64,
+}
+
+/// One output row of a UDF projection.
+#[derive(Debug, Clone)]
+pub struct ProjectedTuple {
+    /// Index of the source tuple in the input relation.
+    pub source: usize,
+    /// The UDF output distribution.
+    pub output: OutputDistribution,
+    /// Tuple-existence probability (1 unless a predicate truncated it).
+    pub tep: f64,
+}
+
+/// Executes UDF operators over relations with a chosen strategy.
+///
+/// The executor owns one OLGAPRO instance per query (the model warms up
+/// across tuples); construct a fresh executor per (query, UDF) pair.
+#[derive(Debug)]
+pub struct Executor {
+    strategy: EvalStrategy,
+    accuracy: AccuracyRequirement,
+    olgapro: Option<Olgapro>,
+    stats: QueryStats,
+}
+
+impl Executor {
+    /// Build an executor for one UDF call.
+    ///
+    /// `output_range` is the caller's estimate of the UDF output spread
+    /// (used to scale Γ and λ for the GP path).
+    pub fn new(
+        strategy: EvalStrategy,
+        accuracy: AccuracyRequirement,
+        call: &UdfCall,
+        output_range: f64,
+    ) -> Result<Self> {
+        let olgapro = match strategy {
+            EvalStrategy::Mc => None,
+            EvalStrategy::Gp => {
+                let cfg = OlgaproConfig::new(accuracy, output_range)?;
+                Some(Olgapro::new(call.udf.clone(), cfg))
+            }
+        };
+        Ok(Executor {
+            strategy,
+            accuracy,
+            olgapro,
+            stats: QueryStats::default(),
+        })
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// `SELECT udf(args) FROM rel` — compute the UDF output distribution
+    /// for every tuple (query Q1).
+    pub fn project(
+        &mut self,
+        rel: &Relation,
+        call: &UdfCall,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<ProjectedTuple>> {
+        let mut out = Vec::with_capacity(rel.len());
+        for (i, t) in rel.tuples().iter().enumerate() {
+            self.stats.tuples_in += 1;
+            let output = self.eval_tuple(t, call, rng)?;
+            self.stats.udf_calls += output.udf_calls;
+            self.stats.tuples_out += 1;
+            out.push(ProjectedTuple {
+                source: i,
+                output,
+                tep: 1.0,
+            });
+        }
+        Ok(out)
+    }
+
+    /// `SELECT udf(args) FROM rel WHERE udf(args) ∈ [lo, hi]` with TEP
+    /// threshold θ (query Q2's selection) — tuples whose existence
+    /// probability upper bound falls below θ are dropped early.
+    pub fn select(
+        &mut self,
+        rel: &Relation,
+        call: &UdfCall,
+        predicate: &Predicate,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<Vec<ProjectedTuple>> {
+        let mut out = Vec::new();
+        for (i, t) in rel.tuples().iter().enumerate() {
+            self.stats.tuples_in += 1;
+            let input = call.input_distribution(t)?;
+            match self.strategy {
+                EvalStrategy::Mc => {
+                    let d = mc_filtered(&call.udf, &input, &self.accuracy, predicate, rng)?;
+                    match d {
+                        FilterDecision::Filtered { udf_calls, .. } => {
+                            self.stats.udf_calls += udf_calls;
+                        }
+                        FilterDecision::Kept { output, tep } => {
+                            self.stats.udf_calls += output.udf_calls;
+                            self.stats.tuples_out += 1;
+                            out.push(ProjectedTuple {
+                                source: i,
+                                output,
+                                tep,
+                            });
+                        }
+                    }
+                }
+                EvalStrategy::Gp => {
+                    let olga = self.olgapro.as_mut().expect("GP strategy has model");
+                    let d = gp_filtered(olga, &input, predicate, rng)?;
+                    match d {
+                        FilterDecision::Filtered { udf_calls, .. } => {
+                            self.stats.udf_calls += udf_calls;
+                        }
+                        FilterDecision::Kept { output, tep } => {
+                            self.stats.udf_calls += output.udf_calls;
+                            self.stats.tuples_out += 1;
+                            out.push(ProjectedTuple {
+                                source: i,
+                                output: output.into_distribution(),
+                                tep,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn eval_tuple(
+        &mut self,
+        tuple: &Tuple,
+        call: &UdfCall,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<OutputDistribution> {
+        let input = call.input_distribution(tuple)?;
+        match self.strategy {
+            EvalStrategy::Mc => {
+                let mc = McEvaluator::new(call.udf.clone());
+                Ok(mc.compute(&input, &self.accuracy, rng)?)
+            }
+            EvalStrategy::Gp => {
+                let olga = self.olgapro.as_mut().expect("GP strategy has model");
+                Ok(olga.process(&input, rng)?.into_distribution())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use udf_core::config::Metric;
+    use udf_core::udf::BlackBoxUdf;
+
+    fn rel(n: usize) -> Relation {
+        let schema = Schema::new(&["objID", "z"]);
+        let tuples = (0..n)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Det(i as f64),
+                    Value::Gaussian {
+                        mu: 1.0 + i as f64 * 0.5,
+                        sigma: 0.1,
+                    },
+                ])
+            })
+            .collect();
+        Relation::new(schema, tuples).unwrap()
+    }
+
+    fn acc(metric: Metric) -> AccuracyRequirement {
+        AccuracyRequirement::new(0.2, 0.05, 0.02, metric).unwrap()
+    }
+
+    #[test]
+    fn q1_style_projection_mc() {
+        let r = rel(4);
+        let udf = BlackBoxUdf::from_fn("sq", 1, |x| x[0] * x[0]);
+        let call = UdfCall::resolve(udf, r.schema(), &["z"]).unwrap();
+        let mut ex = Executor::new(EvalStrategy::Mc, acc(Metric::Ks), &call, 10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let rows = ex.project(&r, &call, &mut rng).unwrap();
+        assert_eq!(rows.len(), 4);
+        // Output medians should track (1 + 0.5 i)².
+        for (i, row) in rows.iter().enumerate() {
+            let want = (1.0 + 0.5 * i as f64).powi(2);
+            let got = row.output.ecdf.quantile(0.5);
+            assert!((got - want).abs() < 0.3, "row {i}: {got} vs {want}");
+        }
+        assert_eq!(ex.stats().tuples_out, 4);
+    }
+
+    #[test]
+    fn q1_style_projection_gp_reuses_model() {
+        let r = rel(6);
+        let udf = BlackBoxUdf::from_fn("sin", 1, |x| (x[0] * 0.8).sin());
+        let call = UdfCall::resolve(udf, r.schema(), &["z"]).unwrap();
+        let mut ex =
+            Executor::new(EvalStrategy::Gp, acc(Metric::Discrepancy), &call, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let rows = ex.project(&r, &call, &mut rng).unwrap();
+        assert_eq!(rows.len(), 6);
+        // GP reuse: far fewer UDF calls than MC would need.
+        let mc_calls = acc(Metric::Discrepancy).mc_samples() as u64 * 6;
+        assert!(
+            ex.stats().udf_calls < mc_calls / 10,
+            "GP used {} calls, MC would use {}",
+            ex.stats().udf_calls,
+            mc_calls
+        );
+    }
+
+    #[test]
+    fn q2_style_selection_filters() {
+        let r = rel(5);
+        let udf = BlackBoxUdf::from_fn("id", 1, |x| x[0]);
+        let call = UdfCall::resolve(udf, r.schema(), &["z"]).unwrap();
+        let mut ex = Executor::new(EvalStrategy::Mc, acc(Metric::Ks), &call, 10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Keep tuples whose z is likely in [2.4, 3.6]: rows with mu 2.5, 3.0 (+3.5 partially).
+        let pred = Predicate::new(2.4, 3.6, 0.5).unwrap();
+        let rows = ex.select(&r, &call, &pred, &mut rng).unwrap();
+        let kept: Vec<usize> = rows.iter().map(|r| r.source).collect();
+        assert!(kept.contains(&3), "mu = 2.5 row should survive");
+        assert!(!kept.contains(&0), "mu = 1.0 row should be filtered");
+        assert!(ex.stats().tuples_out < ex.stats().tuples_in);
+        for row in &rows {
+            assert!(row.tep >= 0.5 - 0.1, "kept tuple TEP {}", row.tep);
+        }
+    }
+
+    #[test]
+    fn q2_style_selection_gp() {
+        let r = rel(5);
+        let udf = BlackBoxUdf::from_fn("sin", 1, |x| (x[0] * 0.8).sin());
+        let call = UdfCall::resolve(udf, r.schema(), &["z"]).unwrap();
+        let mut ex =
+            Executor::new(EvalStrategy::Gp, acc(Metric::Discrepancy), &call, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        // sin output lives in [-1, 1]; ask for an impossible interval.
+        let pred = Predicate::new(5.0, 6.0, 0.1).unwrap();
+        let rows = ex.select(&r, &call, &pred, &mut rng).unwrap();
+        assert!(rows.is_empty(), "impossible predicate must filter everything");
+        assert_eq!(ex.stats().tuples_out, 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! A minimal relational executor over uncertain tuples.
+//!
+//! The paper's motivating queries (§1) invoke UDFs inside SELECT lists and
+//! WHERE clauses over relations whose attributes carry distributions:
+//!
+//! ```sql
+//! Q1: SELECT G.objID, GalAge(G.redshift) FROM Galaxy G
+//! Q2: SELECT ..., ComoveVol(G1.redshift, G2.redshift, AREA)
+//!     FROM Galaxy G1, Galaxy G2
+//!     WHERE Distance(G1.pos, G2.pos) IN [l, u]
+//! ```
+//!
+//! This crate provides the substrate to run such queries end-to-end:
+//! relations with per-attribute marginals ([`Value`]), a nested-loop join,
+//! UDF projection, and UDF selection with tuple-existence-probability
+//! filtering, all parameterized by evaluation strategy (MC or OLGAPRO).
+
+pub mod executor;
+pub mod relation;
+
+pub use executor::{EvalStrategy, Executor, ProjectedTuple, QueryStats};
+pub use relation::{Relation, Schema, Tuple, UdfCall, Value};
+
+use std::fmt;
+
+/// Errors raised by query execution.
+#[derive(Debug)]
+pub enum QueryError {
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// Evaluation-framework failure.
+    Core(udf_core::CoreError),
+    /// Probability-layer failure.
+    Prob(udf_prob::ProbError),
+    /// Schema arity and tuple arity disagree.
+    ArityMismatch { expected: usize, found: usize },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            QueryError::Core(e) => write!(f, "evaluation error: {e}"),
+            QueryError::Prob(e) => write!(f, "probability error: {e}"),
+            QueryError::ArityMismatch { expected, found } => {
+                write!(f, "tuple arity {found} does not match schema arity {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<udf_core::CoreError> for QueryError {
+    fn from(e: udf_core::CoreError) -> Self {
+        QueryError::Core(e)
+    }
+}
+
+impl From<udf_prob::ProbError> for QueryError {
+    fn from(e: udf_prob::ProbError) -> Self {
+        QueryError::Prob(e)
+    }
+}
+
+/// Result alias for query operations.
+pub type Result<T> = std::result::Result<T, QueryError>;

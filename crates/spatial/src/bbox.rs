@@ -1,0 +1,265 @@
+//! Axis-aligned bounding boxes.
+
+/// An axis-aligned box `[lo_i, hi_i]` per dimension.
+///
+/// The local-inference bound (§5.1) brackets the kernel weight of an excluded
+/// training point `x*` over every sample in the box using the *nearest* and
+/// *farthest* box points from `x*`; [`BoundingBox::min_dist`] and
+/// [`BoundingBox::max_dist`] provide exactly those distances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundingBox {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl BoundingBox {
+    /// Box around a single point.
+    pub fn from_point(p: &[f64]) -> Self {
+        BoundingBox {
+            lo: p.to_vec(),
+            hi: p.to_vec(),
+        }
+    }
+
+    /// Smallest box containing all `points`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or dimensions disagree (caller bug).
+    pub fn from_points<'a, I>(mut points: I) -> Self
+    where
+        I: Iterator<Item = &'a [f64]>,
+    {
+        let first = points.next().expect("from_points: need at least one point");
+        let mut b = BoundingBox::from_point(first);
+        for p in points {
+            b.expand_point(p);
+        }
+        b
+    }
+
+    /// Explicit corners; `lo[i] <= hi[i]` must hold.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "corner dimensions disagree");
+        debug_assert!(lo.iter().zip(&hi).all(|(l, h)| l <= h));
+        BoundingBox { lo, hi }
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Grow to contain `p`.
+    #[allow(clippy::needless_range_loop)] // lo/hi/p indexed in lockstep
+    pub fn expand_point(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dim(), "point dimension disagrees");
+        for i in 0..p.len() {
+            self.lo[i] = self.lo[i].min(p[i]);
+            self.hi[i] = self.hi[i].max(p[i]);
+        }
+    }
+
+    /// Grow to contain another box.
+    pub fn expand_box(&mut self, other: &BoundingBox) {
+        for i in 0..self.dim() {
+            self.lo[i] = self.lo[i].min(other.lo[i]);
+            self.hi[i] = self.hi[i].max(other.hi[i]);
+        }
+    }
+
+    /// Grow every side by `margin` (Γ expansion in local inference).
+    pub fn inflate(&self, margin: f64) -> BoundingBox {
+        BoundingBox {
+            lo: self.lo.iter().map(|l| l - margin).collect(),
+            hi: self.hi.iter().map(|h| h + margin).collect(),
+        }
+    }
+
+    /// True if `p` lies inside (closed) the box.
+    pub fn contains(&self, p: &[f64]) -> bool {
+        p.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(x, (l, h))| x >= l && x <= h)
+    }
+
+    /// Euclidean distance from `p` to the nearest box point
+    /// (`x_near` in Fig. 3); zero when `p` is inside.
+    pub fn min_dist(&self, p: &[f64]) -> f64 {
+        self.min_dist_sq(p).sqrt()
+    }
+
+    /// Squared version of [`BoundingBox::min_dist`].
+    pub fn min_dist_sq(&self, p: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), self.dim());
+        p.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .map(|(x, (l, h))| {
+                let d = if x < l {
+                    l - x
+                } else if x > h {
+                    x - h
+                } else {
+                    0.0
+                };
+                d * d
+            })
+            .sum()
+    }
+
+    /// Euclidean distance from `p` to the farthest box point
+    /// (`x_far` in Fig. 3).
+    pub fn max_dist(&self, p: &[f64]) -> f64 {
+        self.max_dist_sq(p).sqrt()
+    }
+
+    /// Squared version of [`BoundingBox::max_dist`].
+    pub fn max_dist_sq(&self, p: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), self.dim());
+        p.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .map(|(x, (l, h))| {
+                let d = (x - l).abs().max((x - h).abs());
+                d * d
+            })
+            .sum()
+    }
+
+    /// Minimum distance between two boxes (0 when they intersect).
+    pub fn min_dist_box(&self, other: &BoundingBox) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.dim() {
+            let d = if self.hi[i] < other.lo[i] {
+                other.lo[i] - self.hi[i]
+            } else if other.hi[i] < self.lo[i] {
+                self.lo[i] - other.hi[i]
+            } else {
+                0.0
+            };
+            s += d * d;
+        }
+        s.sqrt()
+    }
+
+    /// Hyper-volume (product of side lengths).
+    pub fn volume(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| h - l)
+            .product()
+    }
+
+    /// Volume increase if this box were expanded to contain `other`.
+    pub fn enlargement(&self, other: &BoundingBox) -> f64 {
+        let mut merged = self.clone();
+        merged.expand_box(other);
+        merged.volume() - self.volume()
+    }
+
+    /// Split the box into `2^min(dim, max_splits_dims)` child boxes by
+    /// bisecting the longest axes — the paper's refinement that tightens the
+    /// local-inference γ bound by evaluating it per sub-box.
+    pub fn bisect(&self, max_split_dims: usize) -> Vec<BoundingBox> {
+        let d = self.dim();
+        // Order axes by length, split the longest ones.
+        let mut axes: Vec<usize> = (0..d).collect();
+        axes.sort_by(|&a, &b| {
+            let la = self.hi[a] - self.lo[a];
+            let lb = self.hi[b] - self.lo[b];
+            lb.partial_cmp(&la).expect("finite box sides")
+        });
+        let split_axes = &axes[..max_split_dims.min(d)];
+        let mut result = vec![self.clone()];
+        for &ax in split_axes {
+            let mut next = Vec::with_capacity(result.len() * 2);
+            for b in result {
+                let mid = 0.5 * (b.lo[ax] + b.hi[ax]);
+                let mut left = b.clone();
+                left.hi[ax] = mid;
+                let mut right = b;
+                right.lo[ax] = mid;
+                next.push(left);
+                next.push(right);
+            }
+            result = next;
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_expansion() {
+        let pts = [vec![0.0, 1.0], vec![2.0, -1.0], vec![1.0, 0.5]];
+        let b = BoundingBox::from_points(pts.iter().map(|p| p.as_slice()));
+        assert_eq!(b.lo(), &[0.0, -1.0]);
+        assert_eq!(b.hi(), &[2.0, 1.0]);
+        assert!(b.contains(&[1.0, 0.0]));
+        assert!(!b.contains(&[3.0, 0.0]));
+    }
+
+    #[test]
+    fn near_far_distances() {
+        let b = BoundingBox::new(vec![0.0, 0.0], vec![2.0, 2.0]);
+        // Point inside: near = 0, far = distance to farthest corner.
+        assert_eq!(b.min_dist(&[1.0, 1.0]), 0.0);
+        assert!((b.max_dist(&[1.0, 1.0]) - 2.0f64.sqrt()).abs() < 1e-12);
+        // Point outside along x.
+        assert!((b.min_dist(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        let far = (4.0f64.powi(2) + 2.0f64.powi(2)).sqrt();
+        assert!((b.max_dist(&[4.0, 2.0]) - far).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_to_box_distance() {
+        let a = BoundingBox::new(vec![0.0], vec![1.0]);
+        let b = BoundingBox::new(vec![3.0], vec![4.0]);
+        assert!((a.min_dist_box(&b) - 2.0).abs() < 1e-12);
+        let c = BoundingBox::new(vec![0.5], vec![0.6]);
+        assert_eq!(a.min_dist_box(&c), 0.0);
+    }
+
+    #[test]
+    fn inflate_and_volume() {
+        let b = BoundingBox::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+        assert!((b.volume() - 2.0).abs() < 1e-12);
+        let infl = b.inflate(0.5);
+        assert_eq!(infl.lo(), &[-0.5, -0.5]);
+        assert!((infl.volume() - 2.0 * 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enlargement_is_zero_for_contained() {
+        let big = BoundingBox::new(vec![0.0, 0.0], vec![10.0, 10.0]);
+        let small = BoundingBox::new(vec![1.0, 1.0], vec![2.0, 2.0]);
+        assert_eq!(big.enlargement(&small), 0.0);
+        assert!(small.enlargement(&big) > 0.0);
+    }
+
+    #[test]
+    fn bisect_covers_parent() {
+        let b = BoundingBox::new(vec![0.0, 0.0], vec![4.0, 2.0]);
+        let kids = b.bisect(2);
+        assert_eq!(kids.len(), 4);
+        let total: f64 = kids.iter().map(|k| k.volume()).sum();
+        assert!((total - b.volume()).abs() < 1e-12);
+        // First split axis is the longest (x).
+        assert!(kids.iter().any(|k| k.hi()[0] <= 2.0 + 1e-12));
+    }
+}

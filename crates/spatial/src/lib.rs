@@ -1,0 +1,17 @@
+//! Spatial indexing substrate for local inference (§5.1).
+//!
+//! OLGAPRO stores GP training points in an R-tree and, per input tuple,
+//! retrieves the points whose distance to the *sample bounding box* is below
+//! a threshold derived from Γ. This crate provides:
+//!
+//! * [`BoundingBox`] — axis-aligned boxes with the `near`/`far` corner
+//!   distances used by the local-inference error bound γ (Fig. 3 of the
+//!   paper);
+//! * [`RTree`] — a point R-tree with quadratic-split insertion, STR bulk
+//!   loading, and range queries by distance-to-box.
+
+mod bbox;
+mod rtree;
+
+pub use bbox::BoundingBox;
+pub use rtree::RTree;

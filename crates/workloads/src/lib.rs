@@ -1,0 +1,20 @@
+//! Workloads for the evaluation (§6.1, §6.4).
+//!
+//! * [`synthetic`] — UDFs generated from Gaussian mixtures with controlled
+//!   bumpiness and spikiness (the paper's F1–F4 family, Fig. 4) at any
+//!   dimensionality, plus uncertain-input generators (Gaussian, Gamma,
+//!   exponential);
+//! * [`astro`] — the astrophysics case study: flat-ΛCDM cosmology and the
+//!   three UDFs `GalAge`, `ComoveVol`, `AngDist` re-implemented from their
+//!   standard formulas (the paper used the IDL Astronomy Library — see
+//!   DESIGN.md §3 for the substitution argument), and a synthetic SDSS-like
+//!   galaxy catalog with Gaussian-uncertain redshifts;
+//! * [`quadrature`] — adaptive Simpson integration used by the cosmology
+//!   functions.
+
+pub mod astro;
+pub mod quadrature;
+pub mod synthetic;
+
+pub use astro::{Cosmology, GalaxyCatalog};
+pub use synthetic::{GaussianMixtureFn, PaperFunction};

@@ -1,0 +1,84 @@
+//! Adaptive Simpson quadrature for the cosmology integrals.
+
+/// Integrate `f` over `[a, b]` by adaptive Simpson's rule to absolute
+/// tolerance `tol`.
+pub fn adaptive_simpson(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> f64 {
+    debug_assert!(a <= b && tol > 0.0);
+    if a == b {
+        return 0.0;
+    }
+    let c = 0.5 * (a + b);
+    let (fa, fb, fc) = (f(a), f(b), f(c));
+    let whole = simpson(fa, fc, fb, b - a);
+    recurse(f, a, b, fa, fb, fc, whole, tol, 40)
+}
+
+fn simpson(fa: f64, fm: f64, fb: f64, h: f64) -> f64 {
+    h / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    f: &dyn Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fb: f64,
+    fc: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let c = 0.5 * (a + b);
+    let d = 0.5 * (a + c);
+    let e = 0.5 * (c + b);
+    let (fd, fe) = (f(d), f(e));
+    let left = simpson(fa, fd, fc, c - a);
+    let right = simpson(fc, fe, fb, b - c);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        recurse(f, a, c, fa, fc, fd, left, tol / 2.0, depth - 1)
+            + recurse(f, c, b, fc, fb, fe, right, tol / 2.0, depth - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_polynomials_exactly() {
+        // Simpson is exact for cubics.
+        let f = |x: f64| 3.0 * x * x;
+        assert!((adaptive_simpson(&f, 0.0, 2.0, 1e-12) - 8.0).abs() < 1e-10);
+        let g = |x: f64| x * x * x - x;
+        assert!((adaptive_simpson(&g, -1.0, 1.0, 1e-12)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn integrates_transcendentals() {
+        let f = |x: f64| x.sin();
+        assert!((adaptive_simpson(&f, 0.0, std::f64::consts::PI, 1e-10) - 2.0).abs() < 1e-8);
+        let g = |x: f64| (-x).exp();
+        assert!(
+            (adaptive_simpson(&g, 0.0, 20.0, 1e-10) - (1.0 - (-20.0f64).exp())).abs() < 1e-8
+        );
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        assert_eq!(adaptive_simpson(&|x| x, 1.0, 1.0, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn handles_peaked_integrand() {
+        // Narrow Gaussian bump: total mass ≈ σ√(2π).
+        let s = 0.01;
+        let f = move |x: f64| (-0.5 * (x - 0.5).powi(2) / (s * s)).exp();
+        let got = adaptive_simpson(&f, 0.0, 1.0, 1e-10);
+        let want = s * (2.0 * std::f64::consts::PI).sqrt();
+        assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+    }
+}

@@ -1,0 +1,275 @@
+//! Synthetic UDFs with controlled shape (§6.1-A, Fig. 4).
+//!
+//! Functions are sums of Gaussian bumps: the number of components dictates
+//! the number of peaks, the component scale the bumpiness/spikiness. The
+//! paper's four reference functions are the combinations of
+//! {1, 5} components × {large, small} component variance on domain
+//! `[0, 10]^d`; [`PaperFunction`] reproduces them for any dimension, with a
+//! seeded layout so experiments are repeatable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use udf_core::udf::UdfFunction;
+use udf_prob::{Exponential, Gamma, InputDistribution, Normal, Univariate};
+
+/// Domain bounds used throughout the synthetic evaluation.
+pub const DOMAIN: (f64, f64) = (0.0, 10.0);
+
+/// The four reference functions of Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperFunction {
+    /// One component, large variance: one flat peak.
+    F1,
+    /// One component, small variance: one spiky peak.
+    F2,
+    /// Five components, large variance: bumpy but smooth.
+    F3,
+    /// Five components, small variance: bumpy and spiky.
+    F4,
+}
+
+impl PaperFunction {
+    /// All four, in order.
+    pub const ALL: [PaperFunction; 4] = [
+        PaperFunction::F1,
+        PaperFunction::F2,
+        PaperFunction::F3,
+        PaperFunction::F4,
+    ];
+
+    /// Component count / scale parameters.
+    fn recipe(self) -> (usize, f64) {
+        match self {
+            PaperFunction::F1 => (1, 3.0),
+            PaperFunction::F2 => (1, 0.6),
+            PaperFunction::F3 => (5, 2.0),
+            PaperFunction::F4 => (5, 0.5),
+        }
+    }
+
+    /// Instantiate at dimension `d` with a deterministic layout.
+    pub fn instantiate(self, d: usize) -> GaussianMixtureFn {
+        let (ncomp, scale) = self.recipe();
+        GaussianMixtureFn::generate(format!("{self:?}"), d, ncomp, scale, 7 + self as u64)
+    }
+
+    /// Label used in harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PaperFunction::F1 => "Funct1",
+            PaperFunction::F2 => "Funct2",
+            PaperFunction::F3 => "Funct3",
+            PaperFunction::F4 => "Funct4",
+        }
+    }
+}
+
+/// A UDF of the form `f(x) = Σ_i a_i exp(−‖x − μ_i‖² / (2 s_i²))`.
+#[derive(Debug, Clone)]
+pub struct GaussianMixtureFn {
+    name: String,
+    dim: usize,
+    components: Vec<Component>,
+}
+
+#[derive(Debug, Clone)]
+struct Component {
+    center: Vec<f64>,
+    scale: f64,
+    amplitude: f64,
+}
+
+impl GaussianMixtureFn {
+    /// Generate with `ncomp` bumps of width `scale` at seeded-random centers
+    /// inside [`DOMAIN`]`^d`, amplitudes in [0.5, 1.5].
+    pub fn generate(
+        name: impl Into<String>,
+        dim: usize,
+        ncomp: usize,
+        scale: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(dim > 0 && ncomp > 0 && scale > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ (dim as u64) << 32);
+        let components = (0..ncomp)
+            .map(|_| Component {
+                center: (0..dim).map(|_| rng.gen_range(DOMAIN.0..DOMAIN.1)).collect(),
+                scale,
+                amplitude: rng.gen_range(0.5..1.5),
+            })
+            .collect();
+        GaussianMixtureFn {
+            name: name.into(),
+            dim,
+            components,
+        }
+    }
+
+    /// Approximate output range (max minus min ≈ peak amplitude sum) used to
+    /// scale λ and Γ: evaluated on a coarse probe of the domain.
+    pub fn output_range(&self) -> f64 {
+        let probes = 2000;
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut x = vec![0.0; self.dim];
+        for _ in 0..probes {
+            for xi in &mut x {
+                *xi = rng.gen_range(DOMAIN.0..DOMAIN.1);
+            }
+            let v = self.eval(&x);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (hi - lo).max(f64::MIN_POSITIVE)
+    }
+}
+
+impl UdfFunction for GaussianMixtureFn {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn eval(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.dim);
+        self.components
+            .iter()
+            .map(|c| {
+                let d2: f64 = x
+                    .iter()
+                    .zip(&c.center)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                c.amplitude * (-0.5 * d2 / (c.scale * c.scale)).exp()
+            })
+            .sum()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Kinds of input marginals evaluated in §6.1-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputKind {
+    /// Gaussian with per-dimension σ_I (the default).
+    Gaussian,
+    /// Gamma(shape 2) scaled so the mean sits at the drawn center.
+    Gamma,
+    /// Exponential with the mean at the drawn center.
+    Exponential,
+}
+
+/// Generate `n` uncertain input tuples for a `d`-dimensional UDF: means
+/// drawn uniformly from the domain, spread `sigma_i` (§6.1-B default 0.5).
+pub fn generate_inputs(
+    kind: InputKind,
+    d: usize,
+    n: usize,
+    sigma_i: f64,
+    rng: &mut dyn rand::RngCore,
+) -> Vec<InputDistribution> {
+    use rand::Rng as _;
+    (0..n)
+        .map(|_| {
+            let marginals: Vec<Box<dyn Univariate>> = (0..d)
+                .map(|_| {
+                    let mu = rng.gen_range(DOMAIN.0..DOMAIN.1);
+                    match kind {
+                        InputKind::Gaussian => {
+                            Box::new(Normal::new(mu, sigma_i).expect("valid params"))
+                                as Box<dyn Univariate>
+                        }
+                        InputKind::Gamma => {
+                            // shape k = 2, scale chosen so mean = mu.
+                            Box::new(Gamma::new(2.0, (mu / 2.0).max(1e-3)).expect("valid params"))
+                        }
+                        InputKind::Exponential => {
+                            Box::new(Exponential::new(1.0 / mu.max(1e-3)).expect("valid params"))
+                        }
+                    }
+                })
+                .collect();
+            InputDistribution::independent(marginals).expect("non-empty marginals")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_family_shapes() {
+        let f1 = PaperFunction::F1.instantiate(2);
+        let f4 = PaperFunction::F4.instantiate(2);
+        assert_eq!(f1.dim(), 2);
+        // F1 has one component, F4 five.
+        assert_eq!(f1.components.len(), 1);
+        assert_eq!(f4.components.len(), 5);
+        // F4 is spikier: smaller scale.
+        assert!(f4.components[0].scale < f1.components[0].scale);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = PaperFunction::F3.instantiate(3);
+        let b = PaperFunction::F3.instantiate(3);
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(a.eval(&x), b.eval(&x));
+    }
+
+    #[test]
+    fn eval_peaks_at_centers() {
+        let f = PaperFunction::F2.instantiate(1);
+        let c = f.components[0].center.clone();
+        let at_center = f.eval(&c);
+        let off = f.eval(&[c[0] + 3.0]);
+        assert!(at_center > off, "peak {at_center} vs off-peak {off}");
+        assert!(at_center <= 1.5 + 1e-12);
+    }
+
+    #[test]
+    fn output_range_positive_and_bounded() {
+        for pf in PaperFunction::ALL {
+            let f = pf.instantiate(2);
+            let r = f.output_range();
+            assert!(r > 0.0 && r <= 7.5, "{pf:?}: range {r}");
+        }
+    }
+
+    #[test]
+    fn input_generators_produce_valid_distributions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in [InputKind::Gaussian, InputKind::Gamma, InputKind::Exponential] {
+            let inputs = generate_inputs(kind, 3, 5, 0.5, &mut rng);
+            assert_eq!(inputs.len(), 5);
+            for inp in &inputs {
+                assert_eq!(inp.dim(), 3);
+                let s = inp.sample(&mut rng);
+                assert!(s.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn bumpier_functions_vary_more() {
+        // Sample-path roughness: mean |Δf| over a fine 1-D walk should be
+        // larger for F4 than F1.
+        let f1 = PaperFunction::F1.instantiate(1);
+        let f4 = PaperFunction::F4.instantiate(1);
+        let rough = |f: &GaussianMixtureFn| -> f64 {
+            let mut sum = 0.0;
+            let n = 1000;
+            for i in 0..n {
+                let x0 = i as f64 * 10.0 / n as f64;
+                let x1 = x0 + 10.0 / n as f64;
+                sum += (f.eval(&[x1]) - f.eval(&[x0])).abs();
+            }
+            sum
+        };
+        assert!(rough(&f4) > rough(&f1), "F4 should be rougher than F1");
+    }
+}

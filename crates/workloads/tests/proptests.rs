@@ -1,0 +1,94 @@
+//! Property tests for the workload substrates: cosmology invariants and
+//! synthetic function structure.
+
+use proptest::prelude::*;
+use udf_core::udf::UdfFunction;
+use udf_workloads::astro::Cosmology;
+use udf_workloads::quadrature::adaptive_simpson;
+use udf_workloads::synthetic::GaussianMixtureFn;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn comoving_distance_monotone(z1 in 0.0f64..5.0, z2 in 0.0f64..5.0) {
+        let c = Cosmology::default();
+        let (lo, hi) = if z1 < z2 { (z1, z2) } else { (z2, z1) };
+        prop_assert!(c.comoving_distance(lo) <= c.comoving_distance(hi) + 1e-12);
+    }
+
+    #[test]
+    fn age_monotone_decreasing(z1 in 0.0f64..10.0, z2 in 0.0f64..10.0) {
+        let c = Cosmology::default();
+        let (lo, hi) = if z1 < z2 { (z1, z2) } else { (z2, z1) };
+        prop_assert!(c.age_at(hi) <= c.age_at(lo) + 1e-12);
+        prop_assert!(c.age_at(hi) > 0.0);
+    }
+
+    #[test]
+    fn angdist_symmetric_nonnegative(z1 in 0.0f64..3.0, z2 in 0.0f64..3.0) {
+        let c = Cosmology::default();
+        let a = c.angular_diameter_distance2(z1, z2);
+        let b = c.angular_diameter_distance2(z2, z1);
+        prop_assert!((a - b).abs() < 1e-12);
+        prop_assert!(a >= -1e-12);
+    }
+
+    #[test]
+    fn comoving_volume_shell_additivity(
+        z1 in 0.0f64..2.0, z2 in 0.0f64..2.0, z3 in 0.0f64..2.0, area in 0.01f64..1.0,
+    ) {
+        let c = Cosmology::default();
+        let mut zs = [z1, z2, z3];
+        zs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let v02 = c.comoving_volume(zs[0], zs[2], area);
+        let v01 = c.comoving_volume(zs[0], zs[1], area);
+        let v12 = c.comoving_volume(zs[1], zs[2], area);
+        prop_assert!((v02 - (v01 + v12)).abs() < 1e-8 * (1.0 + v02.abs()));
+    }
+
+    #[test]
+    fn volume_scales_linearly_with_area(
+        z in 0.1f64..2.0, area in 0.01f64..0.5, k in 1.5f64..4.0,
+    ) {
+        let c = Cosmology::default();
+        let v1 = c.comoving_volume(0.0, z, area);
+        let vk = c.comoving_volume(0.0, z, area * k);
+        prop_assert!((vk - k * v1).abs() < 1e-9 * (1.0 + vk.abs()));
+    }
+
+    #[test]
+    fn quadrature_linear_in_integrand(a in -3.0f64..0.0, b in 0.0f64..3.0, c in 0.5f64..4.0) {
+        let f = |x: f64| (x * 1.3).sin() + 0.2 * x;
+        let base = adaptive_simpson(&f, a, b, 1e-10);
+        let scaled = adaptive_simpson(&|x| c * f(x), a, b, 1e-10);
+        prop_assert!((scaled - c * base).abs() < 1e-7 * (1.0 + scaled.abs()));
+    }
+
+    #[test]
+    fn quadrature_interval_additivity(a in -2.0f64..0.0, m in 0.0f64..1.0, b in 1.0f64..3.0) {
+        let f = |x: f64| (-x * x).exp();
+        let whole = adaptive_simpson(&f, a, b, 1e-11);
+        let parts = adaptive_simpson(&f, a, m, 1e-11) + adaptive_simpson(&f, m, b, 1e-11);
+        prop_assert!((whole - parts).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gmm_function_bounded_and_positive(
+        dim in 1usize..4, ncomp in 1usize..6, scale in 0.3f64..3.0, seed in 0u64..100,
+        x in prop::collection::vec(-2.0f64..12.0, 3),
+    ) {
+        let f = GaussianMixtureFn::generate("p", dim, ncomp, scale, seed);
+        let v = f.eval(&x[..dim]);
+        prop_assert!(v >= 0.0, "Gaussian bumps are non-negative");
+        // Amplitudes are < 1.5 each.
+        prop_assert!(v <= 1.5 * ncomp as f64 + 1e-12);
+    }
+
+    #[test]
+    fn gmm_decays_far_from_domain(dim in 1usize..3, seed in 0u64..50) {
+        let f = GaussianMixtureFn::generate("p", dim, 3, 1.0, seed);
+        let far = vec![1e4; dim];
+        prop_assert!(f.eval(&far) < 1e-10);
+    }
+}

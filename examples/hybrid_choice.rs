@@ -1,0 +1,55 @@
+//! The hybrid MC/GP solution (§5.4): measure the UDF on the fly and commit
+//! to the cheaper evaluator.
+//!
+//! ```sh
+//! cargo run --release --example hybrid_choice
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use udf_core::hybrid::rule_based_choice;
+use udf_uncertain::prelude::*;
+
+fn run_case(name: &str, cost: CostModel) {
+    let udf = BlackBoxUdf::from_fn("wave", 1, |x| (x[0] * 0.9).sin() * (-(x[0]) / 8.0).exp())
+        .with_cost(cost);
+    let acc = AccuracyRequirement::new(0.15, 0.05, 0.01, Metric::Discrepancy).unwrap();
+    let cfg = OlgaproConfig::new(acc, 1.5).unwrap();
+    let mut hybrid = HybridEvaluator::new(udf, cfg, 3);
+    let mut rng = StdRng::seed_from_u64(5);
+    for i in 0..8 {
+        let input =
+            InputDistribution::diagonal_gaussian(&[(1.0 + i as f64 * 0.8, 0.4)]).unwrap();
+        hybrid.process(&input, &mut rng).unwrap();
+    }
+    let (mc_t, gp_t) = hybrid.measured();
+    println!(
+        "{name:<22} calibration: MC {mc_t:>12?}  GP {gp_t:>12?}  → committed to {:?}",
+        hybrid.choice()
+    );
+}
+
+fn main() {
+    println!("Measured hybrid (3-tuple calibration window):");
+    run_case("free UDF", CostModel::Free);
+    run_case("0.1 ms UDF", CostModel::Simulated(Duration::from_micros(100)));
+    run_case("5 ms UDF", CostModel::Simulated(Duration::from_millis(5)));
+
+    println!("\nRule-based shortcut (§6.3 findings):");
+    for (d, t_us) in [
+        (1usize, 1u64),
+        (1, 1000),
+        (2, 200),
+        (5, 1_000),
+        (5, 50_000),
+        (10, 10_000),
+        (10, 200_000),
+    ] {
+        let t = Duration::from_micros(t_us);
+        println!(
+            "  d = {d:<2}  T = {t:>10?}  → {:?}",
+            rule_based_choice(d, t)
+        );
+    }
+}
