@@ -31,7 +31,10 @@ fn kernels() {
     let n_inputs = udf_bench::inputs_per_point().min(12);
     type KernelFactory = Box<dyn Fn() -> Box<dyn Kernel>>;
     let kernels: Vec<(&str, KernelFactory)> = vec![
-        ("SE", Box::new(|| Box::new(SquaredExponential::new(1.0, 1.0)))),
+        (
+            "SE",
+            Box::new(|| Box::new(SquaredExponential::new(1.0, 1.0))),
+        ),
         ("Matern32", Box::new(|| Box::new(Matern32::new(1.0, 1.0)))),
         ("Matern52", Box::new(|| Box::new(Matern52::new(1.0, 1.0)))),
     ];
@@ -44,8 +47,7 @@ fn kernels() {
             let acc = paper_accuracy(range);
             let cfg = OlgaproConfig::new(acc, range).expect("config");
             let inputs = standard_inputs(2, n_inputs, 200);
-            let mut olga =
-                Olgapro::with_kernel(as_udf(&f, Duration::ZERO), cfg, mk());
+            let mut olga = Olgapro::with_kernel(as_udf(&f, Duration::ZERO), cfg, mk());
             let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(201);
             let mut truth_rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(202);
             let mut err = 0.0;

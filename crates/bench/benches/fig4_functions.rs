@@ -18,7 +18,10 @@ fn main() {
         let (mut lo, mut hi, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
         for i in 0..n {
             for j in 0..n {
-                let x = [i as f64 * 10.0 / (n - 1) as f64, j as f64 * 10.0 / (n - 1) as f64];
+                let x = [
+                    i as f64 * 10.0 / (n - 1) as f64,
+                    j as f64 * 10.0 / (n - 1) as f64,
+                ];
                 let v = f.eval(&x);
                 lo = lo.min(v);
                 hi = hi.max(v);

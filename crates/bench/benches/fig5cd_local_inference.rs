@@ -46,7 +46,15 @@ fn main() {
     let mut truth_rng = StdRng::seed_from_u64(33);
     let mut sample_rng = StdRng::seed_from_u64(34);
     let (g_err, g_bound, g_time) = run(
-        &f, &model, &inputs, m, z, acc.lambda, None, &mut sample_rng, &mut truth_rng,
+        &f,
+        &model,
+        &inputs,
+        m,
+        z,
+        acc.lambda,
+        None,
+        &mut sample_rng,
+        &mut truth_rng,
     );
     println!(
         "   --        global   {g_err:>9.4}   {g_bound:>10.4}   {:>8.2}    {:>6}",
@@ -75,7 +83,10 @@ fn main() {
         for input in &inputs {
             let samples = input.sample_n(&mut rng2, m);
             let bbox = BoundingBox::from_points(samples.iter().map(|s| s.as_slice()));
-            subset += select_local(&model, &bbox, gamma).expect("select").indices.len();
+            subset += select_local(&model, &bbox, gamma)
+                .expect("select")
+                .indices
+                .len();
         }
         println!(
             "{:>7.1}%      local    {err:>9.4}   {bound:>10.4}   {:>8.2}    {:>6}",

@@ -8,7 +8,7 @@
 use std::time::Duration;
 use udf_bench::{as_udf, header, paper_accuracy, run_mc, run_olgapro, standard_inputs};
 use udf_core::config::OlgaproConfig;
-use udf_workloads::synthetic::{PaperFunction, GaussianMixtureFn};
+use udf_workloads::synthetic::{GaussianMixtureFn, PaperFunction};
 
 fn main() {
     header(

@@ -78,8 +78,7 @@ fn main() {
                 truth.interval_prob(pred.lo, pred.hi) >= theta
             })
             .collect();
-        let filter_rate =
-            should_pass.iter().filter(|b| !**b).count() as f64 / inputs.len() as f64;
+        let filter_rate = should_pass.iter().filter(|b| !**b).count() as f64 / inputs.len() as f64;
 
         // --- MC without online filtering: always full computation.
         let udf = as_udf(&f, t);
@@ -164,7 +163,9 @@ fn main() {
             fp(&gp_of_kept),
         );
     }
-    println!("\nExpected shape: MC+OF and GP+OF shrink with filter rate (up to ~5x / ~30x); FP < 0.1.");
+    println!(
+        "\nExpected shape: MC+OF and GP+OF shrink with filter rate (up to ~5x / ~30x); FP < 0.1."
+    );
 }
 
 fn per_input_ms(d: Duration, n: usize) -> f64 {

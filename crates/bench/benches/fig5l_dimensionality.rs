@@ -23,18 +23,9 @@ fn main() {
         let inputs = standard_inputs(d, n_inputs, 130 + d as u64);
 
         let cfg = OlgaproConfig::new(acc, range).expect("config");
-        let gp = run_olgapro(
-            &f,
-            as_udf(&f, Duration::from_secs(1)),
-            cfg,
-            &inputs,
-            131,
-        );
+        let gp = run_olgapro(&f, as_udf(&f, Duration::from_secs(1)), cfg, &inputs, 131);
 
-        let mut row = format!(
-            "{d:<4} {:>12.1}",
-            gp.time_per_input.as_secs_f64() * 1e3
-        );
+        let mut row = format!("{d:<4} {:>12.1}", gp.time_per_input.as_secs_f64() * 1e3);
         for t_ms in [1u64, 10, 100, 1000] {
             let mc = run_mc(
                 &f,

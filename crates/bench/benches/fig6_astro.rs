@@ -111,8 +111,8 @@ fn main() {
             for inp in &inputs {
                 olga.process(inp, &mut r).expect("gp");
             }
-            let gp_ms = (t0.elapsed() + gp_udf.charged_cost()).as_secs_f64() * 1e3
-                / inputs.len() as f64;
+            let gp_ms =
+                (t0.elapsed() + gp_udf.charged_cost()).as_secs_f64() * 1e3 / inputs.len() as f64;
             // MC.
             let mc_udf = udf.fork_counter();
             let mc = McEvaluator::new(mc_udf.clone());
@@ -121,8 +121,8 @@ fn main() {
             for inp in &inputs {
                 mc.compute(inp, &acc, &mut r).expect("mc");
             }
-            let mc_ms = (t0.elapsed() + mc_udf.charged_cost()).as_secs_f64() * 1e3
-                / inputs.len() as f64;
+            let mc_ms =
+                (t0.elapsed() + mc_udf.charged_cost()).as_secs_f64() * 1e3 / inputs.len() as f64;
             println!(
                 "  {eps:<6} {gp_ms:>9.2} {mc_ms:>13.2} {:>12}",
                 olga.model().len()
@@ -136,11 +136,7 @@ fn udf_measure_eval(udf: &BlackBoxUdf, x: &[f64]) -> f64 {
     udf.eval(x)
 }
 
-fn estimate_range(
-    udf: &BlackBoxUdf,
-    inputs: &[InputDistribution],
-    rng: &mut StdRng,
-) -> f64 {
+fn estimate_range(udf: &BlackBoxUdf, inputs: &[InputDistribution], rng: &mut StdRng) -> f64 {
     let probe = udf.fork_counter();
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for inp in inputs.iter().take(5) {

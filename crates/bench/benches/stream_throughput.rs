@@ -1,0 +1,150 @@
+//! Streaming-engine throughput: tuples/sec as a function of worker count
+//! and of concurrent query count.
+//!
+//! Three axes:
+//!
+//! * `workers_blocking` — an expensive *blocking* UDF (a real 50 µs sleep
+//!   per call, the shape of an external service or I/O-bound UDF): worker
+//!   threads overlap the blocking time, so throughput scales with the
+//!   worker count even on a single core;
+//! * `workers_cpu` — a free CPU-bound UDF: scaling here tracks the
+//!   machine's physical parallelism (flat on a 1-core container);
+//! * `queries` — fixed workers, growing subscription count: measures the
+//!   engine's multi-query overhead.
+//!
+//! Plus `stream_100k`: the acceptance-scale workload — 100 000 tuples into
+//! 4 concurrent MC subscriptions (two of them filtered selections).
+//!
+//! ```sh
+//! cargo bench --bench stream_throughput
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use udf_core::config::{AccuracyRequirement, Metric};
+use udf_core::filtering::Predicate;
+use udf_core::udf::BlackBoxUdf;
+use udf_stream::prelude::*;
+
+fn acc() -> AccuracyRequirement {
+    // ε = 0.3 keeps the MC sample count small (m ≈ 21) so one bench
+    // iteration stays sub-second even with a blocking UDF.
+    AccuracyRequirement::new(0.3, 0.05, 0.0, Metric::Ks).unwrap()
+}
+
+fn blocking_udf(sleep: Duration) -> BlackBoxUdf {
+    BlackBoxUdf::from_fn("blocking", 1, move |x| {
+        std::thread::sleep(sleep);
+        (x[0] * 0.8).sin()
+    })
+}
+
+fn free_udf() -> BlackBoxUdf {
+    BlackBoxUdf::from_fn("free", 1, |x| (x[0] * 0.8).sin())
+}
+
+/// Run `queries` MC subscriptions over `tuples` synthetic tuples.
+fn run_session(udf: &BlackBoxUdf, queries: usize, workers: usize, tuples: u64) -> u64 {
+    let mut session = Session::new(EngineConfig::new().workers(workers).batch_size(128).seed(7));
+    for i in 0..queries {
+        session
+            .subscribe(QuerySpec::new(
+                format!("q{i}"),
+                udf.clone(),
+                acc(),
+                StreamStrategy::Mc,
+            ))
+            .unwrap();
+    }
+    let stats = session
+        .run(
+            SyntheticSource::gaussian(1, 0.5, 11).with_limit(tuples),
+            None,
+        )
+        .unwrap();
+    stats.tuples
+}
+
+fn bench_workers_blocking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream/workers_blocking");
+    let tuples = 64u64;
+    let udf = blocking_udf(Duration::from_micros(50));
+    g.throughput(Throughput::Elements(tuples));
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("tuples", workers), &workers, |b, &w| {
+            b.iter(|| run_session(&udf, 1, w, tuples))
+        });
+    }
+    g.finish();
+}
+
+fn bench_workers_cpu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream/workers_cpu");
+    let tuples = 2048u64;
+    let udf = free_udf();
+    g.throughput(Throughput::Elements(tuples));
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("tuples", workers), &workers, |b, &w| {
+            b.iter(|| run_session(&udf, 1, w, tuples))
+        });
+    }
+    g.finish();
+}
+
+fn bench_query_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream/queries");
+    let tuples = 1024u64;
+    let udf = free_udf();
+    for queries in [1usize, 2, 4, 8] {
+        g.throughput(Throughput::Elements(tuples * queries as u64));
+        g.bench_with_input(
+            BenchmarkId::new("tuple_evals", queries),
+            &queries,
+            |b, &q| b.iter(|| run_session(&udf, q, 2, tuples)),
+        );
+    }
+    g.finish();
+}
+
+/// The acceptance-scale workload: 100k tuples × 4 concurrent queries
+/// (400k tuple-evaluations per iteration), two of them filtered.
+fn bench_100k_mixed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream/100k_x4");
+    let tuples = 100_000u64;
+    g.throughput(Throughput::Elements(tuples * 4));
+    g.bench_function("tuple_evals", |b| {
+        b.iter(|| {
+            let udf = free_udf();
+            let mut session =
+                Session::new(EngineConfig::new().workers(2).batch_size(1024).seed(42));
+            let pred = Predicate::new(0.2, 1.5, 0.5).unwrap();
+            for i in 0..4 {
+                let mut spec =
+                    QuerySpec::new(format!("q{i}"), udf.clone(), acc(), StreamStrategy::Mc);
+                if i % 2 == 1 {
+                    spec = spec.predicate(pred);
+                }
+                session.subscribe(spec).unwrap();
+            }
+            let stats = session
+                .run(
+                    SyntheticSource::gaussian(1, 0.5, 3).with_limit(tuples),
+                    None,
+                )
+                .unwrap();
+            assert_eq!(stats.tuples, tuples);
+            stats.tuples
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(4));
+    targets = bench_workers_blocking, bench_workers_cpu, bench_query_count, bench_100k_mixed
+}
+criterion_main!(benches);

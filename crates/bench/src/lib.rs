@@ -212,13 +212,7 @@ mod tests {
         let range = f.output_range();
         let acc = accuracy_with_eps(0.2, range);
         let inputs = standard_inputs(1, 2, 7);
-        let slow = run_mc(
-            &f,
-            as_udf(&f, Duration::from_millis(1)),
-            acc,
-            &inputs,
-            3,
-        );
+        let slow = run_mc(&f, as_udf(&f, Duration::from_millis(1)), acc, &inputs, 3);
         let fast = run_mc(&f, as_udf(&f, Duration::ZERO), acc, &inputs, 3);
         assert!(slow.time_per_input > fast.time_per_input * 5);
     }

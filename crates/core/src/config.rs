@@ -144,9 +144,7 @@ impl OlgaproConfig {
         let s = self.split();
         match self.accuracy.metric {
             Metric::Ks => udf_prob::bounds::mc_samples_ks(s.eps_mc, s.delta_mc),
-            Metric::Discrepancy => {
-                udf_prob::bounds::mc_samples_discrepancy(s.eps_mc, s.delta_mc)
-            }
+            Metric::Discrepancy => udf_prob::bounds::mc_samples_discrepancy(s.eps_mc, s.delta_mc),
         }
     }
 }

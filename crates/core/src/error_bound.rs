@@ -156,11 +156,7 @@ pub fn ks_bound(y_hat: &Ecdf, y_s: &Ecdf, y_l: &Ecdf) -> f64 {
 /// `means[i]` and `sds[i]` are the GP posterior mean/standard deviation at
 /// input sample `i`; the envelopes are `mean ∓ z·sd` (Y_S from the lower
 /// envelope, Y_L from the upper).
-pub fn envelope_ecdfs(
-    means: &[f64],
-    sds: &[f64],
-    z: f64,
-) -> udf_prob::Result<(Ecdf, Ecdf, Ecdf)> {
+pub fn envelope_ecdfs(means: &[f64], sds: &[f64], z: f64) -> udf_prob::Result<(Ecdf, Ecdf, Ecdf)> {
     debug_assert_eq!(means.len(), sds.len());
     let y_hat = Ecdf::new(means.to_vec())?;
     let y_s = Ecdf::new(

@@ -129,7 +129,11 @@ pub fn stratified_design(
         // Uniform grid including endpoints.
         return (0..n)
             .map(|i| {
-                let t = if n > 1 { i as f64 / (n - 1) as f64 } else { 0.5 };
+                let t = if n > 1 {
+                    i as f64 / (n - 1) as f64
+                } else {
+                    0.5
+                };
                 vec![lo[0] + t * (hi[0] - lo[0])]
             })
             .collect();

@@ -194,8 +194,7 @@ mod tests {
         let mut hybrid = HybridEvaluator::new(udf, cfg, 3);
         let mut rng = StdRng::seed_from_u64(30);
         for i in 0..5 {
-            let input =
-                InputDistribution::diagonal_gaussian(&[(2.0 + i as f64, 0.4)]).unwrap();
+            let input = InputDistribution::diagonal_gaussian(&[(2.0 + i as f64, 0.4)]).unwrap();
             hybrid.process(&input, &mut rng).unwrap();
         }
         assert_eq!(hybrid.choice(), HybridChoice::Gp);
@@ -211,8 +210,7 @@ mod tests {
         let mut hybrid = HybridEvaluator::new(udf, cfg, 3);
         let mut rng = StdRng::seed_from_u64(31);
         for i in 0..5 {
-            let input =
-                InputDistribution::diagonal_gaussian(&[(2.0 + i as f64, 0.4)]).unwrap();
+            let input = InputDistribution::diagonal_gaussian(&[(2.0 + i as f64, 0.4)]).unwrap();
             hybrid.process(&input, &mut rng).unwrap();
         }
         assert_eq!(hybrid.choice(), HybridChoice::Mc);

@@ -184,8 +184,7 @@ impl Olgapro {
 
         // Steps 2–7: inference + error bound + online tuning loop.
         let z_alpha = simultaneous_z(self.model.kernel(), &bbox, split.delta_gp);
-        let (mut means, mut sds, mut eps_gp) =
-            self.infer_and_bound(&samples, &bbox, z_alpha)?;
+        let (mut means, mut sds, mut eps_gp) = self.infer_and_bound(&samples, &bbox, z_alpha)?;
         while eps_gp > split.eps_gp && points_added < self.config.max_points_per_input {
             let pick = self.pick_training_sample(&samples, &sds, &bbox, z_alpha, rng)?;
             let x = samples[pick].clone();
@@ -319,8 +318,7 @@ impl Olgapro {
                 let mut best = (0usize, f64::INFINITY);
                 for i in (0..samples.len()).step_by(stride) {
                     let mut trial = GpModel::new(self.model.kernel().clone_box(), self.model.dim());
-                    trial
-                        .fit(self.model.inputs().to_vec(), self.model.targets().to_vec())?;
+                    trial.fit(self.model.inputs().to_vec(), self.model.targets().to_vec())?;
                     // Use the current posterior mean as a stand-in value —
                     // the true value is unknown without calling the UDF.
                     let y_hat = self.model.predict_mean(&samples[i])?;
@@ -402,7 +400,11 @@ mod tests {
             let out = olga.process(&input, &mut rng).unwrap();
             assert_eq!(out.points_added, 0, "converged model should not add points");
         }
-        assert_eq!(olga.udf().calls(), calls_before, "no UDF calls at convergence");
+        assert_eq!(
+            olga.udf().calls(),
+            calls_before,
+            "no UDF calls at convergence"
+        );
     }
 
     #[test]
@@ -458,8 +460,8 @@ mod tests {
             )
             .with_tuning(heur);
             for i in 0..10 {
-                let input = InputDistribution::diagonal_gaussian(&[(0.5 + 0.9 * i as f64, 0.5)])
-                    .unwrap();
+                let input =
+                    InputDistribution::diagonal_gaussian(&[(0.5 + 0.9 * i as f64, 0.5)]).unwrap();
                 olga.process(&input, rng).unwrap();
             }
             olga.stats().points_added

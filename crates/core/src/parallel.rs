@@ -155,8 +155,7 @@ mod tests {
     fn inputs(n: usize) -> Vec<InputDistribution> {
         (0..n)
             .map(|i| {
-                InputDistribution::diagonal_gaussian(&[(1.0 + 0.8 * i as f64 % 8.0, 0.4)])
-                    .unwrap()
+                InputDistribution::diagonal_gaussian(&[(1.0 + 0.8 * i as f64 % 8.0, 0.4)]).unwrap()
             })
             .collect()
     }

@@ -227,7 +227,10 @@ mod tests {
         for _ in 0..50 {
             u.eval(&[0.0]);
         }
-        assert!(start.elapsed() < Duration::from_millis(100), "should not sleep");
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "should not sleep"
+        );
         assert_eq!(u.charged_cost(), Duration::from_secs(5));
     }
 

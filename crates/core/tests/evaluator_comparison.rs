@@ -61,9 +61,7 @@ fn online_uses_fewer_calls_on_localized_stream() {
     let cfg = OlgaproConfig::new(acc(), 1.6).unwrap();
     // All inputs live in [2, 4] of the [0, 10] domain.
     let inputs: Vec<InputDistribution> = (0..6)
-        .map(|i| {
-            InputDistribution::diagonal_gaussian(&[(2.0 + 0.4 * i as f64, 0.2)]).unwrap()
-        })
+        .map(|i| InputDistribution::diagonal_gaussian(&[(2.0 + 0.4 * i as f64, 0.2)]).unwrap())
         .collect();
 
     let off_udf = smooth().fork_counter();

@@ -186,9 +186,7 @@ mod tests {
         let grid: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 * 10.0 / 199.0]).collect();
         let n = grid.len();
         let kmat = {
-            let mut m = Matrix::from_symmetric_fn(n, |i, j| {
-                Kernel::eval(&k, &grid[i], &grid[j])
-            });
+            let mut m = Matrix::from_symmetric_fn(n, |i, j| Kernel::eval(&k, &grid[i], &grid[j]));
             m.add_diagonal(1e-9).unwrap();
             m
         };

@@ -77,7 +77,10 @@ impl SquaredExponential {
     /// Panics when parameters are not positive (caller bug — configs are
     /// validated upstream).
     pub fn new(sigma_f: f64, lengthscale: f64) -> Self {
-        assert!(sigma_f > 0.0 && lengthscale > 0.0, "parameters must be positive");
+        assert!(
+            sigma_f > 0.0 && lengthscale > 0.0,
+            "parameters must be positive"
+        );
         SquaredExponential {
             log_sigma_f: sigma_f.ln(),
             log_len: lengthscale.ln(),
@@ -263,7 +266,10 @@ impl Matern32 {
     /// # Panics
     /// Panics when parameters are not positive.
     pub fn new(sigma_f: f64, lengthscale: f64) -> Self {
-        assert!(sigma_f > 0.0 && lengthscale > 0.0, "parameters must be positive");
+        assert!(
+            sigma_f > 0.0 && lengthscale > 0.0,
+            "parameters must be positive"
+        );
         Matern32 {
             log_sigma_f: sigma_f.ln(),
             log_len: lengthscale.ln(),
@@ -341,7 +347,10 @@ impl Matern52 {
     /// # Panics
     /// Panics when parameters are not positive.
     pub fn new(sigma_f: f64, lengthscale: f64) -> Self {
-        assert!(sigma_f > 0.0 && lengthscale > 0.0, "parameters must be positive");
+        assert!(
+            sigma_f > 0.0 && lengthscale > 0.0,
+            "parameters must be positive"
+        );
         Matern52 {
             log_sigma_f: sigma_f.ln(),
             log_len: lengthscale.ln(),
@@ -498,7 +507,11 @@ mod tests {
             let mut prev = k.eval_dist(0.0).unwrap();
             for i in 1..50 {
                 let v = k.eval_dist(i as f64 * 0.2).unwrap();
-                assert!(v <= prev + 1e-15, "{k:?} not monotone at r={}", i as f64 * 0.2);
+                assert!(
+                    v <= prev + 1e-15,
+                    "{k:?} not monotone at r={}",
+                    i as f64 * 0.2
+                );
                 prev = v;
             }
         }

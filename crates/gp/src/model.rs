@@ -135,7 +135,12 @@ impl GpModel {
         self.ys = ys;
         self.index = RTree::bulk_load(
             self.dim,
-            self.xs.iter().cloned().enumerate().map(|(i, p)| (p, i)).collect(),
+            self.xs
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, p)| (p, i))
+                .collect(),
         );
         self.refit()
     }
@@ -280,9 +285,11 @@ impl GpModel {
         let mut out = vec![0.0; p];
         // Materialize K' per hyperparameter (p small: 2..=d+1).
         for j in 0..p {
-            let kp = Matrix::from_symmetric_fn(n, |r, c| self.kernel.grad(&self.xs[r], &self.xs[c])[j]);
-            let kpp =
-                Matrix::from_symmetric_fn(n, |r, c| self.kernel.second_deriv(&self.xs[r], &self.xs[c])[j]);
+            let kp =
+                Matrix::from_symmetric_fn(n, |r, c| self.kernel.grad(&self.xs[r], &self.xs[c])[j]);
+            let kpp = Matrix::from_symmetric_fn(n, |r, c| {
+                self.kernel.second_deriv(&self.xs[r], &self.xs[c])[j]
+            });
             let kp_alpha = kp.matvec(&self.alpha)?;
             let kinv_kp_alpha = chol.solve(&kp_alpha)?;
             let term1 = 0.5 * dot(&self.alpha, &kpp.matvec(&self.alpha)?);

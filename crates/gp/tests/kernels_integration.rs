@@ -47,7 +47,10 @@ fn ard_learns_anisotropy() {
 #[test]
 fn all_kernels_regress_a_smooth_function() {
     let xs = sample_2d(50, 2);
-    let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 0.5).sin() + (x[1] * 0.3).cos()).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| (x[0] * 0.5).sin() + (x[1] * 0.3).cos())
+        .collect();
     let kernels: Vec<Box<dyn Kernel>> = vec![
         Box::new(SquaredExponential::new(1.0, 1.5)),
         Box::new(Matern32::new(1.0, 1.5)),
@@ -85,7 +88,10 @@ fn matern_local_inference_bounds_hold() {
     m.fit(xs, ys).unwrap();
     let qbox = BoundingBox::new(vec![2.0], vec![6.0]);
     let sel = select_local(&m, &qbox, 1e-4).unwrap();
-    assert!(sel.indices.len() < m.len(), "far cluster should be excluded");
+    assert!(
+        sel.indices.len() < m.len(),
+        "far cluster should be excluded"
+    );
     let lp = LocalPredictor::new(&m, sel.indices.clone()).unwrap();
     for i in 0..=16 {
         let q = 2.0 + 4.0 * i as f64 / 16.0;
@@ -110,7 +116,10 @@ fn training_respects_log_bounds() {
     let cfg = TrainConfig::default();
     train(&mut m, &cfg).unwrap();
     for t in m.kernel().params() {
-        assert!(t.abs() <= cfg.log_bound + 1e-9, "θ escaped the trust box: {t}");
+        assert!(
+            t.abs() <= cfg.log_bound + 1e-9,
+            "θ escaped the trust box: {t}"
+        );
     }
 }
 

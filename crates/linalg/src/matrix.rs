@@ -137,9 +137,7 @@ impl Matrix {
                 context: "Matrix::matvec",
             });
         }
-        Ok((0..self.rows)
-            .map(|i| crate::dot(self.row(i), x))
-            .collect())
+        Ok((0..self.rows).map(|i| crate::dot(self.row(i), x)).collect())
     }
 
     /// Matrix product `A B`.

@@ -142,8 +142,7 @@ mod tests {
 
     #[test]
     fn correlated_gaussian_covariance() {
-        let cov =
-            Matrix::from_rows(&[vec![1.0, 0.8], vec![0.8, 1.0]]).unwrap();
+        let cov = Matrix::from_rows(&[vec![1.0, 0.8], vec![0.8, 1.0]]).unwrap();
         let d = InputDistribution::gaussian(vec![0.0, 0.0], &cov).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let samples = d.sample_n(&mut rng, 50_000);

@@ -23,8 +23,7 @@ pub mod metrics;
 pub mod special;
 
 pub use dist::{
-    Degenerate, Exponential, Gamma, GaussianMixture1d, Normal, TruncatedNormal, Uniform,
-    Univariate,
+    Degenerate, Exponential, Gamma, GaussianMixture1d, Normal, TruncatedNormal, Uniform, Univariate,
 };
 pub use ecdf::Ecdf;
 pub use input::InputDistribution;

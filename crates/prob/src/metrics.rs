@@ -171,7 +171,10 @@ mod tests {
         let k = ks(&a, &b);
         let d = discrepancy(&a, &b);
         assert!((k - 0.5).abs() < 1e-12);
-        assert!((d - 1.0).abs() < 1e-12, "interval [1,1] captures all of a, none of b");
+        assert!(
+            (d - 1.0).abs() < 1e-12,
+            "interval [1,1] captures all of a, none of b"
+        );
     }
 
     #[test]

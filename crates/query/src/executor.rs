@@ -233,8 +233,7 @@ mod tests {
         let r = rel(6);
         let udf = BlackBoxUdf::from_fn("sin", 1, |x| (x[0] * 0.8).sin());
         let call = UdfCall::resolve(udf, r.schema(), &["z"]).unwrap();
-        let mut ex =
-            Executor::new(EvalStrategy::Gp, acc(Metric::Discrepancy), &call, 2.0).unwrap();
+        let mut ex = Executor::new(EvalStrategy::Gp, acc(Metric::Discrepancy), &call, 2.0).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let rows = ex.project(&r, &call, &mut rng).unwrap();
         assert_eq!(rows.len(), 6);
@@ -272,13 +271,15 @@ mod tests {
         let r = rel(5);
         let udf = BlackBoxUdf::from_fn("sin", 1, |x| (x[0] * 0.8).sin());
         let call = UdfCall::resolve(udf, r.schema(), &["z"]).unwrap();
-        let mut ex =
-            Executor::new(EvalStrategy::Gp, acc(Metric::Discrepancy), &call, 2.0).unwrap();
+        let mut ex = Executor::new(EvalStrategy::Gp, acc(Metric::Discrepancy), &call, 2.0).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         // sin output lives in [-1, 1]; ask for an impossible interval.
         let pred = Predicate::new(5.0, 6.0, 0.1).unwrap();
         let rows = ex.select(&r, &call, &pred, &mut rng).unwrap();
-        assert!(rows.is_empty(), "impossible predicate must filter everything");
+        assert!(
+            rows.is_empty(),
+            "impossible predicate must filter everything"
+        );
         assert_eq!(ex.stats().tuples_out, 0);
     }
 }

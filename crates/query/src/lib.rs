@@ -43,7 +43,10 @@ impl fmt::Display for QueryError {
             QueryError::Core(e) => write!(f, "evaluation error: {e}"),
             QueryError::Prob(e) => write!(f, "probability error: {e}"),
             QueryError::ArityMismatch { expected, found } => {
-                write!(f, "tuple arity {found} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {found} does not match schema arity {expected}"
+                )
             }
         }
     }

@@ -72,12 +72,13 @@ fn projection_after_selection_composes() {
     // Re-project a second UDF (sum of redshifts) over survivors.
     let survivors = Relation::new(
         pairs.schema().clone(),
-        kept.iter().map(|r| pairs.tuples()[r.source].clone()).collect(),
+        kept.iter()
+            .map(|r| pairs.tuples()[r.source].clone())
+            .collect(),
     )
     .unwrap();
     let zsum = BlackBoxUdf::from_fn("zsum", 2, |x| x[0] + x[1]);
-    let call2 =
-        UdfCall::resolve(zsum, survivors.schema(), &["a.redshift", "b.redshift"]).unwrap();
+    let call2 = UdfCall::resolve(zsum, survivors.schema(), &["a.redshift", "b.redshift"]).unwrap();
     let mut ex2 = Executor::new(EvalStrategy::Mc, acc(), &call2, 3.0).unwrap();
     let rows = ex2.project(&survivors, &call2, &mut rng).unwrap();
     assert_eq!(rows.len(), survivors.len());

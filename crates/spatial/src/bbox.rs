@@ -155,11 +155,7 @@ impl BoundingBox {
 
     /// Hyper-volume (product of side lengths).
     pub fn volume(&self) -> f64 {
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(l, h)| h - l)
-            .product()
+        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).product()
     }
 
     /// Volume increase if this box were expanded to contain `other`.

@@ -50,7 +50,6 @@ impl Node {
             }
         }
     }
-
 }
 
 /// A point R-tree.
@@ -221,15 +220,7 @@ fn insert_rec(node: &mut Node, entry: Entry) -> Option<Node> {
             let (best, _) = children
                 .iter()
                 .enumerate()
-                .map(|(i, c)| {
-                    (
-                        i,
-                        (
-                            c.bbox().enlargement(&eb),
-                            c.bbox().volume(),
-                        ),
-                    )
-                })
+                .map(|(i, c)| (i, (c.bbox().enlargement(&eb), c.bbox().volume())))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite volumes"))
                 .expect("inner nodes are non-empty");
             if let Some(sibling) = insert_rec(&mut children[best], entry) {
@@ -287,7 +278,10 @@ fn split_inner(node: &mut Node) -> Node {
 /// Guttman's quadratic partition: pick the two seeds wasting the most volume
 /// together, then greedily assign the rest; returns index sets.
 #[allow(clippy::needless_range_loop)] // index set membership drives the loop
-fn quadratic_partition<T>(items: &[T], to_box: impl Fn(&T) -> BoundingBox) -> (Vec<usize>, Vec<usize>) {
+fn quadratic_partition<T>(
+    items: &[T],
+    to_box: impl Fn(&T) -> BoundingBox,
+) -> (Vec<usize>, Vec<usize>) {
     let n = items.len();
     debug_assert!(n >= 2);
     let boxes: Vec<BoundingBox> = items.iter().map(&to_box).collect();
@@ -366,10 +360,7 @@ fn str_pack(mut entries: Vec<Entry>, dim: usize) -> Vec<Node> {
                     .partial_cmp(&b.point[axis])
                     .expect("finite coordinates")
             });
-            return entries
-                .chunks(leaf_cap)
-                .map(|c| c.to_vec())
-                .collect();
+            return entries.chunks(leaf_cap).map(|c| c.to_vec()).collect();
         }
         entries.sort_by(|a, b| {
             a.point[axis]

@@ -1,0 +1,625 @@
+//! The micro-batching scheduler.
+//!
+//! One [`StreamEngine`] drives N subscriptions over one tuple stream. The
+//! run loop is a two-stage pipeline:
+//!
+//! 1. an **ingest thread** pulls micro-batches from the [`Source`] and
+//!    pushes them into a bounded channel — when evaluation falls behind the
+//!    channel fills and the producer blocks (backpressure);
+//! 2. the **scheduler** pops a batch and runs every subscription over it,
+//!    sharding the batch across `workers` threads for the read-only phase
+//!    and folding results back sequentially in tuple order.
+//!
+//! Per-query evaluation follows the fast-path/slow-path split of
+//! [`udf_core::parallel::ParallelOlgapro`]: GP inference against the frozen
+//! model (and MC sampling, which never mutates anything) runs in parallel;
+//! tuples whose error bound misses the GP budget fall back to the
+//! sequential, model-mutating path of Algorithm 5. Online filtering runs
+//! *before* the slow path, so a subscription with a selective predicate
+//! drops most tuples at fast-path cost (§5.5 / Remark 2.1).
+//!
+//! ## Determinism
+//!
+//! The RNG for tuple `g` of query `q` is seeded with
+//! `mix(engine_seed, q, g)`, where `g` is the tuple's global index in the
+//! stream — never the worker id or the batch offset. Slow-path work is
+//! applied in tuple order on the scheduler thread. Worker count therefore
+//! changes only *where* fast-path work runs, not *what* it computes, and a
+//! fixed `(seed, batch_size)` yields byte-identical emitted distributions
+//! for any worker count.
+
+use crate::source::Source;
+use crate::stats::{Digest, EngineStats, KeptSummary, StreamStats};
+use crate::{Result, StreamError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::time::Instant;
+use udf_core::config::{AccuracyRequirement, OlgaproConfig};
+use udf_core::filtering::{gp_filtered, mc_filtered, FilterDecision, Predicate};
+use udf_core::hybrid::{rule_based_choice, HybridChoice};
+use udf_core::mc::McEvaluator;
+use udf_core::olgapro::Olgapro;
+use udf_core::output::GpOutput;
+use udf_core::udf::BlackBoxUdf;
+use udf_core::CoreError;
+use udf_prob::{Ecdf, InputDistribution};
+
+/// How a subscription evaluates its UDF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamStrategy {
+    /// Direct Monte Carlo sampling (Algorithm 1) — embarrassingly parallel,
+    /// always fast-path.
+    Mc,
+    /// OLGAPRO (Algorithm 5) with a warm persistent model — parallel
+    /// read-only inference plus a sequential tuning path.
+    Gp,
+    /// Pick MC or GP from the UDF's dimensionality and nominal cost using
+    /// the paper's §6.3 rules ([`rule_based_choice`]). Unlike the measuring
+    /// [`udf_core::hybrid::HybridEvaluator`], the rule-based pick does not
+    /// depend on wall-clock timing, so it preserves the engine's
+    /// determinism contract.
+    Auto,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads for the fast path (≥ 1).
+    pub workers: usize,
+    /// Tuples per micro-batch (≥ 1). Part of the determinism contract:
+    /// runs with different batch sizes may tune GP models at different
+    /// points and legitimately diverge.
+    pub batch_size: usize,
+    /// Bounded-channel capacity, in batches, between ingest and the
+    /// scheduler. When full, the source-side thread blocks (backpressure).
+    pub queue_depth: usize,
+    /// Master seed; every per-tuple RNG derives from it.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 1,
+            batch_size: 256,
+            queue_depth: 4,
+            seed: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Default configuration: 1 worker, 256-tuple batches, queue depth 4.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker-thread count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the micro-batch size.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Set the ingest-queue depth (in batches).
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth.max(1);
+        self
+    }
+
+    /// Set the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-tuple RNG seed: a SplitMix64-style finalizer over
+/// `(engine seed, query id, global tuple index)`.
+fn tuple_seed(seed: u64, query: u64, gidx: u64) -> u64 {
+    let mut z =
+        seed ^ query.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ gidx.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The evaluator state owned by one subscription.
+enum Evaluator {
+    /// MC path: stateless per-tuple sampling (the UDF handle lives on the
+    /// query record).
+    Mc,
+    /// GP path: the warm OLGAPRO instance plus its ε_GP fast-path budget.
+    /// Boxed: the model state dwarfs the MC variant.
+    Gp(Box<Olgapro>, f64),
+}
+
+/// Internal per-subscription record.
+pub(crate) struct QueryState {
+    pub(crate) name: String,
+    udf: BlackBoxUdf,
+    accuracy: AccuracyRequirement,
+    predicate: Option<Predicate>,
+    eval: Evaluator,
+    pub(crate) stats: StreamStats,
+    pub(crate) digest: Digest,
+    pub(crate) recent: VecDeque<KeptSummary>,
+    retain: usize,
+    pub(crate) decisions: Option<Vec<(u64, bool)>>,
+    max_model_points: usize,
+}
+
+/// Parameters for registering a subscription with [`StreamEngine`].
+pub(crate) struct SubscribeParams {
+    pub name: String,
+    pub udf: BlackBoxUdf,
+    pub accuracy: AccuracyRequirement,
+    pub strategy: StreamStrategy,
+    pub output_range: f64,
+    pub predicate: Option<Predicate>,
+    pub retain: usize,
+    pub record_decisions: bool,
+    pub max_model_points: usize,
+}
+
+/// The multi-query continuous-query engine. Most callers use the
+/// [`Session`](crate::session::Session) facade instead.
+pub struct StreamEngine {
+    config: EngineConfig,
+    queries: Vec<QueryState>,
+    tuples_seen: u64,
+    last_run: EngineStats,
+}
+
+impl StreamEngine {
+    /// Create an engine with the given configuration.
+    pub(crate) fn new(config: EngineConfig) -> Self {
+        StreamEngine {
+            config,
+            queries: Vec::new(),
+            tuples_seen: 0,
+            last_run: EngineStats::default(),
+        }
+    }
+
+    pub(crate) fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    pub(crate) fn query(&self, id: usize) -> Result<&QueryState> {
+        self.queries.get(id).ok_or(StreamError::UnknownQuery(id))
+    }
+
+    pub(crate) fn queries(&self) -> &[QueryState] {
+        &self.queries
+    }
+
+    pub(crate) fn last_run(&self) -> EngineStats {
+        self.last_run
+    }
+
+    /// Total tuples ingested over the engine's lifetime.
+    pub(crate) fn tuples_seen(&self) -> u64 {
+        self.tuples_seen
+    }
+
+    /// Register a subscription; returns its index.
+    pub(crate) fn subscribe(&mut self, params: SubscribeParams) -> Result<usize> {
+        let strategy = match params.strategy {
+            StreamStrategy::Auto => {
+                match rule_based_choice(params.udf.dim(), params.udf.cost_model().per_call()) {
+                    HybridChoice::Mc => StreamStrategy::Mc,
+                    HybridChoice::Gp | HybridChoice::Calibrating => StreamStrategy::Gp,
+                }
+            }
+            s => s,
+        };
+        let eval = match strategy {
+            StreamStrategy::Mc => Evaluator::Mc,
+            StreamStrategy::Gp | StreamStrategy::Auto => {
+                let cfg = OlgaproConfig::new(params.accuracy, params.output_range)?;
+                let budget = cfg.split().eps_gp;
+                Evaluator::Gp(Box::new(Olgapro::new(params.udf.clone(), cfg)), budget)
+            }
+        };
+        let stats = StreamStats {
+            query: params.name.clone(),
+            ..StreamStats::default()
+        };
+        self.queries.push(QueryState {
+            name: params.name,
+            udf: params.udf,
+            accuracy: params.accuracy,
+            predicate: params.predicate,
+            eval,
+            stats,
+            digest: Digest::default(),
+            recent: VecDeque::with_capacity(params.retain),
+            retain: params.retain,
+            decisions: params.record_decisions.then(Vec::new),
+            max_model_points: params.max_model_points,
+        });
+        Ok(self.queries.len() - 1)
+    }
+
+    /// Drive every subscription over `source` until it is exhausted or
+    /// `limit` tuples have been ingested. May be called repeatedly; model
+    /// state, stats, and the global tuple index persist across runs.
+    pub(crate) fn run<S: Source + Send>(
+        &mut self,
+        mut source: S,
+        limit: Option<u64>,
+    ) -> Result<EngineStats> {
+        if self.queries.is_empty() {
+            return Err(StreamError::NoSubscriptions);
+        }
+        let source_dim = source.dim();
+        for q in &self.queries {
+            if q.udf.dim() != source_dim {
+                return Err(StreamError::DimensionMismatch {
+                    query: q.name.clone(),
+                    udf_dim: q.udf.dim(),
+                    source_dim,
+                });
+            }
+        }
+
+        let batch_size = self.config.batch_size;
+        let (tx, rx) = mpsc::sync_channel::<Vec<InputDistribution>>(self.config.queue_depth);
+        let t0 = Instant::now();
+        let mut tuples = 0u64;
+        let mut batches = 0u64;
+
+        let run_result: Result<()> = std::thread::scope(|scope| {
+            // Ingest thread: source → bounded channel. Blocks when the
+            // scheduler lags `queue_depth` batches behind (backpressure).
+            let producer = scope.spawn(move || {
+                let mut remaining = limit;
+                loop {
+                    let want = match remaining {
+                        Some(r) => batch_size.min(r as usize),
+                        None => batch_size,
+                    };
+                    if want == 0 {
+                        break;
+                    }
+                    let mut buf = Vec::with_capacity(want);
+                    let n = source.next_batch(want, &mut buf);
+                    if n == 0 {
+                        break;
+                    }
+                    if let Some(r) = &mut remaining {
+                        *r -= n as u64;
+                    }
+                    if tx.send(buf).is_err() {
+                        break; // scheduler bailed; stop producing
+                    }
+                }
+            });
+
+            let mut res = Ok(());
+            for batch in &rx {
+                tuples += batch.len() as u64;
+                batches += 1;
+                if let Err(e) = self.process_batch(&batch) {
+                    res = Err(e);
+                    break;
+                }
+            }
+            drop(rx); // on error: unblock a producer stuck on send()
+            if producer.join().is_err() {
+                return Err(StreamError::WorkerPanicked);
+            }
+            res
+        });
+        run_result?;
+
+        self.last_run = EngineStats {
+            tuples,
+            batches,
+            elapsed: t0.elapsed(),
+            workers: self.config.workers,
+            queries: self.queries.len(),
+        };
+        Ok(self.last_run)
+    }
+
+    /// Run every subscription over one micro-batch.
+    fn process_batch(&mut self, batch: &[InputDistribution]) -> Result<()> {
+        let base = self.tuples_seen;
+        self.tuples_seen += batch.len() as u64;
+        let workers = self.config.workers;
+        let seed = self.config.seed;
+        for (qid, q) in self.queries.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            match &q.eval {
+                Evaluator::Mc => mc_batch(q, batch, base, workers, seed, qid as u64)?,
+                Evaluator::Gp(..) => gp_batch(q, batch, base, workers, seed, qid as u64)?,
+            }
+            q.stats.batches += 1;
+            q.stats.busy += t0.elapsed();
+        }
+        Ok(())
+    }
+}
+
+/// Flatten per-worker result chunks, converting a panicked worker (a UDF
+/// that panicked mid-batch) into [`StreamError::WorkerPanicked`] instead of
+/// unwinding through [`Session::run`](crate::session::Session::run).
+fn join_sharded<T>(joined: Vec<std::thread::Result<Vec<T>>>) -> Result<Vec<T>> {
+    let mut out = Vec::new();
+    for chunk in joined {
+        out.extend(chunk.map_err(|_| StreamError::WorkerPanicked)?);
+    }
+    Ok(out)
+}
+
+/// Fold one kept tuple into a query's registries.
+fn record_kept(q: &mut QueryState, gidx: u64, ecdf: &Ecdf, error_bound: f64, tep: f64) {
+    q.stats.kept += 1;
+    q.digest.push_u64(gidx);
+    q.digest.push_u64(1);
+    q.digest.push_f64(tep);
+    q.digest.push_ecdf(ecdf);
+    if q.retain > 0 {
+        if q.recent.len() == q.retain {
+            q.recent.pop_front();
+        }
+        q.recent.push_back(KeptSummary {
+            tuple: gidx,
+            median: ecdf.quantile(0.5),
+            error_bound,
+            tep,
+        });
+    }
+    if let Some(d) = &mut q.decisions {
+        d.push((gidx, true));
+    }
+}
+
+/// Fold one filtered tuple into a query's registries.
+fn record_filtered(q: &mut QueryState, gidx: u64, rho_upper: f64) {
+    q.stats.filtered += 1;
+    q.digest.push_u64(gidx);
+    q.digest.push_u64(0);
+    q.digest.push_f64(rho_upper);
+    if let Some(d) = &mut q.decisions {
+        d.push((gidx, false));
+    }
+}
+
+/// MC batch evaluation: every tuple is independent, so the whole batch is
+/// fast-path, sharded across workers. Each worker forks the UDF's call
+/// counter so per-tuple call counts stay exact under concurrency.
+fn mc_batch(
+    q: &mut QueryState,
+    batch: &[InputDistribution],
+    base: u64,
+    workers: usize,
+    seed: u64,
+    qid: u64,
+) -> Result<()> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    let accuracy = q.accuracy;
+    let predicate = q.predicate;
+    let udf = &q.udf;
+    let chunk = batch.len().div_ceil(workers);
+    let results: Vec<udf_core::Result<FilterDecision<udf_core::output::OutputDistribution>>> =
+        join_sharded(std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (w, chunk_inputs) in batch.chunks(chunk).enumerate() {
+                handles.push(scope.spawn(move || {
+                    chunk_inputs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, input)| {
+                            let gidx = base + (w * chunk + i) as u64;
+                            let mut rng = StdRng::seed_from_u64(tuple_seed(seed, qid, gidx));
+                            let local_udf = udf.fork_counter();
+                            match &predicate {
+                                Some(p) => mc_filtered(&local_udf, input, &accuracy, p, &mut rng),
+                                None => McEvaluator::new(local_udf)
+                                    .compute(input, &accuracy, &mut rng)
+                                    .map(|output| FilterDecision::Kept { output, tep: 1.0 }),
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles.into_iter().map(|h| h.join()).collect()
+        }))?;
+
+    for (i, res) in results.into_iter().enumerate() {
+        let gidx = base + i as u64;
+        q.stats.tuples_in += 1;
+        q.stats.fast_path += 1;
+        match res? {
+            FilterDecision::Kept { output, tep } => {
+                q.stats.udf_calls += output.udf_calls;
+                record_kept(q, gidx, &output.ecdf, output.error_bound, tep);
+            }
+            FilterDecision::Filtered {
+                rho_upper,
+                udf_calls,
+            } => {
+                q.stats.udf_calls += udf_calls;
+                record_filtered(q, gidx, rho_upper);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// GP batch evaluation: parallel read-only inference against the frozen
+/// model, then a sequential pass (in tuple order) that applies filtering,
+/// accepts fast-path results within the ε_GP budget, and routes the rest
+/// through the full model-mutating Algorithm 5.
+fn gp_batch(
+    q: &mut QueryState,
+    batch: &[InputDistribution],
+    base: u64,
+    workers: usize,
+    seed: u64,
+    qid: u64,
+) -> Result<()> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+
+    // Cold model: bootstrap on the first tuple sequentially.
+    let mut start = 0usize;
+    {
+        let Evaluator::Gp(olga, _) = &q.eval else {
+            unreachable!("gp_batch called on a non-GP query")
+        };
+        if olga.model().is_empty() {
+            gp_slow_tuple(q, &batch[0], base, seed, qid)?;
+            start = 1;
+        }
+    }
+
+    let pending = &batch[start..];
+    if pending.is_empty() {
+        return Ok(());
+    }
+
+    // Phase 1: parallel inference against the frozen model.
+    let Evaluator::Gp(olga_ref, budget) = &q.eval else {
+        unreachable!("gp_batch called on a non-GP query")
+    };
+    let budget = *budget;
+    let chunk = pending.len().div_ceil(workers);
+    let inferred: Vec<udf_core::Result<GpOutput>> = join_sharded(std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (w, chunk_inputs) in pending.chunks(chunk).enumerate() {
+            handles.push(scope.spawn(move || {
+                chunk_inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, input)| {
+                        let gidx = base + (start + w * chunk + i) as u64;
+                        let mut rng = StdRng::seed_from_u64(tuple_seed(seed, qid, gidx));
+                        olga_ref.infer_only(input, &mut rng)
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles.into_iter().map(|h| h.join()).collect()
+    }))?;
+
+    // Phase 2: sequential fold in tuple order.
+    for (i, res) in inferred.into_iter().enumerate() {
+        let gidx = base + (start + i) as u64;
+        let input = &pending[i];
+        match res {
+            Ok(out) => {
+                // Online filtering on the envelope upper bound (§5.5): the
+                // bound only widens on an under-trained model, so dropping
+                // here is sound and costs zero UDF calls.
+                if let Some(pred) = q.predicate {
+                    let (_, _, rho_u) = out.tep_bounds(pred.lo, pred.hi);
+                    if rho_u < pred.theta {
+                        q.stats.tuples_in += 1;
+                        q.stats.fast_path += 1;
+                        record_filtered(q, gidx, rho_u);
+                        continue;
+                    }
+                }
+                // Model-size budget: once the warm model reaches the cap,
+                // stop growing it and emit at the achieved bound — this
+                // keeps per-tuple inference cost bounded on long streams.
+                let model_full = q.max_model_points > 0
+                    && matches!(&q.eval,
+                        Evaluator::Gp(o, _) if o.model().len() >= q.max_model_points);
+                if out.eps_gp <= budget || model_full {
+                    q.stats.tuples_in += 1;
+                    q.stats.fast_path += 1;
+                    let tep = q
+                        .predicate
+                        .map(|p| out.tep_bounds(p.lo, p.hi).1)
+                        .unwrap_or(1.0);
+                    record_kept(q, gidx, &out.y_hat, out.error_bound(), tep);
+                } else {
+                    gp_slow_tuple(q, input, gidx, seed, qid)?;
+                }
+            }
+            Err(CoreError::Gp(udf_gp::GpError::EmptyModel)) => {
+                gp_slow_tuple(q, input, gidx, seed, qid)?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Slow path for one GP tuple: the full Algorithm 5 (with filtering when a
+/// predicate is attached), mutating the model. Always called in tuple order
+/// from the scheduler thread with a freshly derived RNG, which is what
+/// keeps the engine deterministic.
+fn gp_slow_tuple(
+    q: &mut QueryState,
+    input: &InputDistribution,
+    gidx: u64,
+    seed: u64,
+    qid: u64,
+) -> Result<()> {
+    let predicate = q.predicate;
+    let Evaluator::Gp(olga, _) = &mut q.eval else {
+        unreachable!("gp_slow_tuple called on a non-GP query")
+    };
+    let mut rng = StdRng::seed_from_u64(tuple_seed(seed, qid, gidx));
+    q.stats.tuples_in += 1;
+    q.stats.slow_path += 1;
+    match predicate {
+        Some(pred) => match gp_filtered(olga, input, &pred, &mut rng)? {
+            FilterDecision::Kept { output, tep } => {
+                q.stats.udf_calls += output.udf_calls;
+                record_kept(q, gidx, &output.y_hat, output.error_bound(), tep);
+            }
+            FilterDecision::Filtered {
+                rho_upper,
+                udf_calls,
+            } => {
+                q.stats.udf_calls += udf_calls;
+                record_filtered(q, gidx, rho_upper);
+            }
+        },
+        None => {
+            let out = olga.process(input, &mut rng)?;
+            q.stats.udf_calls += out.udf_calls;
+            record_kept(q, gidx, &out.y_hat, out.error_bound(), 1.0);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_seed_mixes_all_inputs() {
+        let s = tuple_seed(1, 2, 3);
+        assert_ne!(s, tuple_seed(2, 2, 3));
+        assert_ne!(s, tuple_seed(1, 3, 3));
+        assert_ne!(s, tuple_seed(1, 2, 4));
+        assert_eq!(s, tuple_seed(1, 2, 3));
+    }
+
+    #[test]
+    fn config_builders_clamp() {
+        let cfg = EngineConfig::new().workers(0).batch_size(0).queue_depth(0);
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.batch_size, 1);
+        assert_eq!(cfg.queue_depth, 1);
+    }
+}

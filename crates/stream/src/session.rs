@@ -1,0 +1,423 @@
+//! The user-facing continuous-query API.
+//!
+//! A [`Session`] owns one [`StreamEngine`](crate::engine::StreamEngine) and
+//! exposes the subscribe/run/inspect lifecycle:
+//!
+//! ```text
+//! let mut session = Session::new(EngineConfig::new().workers(4));
+//! let q = session.subscribe(QuerySpec::new(...))?;   // many times
+//! session.run(source, Some(100_000))?;                // repeatable
+//! println!("{}", session.stats(q)?);
+//! ```
+
+use crate::engine::{EngineConfig, StreamEngine, StreamStrategy, SubscribeParams};
+use crate::source::Source;
+use crate::stats::{EngineStats, KeptSummary, StreamStats};
+use crate::Result;
+use udf_core::config::AccuracyRequirement;
+use udf_core::filtering::Predicate;
+use udf_core::udf::BlackBoxUdf;
+
+/// Handle to one registered subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId(pub(crate) usize);
+
+/// A continuous query: one UDF, an accuracy requirement, an evaluation
+/// strategy, and optionally a selection predicate.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    pub(crate) name: String,
+    pub(crate) udf: BlackBoxUdf,
+    pub(crate) accuracy: AccuracyRequirement,
+    pub(crate) strategy: StreamStrategy,
+    pub(crate) output_range: f64,
+    pub(crate) predicate: Option<Predicate>,
+    pub(crate) retain: usize,
+    pub(crate) record_decisions: bool,
+    pub(crate) max_model_points: usize,
+}
+
+impl QuerySpec {
+    /// A projection-style continuous query (`SELECT udf(x) FROM stream`).
+    pub fn new(
+        name: impl Into<String>,
+        udf: BlackBoxUdf,
+        accuracy: AccuracyRequirement,
+        strategy: StreamStrategy,
+    ) -> Self {
+        QuerySpec {
+            name: name.into(),
+            udf,
+            accuracy,
+            strategy,
+            output_range: 1.0,
+            predicate: None,
+            retain: 8,
+            record_decisions: false,
+            max_model_points: 0,
+        }
+    }
+
+    /// Caller's estimate of the UDF output spread — scales Γ and λ for the
+    /// GP path (ignored by MC). Defaults to 1.0.
+    pub fn output_range(mut self, range: f64) -> Self {
+        self.output_range = range;
+        self
+    }
+
+    /// Turn the query into a selection
+    /// (`... WHERE udf(x) ∈ [lo, hi] WITH Pr ≥ θ`): tuples whose
+    /// tuple-existence probability upper bound falls below θ are dropped by
+    /// the online filter.
+    pub fn predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = Some(predicate);
+        self
+    }
+
+    /// How many recent emitted tuples to keep for inspection (default 8).
+    pub fn retain(mut self, n: usize) -> Self {
+        self.retain = n;
+        self
+    }
+
+    /// Record every keep/filter decision (for agreement tests and audits).
+    pub fn record_decisions(mut self) -> Self {
+        self.record_decisions = true;
+        self
+    }
+
+    /// Cap the GP model at `n` training points (0 = unbounded, the
+    /// default). On long streams the model otherwise keeps absorbing
+    /// points on hard tuples and per-tuple inference cost grows with it;
+    /// with a cap, over-budget tuples are emitted fast-path at their
+    /// *achieved* error bound (which stays attached to every output).
+    pub fn max_model_points(mut self, n: usize) -> Self {
+        self.max_model_points = n;
+        self
+    }
+}
+
+/// A long-lived, multi-query streaming session.
+pub struct Session {
+    engine: StreamEngine,
+}
+
+impl Session {
+    /// Create a session with the given engine configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Session {
+            engine: StreamEngine::new(config),
+        }
+    }
+
+    /// The engine configuration in force.
+    pub fn config(&self) -> &EngineConfig {
+        self.engine.config()
+    }
+
+    /// Register a continuous query. Subscriptions persist (with their warm
+    /// model state) across [`run`](Session::run) calls.
+    pub fn subscribe(&mut self, spec: QuerySpec) -> Result<QueryId> {
+        let QuerySpec {
+            name,
+            udf,
+            accuracy,
+            strategy,
+            output_range,
+            predicate,
+            retain,
+            record_decisions,
+            max_model_points,
+        } = spec;
+        self.engine
+            .subscribe(SubscribeParams {
+                name,
+                udf,
+                accuracy,
+                strategy,
+                output_range,
+                predicate,
+                retain,
+                record_decisions,
+                max_model_points,
+            })
+            .map(QueryId)
+    }
+
+    /// Drive every subscription over `source` until exhaustion, or until
+    /// `limit` tuples have been ingested (whichever comes first). Returns
+    /// engine-level counters for this run.
+    pub fn run<S: Source + Send>(&mut self, source: S, limit: Option<u64>) -> Result<EngineStats> {
+        self.engine.run(source, limit)
+    }
+
+    /// Per-query statistics.
+    pub fn stats(&self, id: QueryId) -> Result<&StreamStats> {
+        self.engine.query(id.0).map(|q| &q.stats)
+    }
+
+    /// Statistics for every subscription, in registration order.
+    pub fn all_stats(&self) -> Vec<&StreamStats> {
+        self.engine.queries().iter().map(|q| &q.stats).collect()
+    }
+
+    /// Determinism witness: a hash over every distribution this query has
+    /// emitted (and every filter decision), in stream order.
+    pub fn digest(&self, id: QueryId) -> Result<u64> {
+        self.engine.query(id.0).map(|q| q.digest.value())
+    }
+
+    /// The query's most recent emitted tuples (bounded by
+    /// [`QuerySpec::retain`]).
+    pub fn recent(&self, id: QueryId) -> Result<Vec<KeptSummary>> {
+        self.engine
+            .query(id.0)
+            .map(|q| q.recent.iter().copied().collect())
+    }
+
+    /// Keep/filter decisions `(global tuple index, kept)`, when the query
+    /// was registered with [`QuerySpec::record_decisions`].
+    pub fn decisions(&self, id: QueryId) -> Result<Option<&[(u64, bool)]>> {
+        self.engine.query(id.0).map(|q| q.decisions.as_deref())
+    }
+
+    /// Counters for the most recent [`run`](Session::run).
+    pub fn last_run(&self) -> EngineStats {
+        self.engine.last_run()
+    }
+
+    /// Total tuples ingested over the session's lifetime.
+    pub fn tuples_seen(&self) -> u64 {
+        self.engine.tuples_seen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{SyntheticSource, VecSource};
+    use udf_core::config::Metric;
+    use udf_prob::InputDistribution;
+
+    fn acc() -> AccuracyRequirement {
+        AccuracyRequirement::new(0.2, 0.05, 0.02, Metric::Discrepancy).unwrap()
+    }
+
+    fn sin_udf() -> BlackBoxUdf {
+        BlackBoxUdf::from_fn("sin", 1, |x| (x[0] * 0.8).sin())
+    }
+
+    #[test]
+    fn model_cap_bounds_training_cost() {
+        // Same workload with and without a model cap: the capped query
+        // must stop paying UDF calls once its model is full, while both
+        // keep emitting every tuple.
+        let run = |cap: usize| {
+            let mut session = Session::new(EngineConfig::new().batch_size(32).seed(13));
+            let mut spec =
+                QuerySpec::new("gp", sin_udf(), acc(), StreamStrategy::Gp).output_range(2.0);
+            if cap > 0 {
+                spec = spec.max_model_points(cap);
+            }
+            let q = session.subscribe(spec).unwrap();
+            session
+                .run(SyntheticSource::gaussian(1, 0.6, 21).with_limit(256), None)
+                .unwrap();
+            let s = session.stats(q).unwrap().clone();
+            s
+        };
+        let uncapped = run(0);
+        let capped = run(12);
+        assert_eq!(capped.kept, 256, "cap must not drop tuples");
+        assert!(
+            capped.udf_calls <= uncapped.udf_calls,
+            "capped {} vs uncapped {}",
+            capped.udf_calls,
+            uncapped.udf_calls
+        );
+        assert!(
+            capped.udf_calls <= 12 + 10,
+            "model cap not enforced: {} calls",
+            capped.udf_calls
+        );
+        assert!(
+            capped.slow_path < uncapped.slow_path,
+            "capped slow-path {} should be below uncapped {}",
+            capped.slow_path,
+            uncapped.slow_path
+        );
+    }
+
+    #[test]
+    fn subscribe_run_inspect_lifecycle() {
+        let mut session = Session::new(EngineConfig::new().workers(2).batch_size(32).seed(3));
+        let gp = session
+            .subscribe(QuerySpec::new("gp", sin_udf(), acc(), StreamStrategy::Gp).output_range(2.0))
+            .unwrap();
+        let mc = session
+            .subscribe(QuerySpec::new("mc", sin_udf(), acc(), StreamStrategy::Mc))
+            .unwrap();
+
+        let run = session
+            .run(SyntheticSource::gaussian(1, 0.4, 9).with_limit(96), None)
+            .unwrap();
+        assert_eq!(run.tuples, 96);
+        assert_eq!(run.batches, 3);
+        assert_eq!(run.queries, 2);
+
+        for id in [gp, mc] {
+            let s = session.stats(id).unwrap();
+            assert_eq!(s.tuples_in, 96);
+            assert_eq!(s.kept, 96);
+            assert_eq!(s.filtered, 0);
+            assert_eq!(s.selectivity(), Some(1.0));
+        }
+        // GP reuses its model: far fewer calls than MC's m-per-tuple.
+        let gp_calls = session.stats(gp).unwrap().udf_calls;
+        let mc_calls = session.stats(mc).unwrap().udf_calls;
+        assert!(
+            gp_calls * 10 < mc_calls,
+            "GP {gp_calls} calls vs MC {mc_calls}"
+        );
+        assert_eq!(session.recent(gp).unwrap().len(), 8);
+        assert_eq!(session.tuples_seen(), 96);
+    }
+
+    #[test]
+    fn state_persists_across_runs() {
+        let mut session = Session::new(EngineConfig::new().batch_size(16).seed(5));
+        let q = session
+            .subscribe(
+                QuerySpec::new("warm", sin_udf(), acc(), StreamStrategy::Gp).output_range(2.0),
+            )
+            .unwrap();
+        session
+            .run(SyntheticSource::gaussian(1, 0.4, 1).with_limit(64), None)
+            .unwrap();
+        let calls_cold = session.stats(q).unwrap().udf_calls;
+        session
+            .run(SyntheticSource::gaussian(1, 0.4, 2).with_limit(64), None)
+            .unwrap();
+        let calls_total = session.stats(q).unwrap().udf_calls;
+        assert_eq!(session.stats(q).unwrap().tuples_in, 128);
+        // The second run rides the warm model: it must add (much) less than
+        // the first run's training cost.
+        assert!(
+            calls_total - calls_cold <= calls_cold,
+            "cold {calls_cold}, second run added {}",
+            calls_total - calls_cold
+        );
+    }
+
+    #[test]
+    fn predicate_filters_and_records_decisions() {
+        let mut session = Session::new(EngineConfig::new().workers(2).batch_size(16).seed(7));
+        // id(x) over two clusters: N(0, 0.1) and N(5, 0.1); predicate keeps
+        // values near 5.
+        let tuples: Vec<InputDistribution> = (0..32)
+            .map(|i| {
+                let mu = if i % 2 == 0 { 0.0 } else { 5.0 };
+                InputDistribution::diagonal_gaussian(&[(mu, 0.1)]).unwrap()
+            })
+            .collect();
+        let pred = Predicate::new(4.0, 6.0, 0.5).unwrap();
+        let q = session
+            .subscribe(
+                QuerySpec::new(
+                    "sel",
+                    BlackBoxUdf::from_fn("id", 1, |x| x[0]),
+                    acc(),
+                    StreamStrategy::Mc,
+                )
+                .predicate(pred)
+                .record_decisions(),
+            )
+            .unwrap();
+        session.run(VecSource::new(tuples), None).unwrap();
+        let s = session.stats(q).unwrap();
+        assert_eq!(s.kept, 16, "only the N(5, ·) cluster passes");
+        assert_eq!(s.filtered, 16);
+        let decisions = session.decisions(q).unwrap().unwrap();
+        for &(gidx, kept) in decisions {
+            assert_eq!(kept, !gidx.is_multiple_of(2), "tuple {gidx}");
+        }
+    }
+
+    #[test]
+    fn panicking_udf_surfaces_as_worker_panicked() {
+        let mut session = Session::new(EngineConfig::new().workers(2).batch_size(8).seed(1));
+        let bomb = BlackBoxUdf::from_fn("bomb", 1, |_x| panic!("udf exploded"));
+        session
+            .subscribe(QuerySpec::new("boom", bomb, acc(), StreamStrategy::Mc))
+            .unwrap();
+        let err = session
+            .run(SyntheticSource::gaussian(1, 0.4, 1).with_limit(16), None)
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::StreamError::WorkerPanicked),
+            "expected WorkerPanicked, got {err}"
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut session = Session::new(EngineConfig::new());
+        let err = session
+            .run(SyntheticSource::gaussian(1, 0.4, 1).with_limit(4), None)
+            .unwrap_err();
+        assert!(matches!(err, crate::StreamError::NoSubscriptions));
+
+        session
+            .subscribe(QuerySpec::new(
+                "two-dim",
+                BlackBoxUdf::from_fn("sum", 2, |x| x[0] + x[1]),
+                acc(),
+                StreamStrategy::Mc,
+            ))
+            .unwrap();
+        let err = session
+            .run(SyntheticSource::gaussian(1, 0.4, 1).with_limit(4), None)
+            .unwrap_err();
+        assert!(matches!(err, crate::StreamError::DimensionMismatch { .. }));
+
+        assert!(session.stats(QueryId(99)).is_err());
+    }
+
+    #[test]
+    fn auto_strategy_resolves_by_cost() {
+        use std::time::Duration;
+        use udf_core::udf::CostModel;
+        let mut session = Session::new(EngineConfig::new().batch_size(8).seed(2));
+        // Free UDF → MC; 2 ms UDF → GP (§6.3 rules).
+        let fast = session
+            .subscribe(QuerySpec::new(
+                "fast",
+                sin_udf(),
+                acc(),
+                StreamStrategy::Auto,
+            ))
+            .unwrap();
+        let slow = session
+            .subscribe(
+                QuerySpec::new(
+                    "slow",
+                    sin_udf().with_cost(CostModel::Simulated(Duration::from_millis(2))),
+                    acc(),
+                    StreamStrategy::Auto,
+                )
+                .output_range(2.0),
+            )
+            .unwrap();
+        session
+            .run(SyntheticSource::gaussian(1, 0.4, 4).with_limit(16), None)
+            .unwrap();
+        // MC spends m calls per tuple; GP's warm model spends almost none.
+        let fast_calls = session.stats(fast).unwrap().udf_calls;
+        let slow_calls = session.stats(slow).unwrap().udf_calls;
+        assert!(
+            fast_calls > slow_calls,
+            "MC {fast_calls} vs GP {slow_calls}"
+        );
+        assert!(session.stats(slow).unwrap().slow_path > 0);
+    }
+}

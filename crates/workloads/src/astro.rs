@@ -410,7 +410,10 @@ mod tests {
     #[test]
     fn hubble_rate_properties() {
         let c = cosmo();
-        assert!((c.e(0.0) - 1.0).abs() < 1e-12, "E(0) = 1 in a flat universe");
+        assert!(
+            (c.e(0.0) - 1.0).abs() < 1e-12,
+            "E(0) = 1 in a flat universe"
+        );
         assert!(c.e(1.0) > c.e(0.0), "E grows with z");
     }
 

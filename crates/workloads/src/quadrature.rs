@@ -62,9 +62,7 @@ mod tests {
         let f = |x: f64| x.sin();
         assert!((adaptive_simpson(&f, 0.0, std::f64::consts::PI, 1e-10) - 2.0).abs() < 1e-8);
         let g = |x: f64| (-x).exp();
-        assert!(
-            (adaptive_simpson(&g, 0.0, 20.0, 1e-10) - (1.0 - (-20.0f64).exp())).abs() < 1e-8
-        );
+        assert!((adaptive_simpson(&g, 0.0, 20.0, 1e-10) - (1.0 - (-20.0f64).exp())).abs() < 1e-8);
     }
 
     #[test]

@@ -93,7 +93,9 @@ impl GaussianMixtureFn {
         let mut rng = StdRng::seed_from_u64(seed ^ (dim as u64) << 32);
         let components = (0..ncomp)
             .map(|_| Component {
-                center: (0..dim).map(|_| rng.gen_range(DOMAIN.0..DOMAIN.1)).collect(),
+                center: (0..dim)
+                    .map(|_| rng.gen_range(DOMAIN.0..DOMAIN.1))
+                    .collect(),
                 scale,
                 amplitude: rng.gen_range(0.5..1.5),
             })
@@ -243,7 +245,11 @@ mod tests {
     #[test]
     fn input_generators_produce_valid_distributions() {
         let mut rng = StdRng::seed_from_u64(1);
-        for kind in [InputKind::Gaussian, InputKind::Gamma, InputKind::Exponential] {
+        for kind in [
+            InputKind::Gaussian,
+            InputKind::Gamma,
+            InputKind::Exponential,
+        ] {
             let inputs = generate_inputs(kind, 3, 5, 0.5, &mut rng);
             assert_eq!(inputs.len(), 5);
             for inp in &inputs {

@@ -82,7 +82,9 @@ fn main() {
         UdfCall::resolve(angdist, pairs.schema(), &["g1.redshift", "g2.redshift"]).unwrap();
     let pred = Predicate::new(0.05, 0.35, 0.1).unwrap();
     let mut where_ex = Executor::new(EvalStrategy::Gp, acc, &where_call, 0.8).unwrap();
-    let surviving = where_ex.select(&pairs, &where_call, &pred, &mut rng).unwrap();
+    let surviving = where_ex
+        .select(&pairs, &where_call, &pred, &mut rng)
+        .unwrap();
     println!(
         "  AngDist ∈ [0.05, 0.35] keeps {} pairs (filtered {}), UDF calls {}",
         surviving.len(),
@@ -106,8 +108,12 @@ fn main() {
         }),
         CostModel::Free,
     );
-    let vol_call =
-        UdfCall::resolve(comovevol, survivors.schema(), &["g1.redshift", "g2.redshift"]).unwrap();
+    let vol_call = UdfCall::resolve(
+        comovevol,
+        survivors.schema(),
+        &["g1.redshift", "g2.redshift"],
+    )
+    .unwrap();
     let mut vol_ex = Executor::new(EvalStrategy::Gp, acc, &vol_call, 0.3).unwrap();
     let volumes = vol_ex.project(&survivors, &vol_call, &mut rng).unwrap();
 

@@ -19,8 +19,7 @@ fn run_case(name: &str, cost: CostModel) {
     let mut hybrid = HybridEvaluator::new(udf, cfg, 3);
     let mut rng = StdRng::seed_from_u64(5);
     for i in 0..8 {
-        let input =
-            InputDistribution::diagonal_gaussian(&[(1.0 + i as f64 * 0.8, 0.4)]).unwrap();
+        let input = InputDistribution::diagonal_gaussian(&[(1.0 + i as f64 * 0.8, 0.4)]).unwrap();
         hybrid.process(&input, &mut rng).unwrap();
     }
     let (mc_t, gp_t) = hybrid.measured();
@@ -33,7 +32,10 @@ fn run_case(name: &str, cost: CostModel) {
 fn main() {
     println!("Measured hybrid (3-tuple calibration window):");
     run_case("free UDF", CostModel::Free);
-    run_case("0.1 ms UDF", CostModel::Simulated(Duration::from_micros(100)));
+    run_case(
+        "0.1 ms UDF",
+        CostModel::Simulated(Duration::from_micros(100)),
+    );
     run_case("5 ms UDF", CostModel::Simulated(Duration::from_millis(5)));
 
     println!("\nRule-based shortcut (§6.3 findings):");

@@ -46,5 +46,7 @@ fn main() {
             outs[0].y_hat.quantile(0.5),
         );
     }
-    println!("\nSteady-state batches scale with the worker count; warm-up is inherently sequential.");
+    println!(
+        "\nSteady-state batches scale with the worker count; warm-up is inherently sequential."
+    );
 }

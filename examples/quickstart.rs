@@ -68,10 +68,7 @@ fn main() {
         out.error_bound()
     );
     println!("  median              : {:.4}", out.y_hat.quantile(0.5));
-    println!(
-        "  simultaneous band   : f̂ ± {:.2}σ",
-        out.z_alpha
-    );
+    println!("  simultaneous band   : f̂ ± {:.2}σ", out.z_alpha);
 
     // ------------------------------------------------------------------
     // The user-facing CDF (10 quantiles).

@@ -45,9 +45,15 @@ fn main() {
     }
     let mc_calls = mc_udf.calls();
     println!("— MC + online filtering (Remark 2.1) —");
-    println!("  kept {mc_kept}/40 tuples, UDF calls {mc_calls}, charged {:?}", mc_udf.charged_cost());
+    println!(
+        "  kept {mc_kept}/40 tuples, UDF calls {mc_calls}, charged {:?}",
+        mc_udf.charged_cost()
+    );
     let full = acc.mc_samples() as u64 * 40;
-    println!("  vs. {full} calls without early stopping ({:.1}x saved)", full as f64 / mc_calls as f64);
+    println!(
+        "  vs. {full} calls without early stopping ({:.1}x saved)",
+        full as f64 / mc_calls as f64
+    );
 
     // --- GP with online filtering (§5.5) ---
     let gp_udf = udf.fork_counter();

@@ -44,6 +44,7 @@ pub use udf_linalg as linalg;
 pub use udf_prob as prob;
 pub use udf_query as query;
 pub use udf_spatial as spatial;
+pub use udf_stream as stream;
 pub use udf_workloads as workloads;
 
 /// The items most applications need.
@@ -57,4 +58,8 @@ pub mod prelude {
     pub use udf_core::udf::{BlackBoxUdf, CostModel, FnUdf, UdfFunction};
     pub use udf_prob::{Ecdf, InputDistribution, Normal, Univariate};
     pub use udf_query::{EvalStrategy, Executor, Relation, Schema, Tuple, UdfCall, Value};
+    pub use udf_stream::{
+        AstroSource, EngineConfig, EngineStats, QueryId, QuerySpec, Session, Source, StreamStats,
+        StreamStrategy, SyntheticSource, VecSource,
+    };
 }

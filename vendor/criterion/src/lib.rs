@@ -1,0 +1,327 @@
+//! Vendored, API-compatible subset of `criterion` (v0.5 surface).
+//!
+//! Implements the benchmarking surface this workspace's `benches/` targets
+//! use — groups, `BenchmarkId`, `Bencher::{iter, iter_with_setup}`,
+//! throughput annotation, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a warm-up pass followed by timed batches within
+//! the configured measurement window; the report is a compact
+//! `name  time: <mean>` line (plus elements/sec when a throughput is set),
+//! with no HTML output or statistical outlier analysis.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Wall-clock budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(self, name, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a per-iteration workload size.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the measurement window for this group.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(self.criterion, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Workload size per iteration, for derived rates in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements (e.g. tuples).
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into the display form of a benchmark id.
+pub trait IntoBenchmarkId {
+    /// The `group/function/param` suffix.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, called `self.iters` times back-to-back.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` only, rebuilding its input with `setup` (untimed)
+    /// before every call.
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark(
+    criterion: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up: discover a per-sample iteration count that fits the window.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_up_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_up_start.elapsed() < criterion.warm_up_time {
+        f(&mut b);
+        per_iter = (b.elapsed / b.iters as u32).max(Duration::from_nanos(1));
+        b.iters = (b.iters * 2).min(1 << 20);
+    }
+
+    let budget = criterion.measurement_time.as_secs_f64() / criterion.sample_size as f64;
+    let iters_per_sample = (budget / per_iter.as_secs_f64()).clamp(1.0, 1e7) as u64;
+
+    let mut samples = Vec::with_capacity(criterion.sample_size);
+    for _ in 0..criterion.sample_size {
+        b.iters = iters_per_sample;
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  thrpt: {}/s", si(n as f64 / mean)),
+        Some(Throughput::Bytes(n)) => format!("  thrpt: {}B/s", si(n as f64 / mean)),
+        None => String::new(),
+    };
+    println!(
+        "{name:<50} time: [{} {} {}]{rate}",
+        fmt_time(lo),
+        fmt_time(mean),
+        fmt_time(hi)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("setup", |b| {
+            b.iter_with_setup(|| vec![1u8; 16], |v| v.len())
+        });
+        g.finish();
+    }
+}

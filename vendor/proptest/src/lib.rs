@@ -1,0 +1,163 @@
+//! Vendored, API-compatible subset of `proptest` (v1 surface).
+//!
+//! Supports the property-test style used across this workspace:
+//!
+//! ```ignore
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!     #[test]
+//!     fn prop((xs, ys) in my_strategy(), z in 0.5f64..4.0) { ... }
+//! }
+//! ```
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed and failures are *not* shrunk — the panic message carries
+//! the case number so a failure is reproducible by rerunning the test.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub mod collection;
+
+/// Runner configuration (`proptest::test_runner::Config` upstream).
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// The glob-import surface used by tests: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of upstream's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Deterministic per-(test, case) RNG used by the [`proptest!`] expansion.
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name keeps seeds stable across runs and distinct
+    // across properties.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32) ^ 0x5eed_0ddb_a11a_d5e5)
+}
+
+/// Property-test entry point. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::__case_rng(stringify!($name), __case);
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// `prop_assert!` — asserts, reporting through a panic (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `prop_assert_eq!` — equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// `prop_assert_ne!` — inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+        prop::collection::vec((-1.0f64..1.0, 0.0f64..2.0), 2..10)
+            .prop_map(|v| v.into_iter().unzip())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in -3.0f64..3.0, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn tuple_destructuring((xs, ys) in pairs(), scale in 0.5f64..2.0) {
+            prop_assert_eq!(xs.len(), ys.len());
+            prop_assert!(xs.len() >= 2 && xs.len() < 10);
+            for y in &ys {
+                prop_assert!(*y >= 0.0 && *y * scale < 4.0);
+            }
+        }
+
+        #[test]
+        fn flat_map_works(v in (1usize..5).prop_flat_map(|n| prop::collection::vec(0.0f64..1.0, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test() {
+        let mut a = crate::__case_rng("t", 3);
+        let mut b = crate::__case_rng("t", 3);
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
