@@ -13,16 +13,22 @@
 //!   engine's multi-query overhead.
 //!
 //! Plus `stream_100k`: the acceptance-scale workload — 100 000 tuples into
-//! 4 concurrent MC subscriptions (two of them filtered selections).
+//! 4 concurrent MC subscriptions (two of them filtered selections), and
+//! `dispatch` — the scheduler-core comparison: dispatching a micro-batch
+//! onto the persistent `BatchScheduler` pool vs. spawning a fresh
+//! `std::thread::scope` per batch (what the engine did before the pool).
 //!
 //! ```sh
 //! cargo bench --bench stream_throughput
 //! ```
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::Duration;
 use udf_core::config::{AccuracyRequirement, Metric};
 use udf_core::filtering::Predicate;
+use udf_core::sched::{mix_seed, BatchScheduler};
 use udf_core::udf::BlackBoxUdf;
 use udf_stream::prelude::*;
 
@@ -139,12 +145,64 @@ fn bench_100k_mixed(c: &mut Criterion) {
     g.finish();
 }
 
+/// The old per-batch dispatch: carve the batch into one fixed shard per
+/// worker and spawn a fresh `std::thread::scope` — thread creation and
+/// teardown on every call, which is what the engine paid per micro-batch
+/// per query before the persistent pool.
+fn scoped_map<T: Send>(n: usize, workers: usize, f: &(impl Fn(usize) -> T + Sync)) -> Vec<T> {
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let lo = (w * chunk).min(n);
+            let hi = ((w + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<_>>()));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+/// Persistent-pool vs. scoped-spawn dispatch overhead at stream micro-batch
+/// sizes. The per-tuple work is fast-path-shaped (derive the tuple RNG,
+/// draw a few samples) so the fixed dispatch cost dominates — the regime
+/// every small micro-batch of every subscription hits.
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream/dispatch");
+    let workers = 4usize;
+    for n in [32usize, 256] {
+        let work = |i: usize| {
+            let mut rng = StdRng::seed_from_u64(mix_seed(7, 0, i as u64));
+            let mut acc = 0.0f64;
+            for _ in 0..16 {
+                acc += (rng.gen::<f64>() * (i as f64)).sin();
+            }
+            acc
+        };
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("scoped_spawn", n), &n, |b, &n| {
+            b.iter(|| scoped_map(n, workers, &work))
+        });
+        let sched = BatchScheduler::new(workers);
+        g.bench_with_input(BenchmarkId::new("persistent_pool", n), &n, |b, &n| {
+            b.iter(|| sched.try_map(n, work).unwrap())
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(4));
-    targets = bench_workers_blocking, bench_workers_cpu, bench_query_count, bench_100k_mixed
+    targets = bench_dispatch, bench_workers_blocking, bench_workers_cpu, bench_query_count,
+        bench_100k_mixed
 }
 criterion_main!(benches);

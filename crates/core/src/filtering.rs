@@ -11,6 +11,7 @@
 //!   tuple is dropped without any online tuning.
 
 use crate::config::AccuracyRequirement;
+use crate::mc::McEvaluator;
 use crate::olgapro::Olgapro;
 use crate::output::{GpOutput, OutputDistribution};
 use crate::udf::BlackBoxUdf;
@@ -132,6 +133,27 @@ pub fn mc_filtered(
         },
         tep,
     })
+}
+
+/// One MC tuple on a (possibly parallel) batch path: fork the UDF's call
+/// counter so per-tuple accounting stays exact under concurrency, then run
+/// [`mc_filtered`] when a predicate is attached or plain Algorithm 1
+/// otherwise (unfiltered tuples are kept with TEP 1). Shared by the stream
+/// engine's MC batches and the relational executor's batch mode.
+pub fn mc_eval_tuple(
+    udf: &BlackBoxUdf,
+    input: &InputDistribution,
+    accuracy: &AccuracyRequirement,
+    predicate: Option<&Predicate>,
+    rng: &mut dyn rand::RngCore,
+) -> Result<FilterDecision<OutputDistribution>> {
+    let local_udf = udf.fork_counter();
+    match predicate {
+        Some(p) => mc_filtered(&local_udf, input, accuracy, p, rng),
+        None => McEvaluator::new(local_udf)
+            .compute(input, accuracy, rng)
+            .map(|output| FilterDecision::Kept { output, tep: 1.0 }),
+    }
 }
 
 /// GP evaluation with filtering (§5.5): process the input with OLGAPRO and

@@ -19,8 +19,11 @@
 //! * [`filtering`] — online filtering against selection predicates
 //!   (Remark 2.1 for MC, §5.5 for GP);
 //! * [`hybrid`] — the §5.4 hybrid solution that picks MC or GP per UDF;
+//! * [`sched`] — the unified two-phase batch-execution core: a persistent
+//!   worker pool plus the fast/slow scheduling pattern shared by
+//!   [`parallel`], the stream engine, and the relational executor;
 //! * [`parallel`] — batch-parallel stream processing (a §8 future-work
-//!   item);
+//!   item), a thin delegation to [`sched`];
 //! * [`multi`] — multivariate-output UDFs via per-component emulators with a
 //!   union-bound joint guarantee (the other §8 future-work item).
 
@@ -34,6 +37,7 @@ pub mod multi;
 pub mod olgapro;
 pub mod output;
 pub mod parallel;
+pub mod sched;
 pub mod udf;
 
 pub use config::{AccuracyRequirement, Metric, OlgaproConfig, RetrainStrategy};
@@ -42,6 +46,7 @@ pub use hybrid::{HybridChoice, HybridEvaluator};
 pub use mc::McEvaluator;
 pub use olgapro::Olgapro;
 pub use output::{GpOutput, OutputDistribution};
+pub use sched::{mix_seed, BatchOps, BatchScheduler, BatchStats, Verdict};
 pub use udf::{BlackBoxUdf, CostModel, FnUdf, UdfFunction};
 
 use std::fmt;
@@ -59,6 +64,10 @@ pub enum CoreError {
     DimensionMismatch { expected: usize, found: usize },
     /// Invalid configuration value.
     InvalidConfig { what: &'static str, value: f64 },
+    /// A scheduler worker thread panicked while evaluating a batch
+    /// (typically a panicking UDF). Carries the panic message when one was
+    /// available.
+    WorkerPanicked { message: String },
 }
 
 impl fmt::Display for CoreError {
@@ -74,6 +83,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidConfig { what, value } => {
                 write!(f, "invalid configuration: {what} = {value}")
+            }
+            CoreError::WorkerPanicked { message } => {
+                write!(
+                    f,
+                    "a scheduler worker thread panicked while evaluating a batch: {message}"
+                )
             }
         }
     }

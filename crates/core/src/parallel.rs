@@ -6,39 +6,78 @@
 //! tuple is then a *read-only* pass (sample, local inference, error bound)
 //! against a fixed model, which parallelizes trivially. Only the occasional
 //! tuple whose error bound misses the budget needs the mutable path (online
-//! tuning / retraining). Each batch therefore runs in two phases:
+//! tuning / retraining).
 //!
-//! 1. **parallel phase** — all tuples inferred concurrently against the
-//!    shared immutable model (crossbeam scoped threads, one RNG per tuple
-//!    derived from the batch seed so results are independent of scheduling);
-//! 2. **sequential phase** — tuples that missed the ε_GP budget are re-run
-//!    through the full Algorithm 5 with tuning enabled.
-//!
-//! At steady state phase 2 is empty and the speedup approaches the worker
-//! count; on a cold model the behaviour (and output) degrades gracefully to
-//! the sequential algorithm.
+//! The actual two-phase machinery lives in [`crate::sched`], shared with the
+//! stream engine and the relational executor; [`ParallelOlgapro`] is the
+//! thin single-query adapter: fast path = [`Olgapro::infer_only`], accept =
+//! "ε_GP within budget", slow path = the full [`Olgapro::process`]. At
+//! steady state the slow phase is empty and the speedup approaches the
+//! worker count; on a cold model the behaviour (and output) degrades
+//! gracefully to the sequential algorithm.
 
 use crate::olgapro::Olgapro;
 use crate::output::GpOutput;
-use crate::{CoreError, Result};
+use crate::sched::{mix_seed, BatchOps, BatchScheduler, Verdict};
+use crate::Result;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use udf_prob::InputDistribution;
 
-/// Batch-parallel wrapper around [`Olgapro`].
+pub use crate::sched::BatchStats;
+
+/// Batch-parallel wrapper around [`Olgapro`], built on the shared
+/// [`BatchScheduler`] worker pool (threads persist across batches).
 #[derive(Debug)]
 pub struct ParallelOlgapro {
     inner: Olgapro,
-    workers: usize,
+    sched: BatchScheduler,
 }
 
-/// Outcome counters for one batch.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct BatchStats {
-    /// Tuples fully served by the parallel read-only phase.
-    pub fast_path: usize,
-    /// Tuples that needed the sequential tuning phase.
-    pub slow_path: usize,
+/// [`BatchOps`] adapter: one batch of plain (unfiltered) GP evaluation.
+struct OlgaproBatch<'a> {
+    olga: &'a mut Olgapro,
+    inputs: &'a [InputDistribution],
+    seed: u64,
+    eps_gp_budget: f64,
+    outputs: Vec<Option<GpOutput>>,
+}
+
+impl BatchOps for OlgaproBatch<'_> {
+    fn tuple_seed(&self, idx: usize) -> u64 {
+        mix_seed(self.seed, 0, idx as u64)
+    }
+
+    fn needs_bootstrap(&self) -> bool {
+        self.olga.model().is_empty()
+    }
+
+    fn fast(&self, idx: usize, rng: &mut StdRng) -> Result<GpOutput> {
+        self.olga.infer_only(&self.inputs[idx], rng)
+    }
+
+    fn accept(&self, _idx: usize, out: &GpOutput) -> Verdict {
+        if out.eps_gp <= self.eps_gp_budget {
+            Verdict::Accept
+        } else {
+            Verdict::Reroute
+        }
+    }
+
+    fn emit_fast(&mut self, idx: usize, out: GpOutput) -> Result<()> {
+        self.outputs[idx] = Some(out);
+        Ok(())
+    }
+
+    fn emit_filtered(&mut self, idx: usize, _rho_upper: f64) -> Result<()> {
+        // This adapter's accept hook never filters; a Filter verdict would
+        // leave `outputs[idx]` unfilled and panic later at the unwrap.
+        unreachable!("ParallelOlgapro never filters (tuple {idx})")
+    }
+
+    fn slow(&mut self, idx: usize, rng: &mut StdRng) -> Result<()> {
+        self.outputs[idx] = Some(self.olga.process(&self.inputs[idx], rng)?);
+        Ok(())
+    }
 }
 
 impl ParallelOlgapro {
@@ -46,7 +85,7 @@ impl ParallelOlgapro {
     pub fn new(inner: Olgapro, workers: usize) -> Self {
         ParallelOlgapro {
             inner,
-            workers: workers.max(1),
+            sched: BatchScheduler::new(workers),
         }
     }
 
@@ -60,76 +99,30 @@ impl ParallelOlgapro {
         self.inner
     }
 
-    /// Process a batch of tuples. `seed` derives one RNG per tuple, so the
-    /// output for a given `(batch, seed)` does not depend on thread timing.
+    /// Worker slots of the underlying scheduler.
+    pub fn workers(&self) -> usize {
+        self.sched.workers()
+    }
+
+    /// Process a batch of tuples. `seed` derives one RNG per tuple (via
+    /// [`mix_seed`]), so the output for a given `(batch, seed)` does not
+    /// depend on thread timing or worker count.
     pub fn process_batch(
         &mut self,
         inputs: &[InputDistribution],
         seed: u64,
     ) -> Result<(Vec<GpOutput>, BatchStats)> {
-        let mut outputs: Vec<Option<GpOutput>> = Vec::with_capacity(inputs.len());
-        outputs.resize_with(inputs.len(), || None);
-        let mut stats = BatchStats::default();
-
-        // Cold model: run the first tuple sequentially to bootstrap.
-        let mut start = 0;
-        if self.inner.model().is_empty() {
-            if let Some(first) = inputs.first() {
-                let mut rng = StdRng::seed_from_u64(seed);
-                outputs[0] = Some(self.inner.process(first, &mut rng)?);
-                stats.slow_path += 1;
-                start = 1;
-            }
-        }
-
-        // Phase 1: parallel read-only inference.
-        let pending = &inputs[start..];
-        if !pending.is_empty() {
-            let chunk = pending.len().div_ceil(self.workers);
-            let inner = &self.inner;
-            let results: Vec<(usize, Result<GpOutput>)> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (w, chunk_inputs) in pending.chunks(chunk).enumerate() {
-                    let base = start + w * chunk;
-                    handles.push(scope.spawn(move || {
-                        chunk_inputs
-                            .iter()
-                            .enumerate()
-                            .map(|(i, input)| {
-                                let idx = base + i;
-                                let mut rng =
-                                    StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37));
-                                (idx, inner.infer_only(input, &mut rng))
-                            })
-                            .collect::<Vec<_>>()
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            });
-            // Phase 2: sequential tuning for budget misses.
-            let eps_gp_budget = self.inner.config().split().eps_gp;
-            for (idx, res) in results {
-                match res {
-                    Ok(out) if out.eps_gp <= eps_gp_budget => {
-                        outputs[idx] = Some(out);
-                        stats.fast_path += 1;
-                    }
-                    Ok(_) | Err(CoreError::Gp(udf_gp::GpError::EmptyModel)) => {
-                        let mut rng =
-                            StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37));
-                        outputs[idx] = Some(self.inner.process(&inputs[idx], &mut rng)?);
-                        stats.slow_path += 1;
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-        }
-
+        let eps_gp_budget = self.inner.config().split().eps_gp;
+        let mut ops = OlgaproBatch {
+            olga: &mut self.inner,
+            inputs,
+            seed,
+            eps_gp_budget,
+            outputs: std::iter::repeat_with(|| None).take(inputs.len()).collect(),
+        };
+        let stats = self.sched.run_two_phase(&mut ops, inputs.len())?;
         Ok((
-            outputs
+            ops.outputs
                 .into_iter()
                 .map(|o| o.expect("every index filled"))
                 .collect(),
@@ -167,6 +160,7 @@ mod tests {
         let (outs, stats) = par.process_batch(&batch, 7).unwrap();
         assert_eq!(outs.len(), 10);
         assert_eq!(stats.fast_path + stats.slow_path, 10);
+        assert_eq!(stats.filtered, 0, "no filter hook on this path");
         let budget = par.inner().config().split().eps_gp;
         for out in &outs {
             assert!(
@@ -195,17 +189,43 @@ mod tests {
         let mut a = ParallelOlgapro::new(setup(0.2), 2);
         let mut b = ParallelOlgapro::new(setup(0.2), 8);
         let batch = inputs(6);
-        // Warm both identically (sequential bootstrap shares the seed).
-        a.process_batch(&batch, 11).unwrap();
-        b.process_batch(&batch, 11).unwrap();
-        let (oa, _) = a.process_batch(&batch, 12).unwrap();
-        let (ob, _) = b.process_batch(&batch, 12).unwrap();
-        for (x, y) in oa.iter().zip(&ob) {
-            // Same seed, different worker counts → identical outputs as long
-            // as both batches were all fast-path.
-            if x.points_added == 0 && y.points_added == 0 {
-                assert_eq!(x.y_hat.values(), y.y_hat.values());
-            }
+        // Warm both identically until the model converges (the warm-up
+        // batches share seeds, so the two models evolve in lock-step).
+        for seed in 11..16 {
+            a.process_batch(&batch, seed).unwrap();
+            b.process_batch(&batch, seed).unwrap();
+        }
+        let (oa, sa) = a.process_batch(&batch, 99).unwrap();
+        let (ob, sb) = b.process_batch(&batch, 99).unwrap();
+        assert_eq!(sa, sb, "routing must not depend on worker count");
+        assert_eq!(
+            sa.slow_path, 0,
+            "warm-up insufficient: still tuning after 5 batches"
+        );
+        // Same seed, different worker counts → identical outputs, with no
+        // slow-path escape hatch: every tuple must agree.
+        for (i, (x, y)) in oa.iter().zip(&ob).enumerate() {
+            assert_eq!(x.y_hat.values(), y.y_hat.values(), "tuple {i} mean CDF");
+            assert_eq!(x.y_s.values(), y.y_s.values(), "tuple {i} lower envelope");
+            assert_eq!(x.y_l.values(), y.y_l.values(), "tuple {i} upper envelope");
+            assert_eq!(x.eps_gp, y.eps_gp, "tuple {i} error bound");
+        }
+    }
+
+    #[test]
+    fn cold_batches_are_also_deterministic() {
+        // Stronger than the old guarantee: even bootstrap + slow-path
+        // (model-mutating) batches are byte-identical across worker counts,
+        // because slow work folds in tuple order with per-tuple seeds.
+        let batch = inputs(6);
+        let mut a = ParallelOlgapro::new(setup(0.2), 2);
+        let mut b = ParallelOlgapro::new(setup(0.2), 8);
+        let (oa, sa) = a.process_batch(&batch, 11).unwrap();
+        let (ob, sb) = b.process_batch(&batch, 11).unwrap();
+        assert_eq!(sa, sb);
+        assert!(sa.slow_path > 0, "cold batch must exercise the slow path");
+        for (i, (x, y)) in oa.iter().zip(&ob).enumerate() {
+            assert_eq!(x.y_hat.values(), y.y_hat.values(), "tuple {i}");
         }
     }
 

@@ -1,0 +1,493 @@
+//! The unified two-phase batch-execution core.
+//!
+//! Three subsystems run the same pattern over a batch of uncertain tuples:
+//! the batch-parallel evaluator ([`crate::parallel::ParallelOlgapro`]), the
+//! continuous-query stream engine (`udf_stream::engine`), and the relational
+//! executor's batch mode (`udf_query::Executor`). The pattern exploits the
+//! structure of OLGAPRO at convergence (§5 / §8 future work):
+//!
+//! 1. **fast phase** — every tuple is inferred concurrently against the
+//!    *frozen* model: a read-only pass (sample, local inference, error
+//!    bound) that parallelizes trivially;
+//! 2. **slow phase** — tuples whose result the caller rejects (typically an
+//!    ε_GP budget miss) re-run sequentially, *in tuple order*, through the
+//!    full model-mutating Algorithm 5.
+//!
+//! [`BatchScheduler`] owns that pattern once, parameterized by the pieces
+//! that differ per subsystem:
+//!
+//! * a **seed mixer** ([`BatchOps::tuple_seed`], usually [`mix_seed`]) that
+//!   derives one RNG per tuple from the batch seed — never from the worker
+//!   id — so outputs are independent of thread scheduling;
+//! * an **accept hook** ([`BatchOps::accept`]) mapping each fast-phase
+//!   result to a [`Verdict`]: accept it, reroute it through the slow path,
+//!   or drop it at fast-path cost (online filtering, §5.5);
+//! * a **slow-path closure** ([`BatchOps::slow`]) that runs the sequential,
+//!   model-mutating evaluation for bootstraps and reroutes.
+//!
+//! The fast phase runs on a **persistent worker pool**: threads are spawned
+//! once per scheduler and reused across batches, pulling chunks of the
+//! batch from a shared counter (chunk stealing) instead of being carved a
+//! fixed shard. At stream micro-batch sizes this beats spawning a fresh
+//! `std::thread::scope` per batch by a wide margin — see the
+//! `stream/dispatch` axis of `crates/bench/benches/stream_throughput.rs`.
+//!
+//! ## Determinism
+//!
+//! Tuple `i` always sees an RNG seeded with `ops.tuple_seed(i)` and slow
+//! work always folds in tuple order on the calling thread, so for a fixed
+//! seed the outputs (and every model mutation) are byte-identical for any
+//! worker count. Chunk stealing moves *where* fast work runs, never *what*
+//! it computes.
+
+use crate::output::GpOutput;
+use crate::{CoreError, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// SplitMix64-style finalizer over `(seed, stream, idx)` — the per-tuple
+/// seed mixer shared by every batch subsystem.
+///
+/// `stream` distinguishes independent consumers of one seed (the stream
+/// engine passes the query id; single-query callers pass 0); `idx` is the
+/// tuple's global index. The avalanche steps ensure adjacent indices yield
+/// uncorrelated RNG streams, which the previous ad-hoc
+/// `seed ^ (idx * constant)` mix did not.
+pub fn mix_seed(seed: u64, stream: u64, idx: u64) -> u64 {
+    let mut z =
+        seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ idx.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The accept hook's ruling on one fast-phase result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// The read-only result is good: emit it as-is.
+    Accept,
+    /// Re-run the tuple through the sequential slow path.
+    Reroute,
+    /// Drop the tuple at fast-path cost (online filtering, §5.5), recording
+    /// the tuple-existence-probability upper bound at the decision point.
+    Filter {
+        /// Upper bound on the TEP when the tuple was dropped.
+        rho_upper: f64,
+    },
+}
+
+/// Outcome counters for one batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Tuples fully served by the parallel read-only phase.
+    pub fast_path: usize,
+    /// Tuples that needed the sequential slow phase (bootstrap included).
+    pub slow_path: usize,
+    /// Tuples dropped by the accept hook's filter verdict.
+    pub filtered: usize,
+}
+
+/// What a caller plugs into [`BatchScheduler::run_two_phase`]. The
+/// implementor owns the batch state (model, inputs, output sink); the
+/// scheduler sequences the borrows: `&self` methods run during the
+/// concurrent fast phase, `&mut self` methods run sequentially in tuple
+/// order on the calling thread.
+pub trait BatchOps {
+    /// The seed mixer: per-tuple RNG seed for tuple `idx`. Must not depend
+    /// on anything scheduling-dependent.
+    fn tuple_seed(&self, idx: usize) -> u64;
+
+    /// True when the model is cold and tuple 0 must run through the slow
+    /// path *before* the fast phase, so the fast phase has a model to read.
+    fn needs_bootstrap(&self) -> bool {
+        false
+    }
+
+    /// Read-only fast-path evaluation of tuple `idx`; runs concurrently.
+    fn fast(&self, idx: usize, rng: &mut StdRng) -> Result<GpOutput>;
+
+    /// Rule on a fast-path result. Called in tuple order; `&self` already
+    /// reflects every slow-path mutation of earlier tuples.
+    fn accept(&self, idx: usize, out: &GpOutput) -> Verdict;
+
+    /// Emit an accepted fast-path output (sequential, tuple order).
+    fn emit_fast(&mut self, idx: usize, out: GpOutput) -> Result<()>;
+
+    /// Record a filtered tuple (sequential, tuple order). Callers without a
+    /// filter verdict can keep the default no-op.
+    fn emit_filtered(&mut self, idx: usize, rho_upper: f64) -> Result<()> {
+        let _ = (idx, rho_upper);
+        Ok(())
+    }
+
+    /// Full sequential evaluation of tuple `idx` (bootstrap and reroutes),
+    /// free to mutate the model. The RNG is freshly derived from
+    /// [`tuple_seed`](BatchOps::tuple_seed), exactly as the fast path's was.
+    fn slow(&mut self, idx: usize, rng: &mut StdRng) -> Result<()>;
+}
+
+/// A lifetime-erased pointer to the task a [`WorkerPool`] broadcast runs.
+///
+/// Safety: [`WorkerPool::run`] does not return until every worker that
+/// received the pointer has reported completion, so the borrow it erases
+/// outlives every dereference.
+struct TaskRef(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are safe) and `WorkerPool::run`
+// bounds the pointer's use to the lifetime of the borrow it was cast from.
+unsafe impl Send for TaskRef {}
+
+/// One broadcast job: the task plus the completion channel.
+struct Job {
+    task: TaskRef,
+    /// Reports `Ok` when the task ran to completion, or the panic message.
+    done: mpsc::Sender<std::result::Result<(), String>>,
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".to_string(),
+        },
+    }
+}
+
+/// Persistent worker threads, spawned once and reused across batches.
+///
+/// A pool of capacity `workers` owns `workers - 1` threads; the thread that
+/// calls [`run`](WorkerPool::run) participates as the final worker, so
+/// `workers == 1` degenerates to a plain inline call with no thread or
+/// channel traffic at all.
+struct WorkerPool {
+    txs: Vec<mpsc::Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut txs = Vec::with_capacity(workers - 1);
+        let mut handles = Vec::with_capacity(workers - 1);
+        for id in 0..workers - 1 {
+            let (tx, rx) = mpsc::channel::<Job>();
+            txs.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("udf-sched-{id}"))
+                    .spawn(move || worker_loop(id, rx))
+                    .expect("spawn scheduler worker"),
+            );
+        }
+        WorkerPool {
+            txs,
+            handles,
+            workers,
+        }
+    }
+
+    /// Run `task(worker_id)` on up to `helpers` pool threads plus the
+    /// caller, and wait for all of them. Dispatching fewer jobs than pool
+    /// threads lets a small batch (fewer steal-able chunks than workers)
+    /// skip waking threads that would find the steal counter exhausted.
+    /// Returns the first panic message when any invocation panicked.
+    fn run(
+        &self,
+        task: &(dyn Fn(usize) + Sync),
+        helpers: usize,
+    ) -> std::result::Result<(), String> {
+        let caller_run =
+            || catch_unwind(AssertUnwindSafe(|| task(self.workers - 1))).map_err(panic_message);
+        if self.txs.is_empty() || helpers == 0 {
+            return caller_run();
+        }
+        let (done_tx, done_rx) = mpsc::channel();
+        // SAFETY: erases the borrow's lifetime. The wait loop below blocks
+        // until every dispatched job has reported done, so no worker touches
+        // the pointer after this function returns.
+        let erased: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) };
+        let mut sent = 0usize;
+        for tx in self.txs.iter().take(helpers) {
+            let job = Job {
+                task: TaskRef(erased as *const _),
+                done: done_tx.clone(),
+            };
+            if tx.send(job).is_ok() {
+                sent += 1;
+            }
+        }
+        drop(done_tx);
+        // The caller is the last worker; catch its panic too so we never
+        // unwind past the wait below while threads still hold the task.
+        let mut res = caller_run();
+        for _ in 0..sent {
+            match done_rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(err) => res = res.and(err),
+                Err(_) => {
+                    res = res.and(Err("scheduler worker died mid-batch".to_string()));
+                }
+            }
+        }
+        res
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.txs.clear(); // closes every job channel; workers exit their loop
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(id: usize, rx: mpsc::Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        // SAFETY: see `TaskRef` — the broadcaster is blocked until `done`
+        // reports, so the pointee is alive for the whole call.
+        let task = unsafe { &*job.task.0 };
+        let res = catch_unwind(AssertUnwindSafe(|| task(id))).map_err(panic_message);
+        let _ = job.done.send(res);
+    }
+}
+
+/// How many steal-able chunks each worker's share of a batch is split into.
+/// More chunks smooth out per-tuple cost variance (a tuple near the model
+/// boundary can be 10× its neighbors); fewer chunks cut counter traffic.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// The shared batch-execution core: a persistent worker pool plus the
+/// two-phase fast/slow driver. See the [module docs](self) for the pattern.
+pub struct BatchScheduler {
+    pool: WorkerPool,
+}
+
+impl std::fmt::Debug for BatchScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchScheduler")
+            .field("workers", &self.pool.workers)
+            .finish()
+    }
+}
+
+impl BatchScheduler {
+    /// Create a scheduler with `workers` total execution slots (clamped to
+    /// ≥ 1). `workers - 1` pool threads are spawned now and reused for every
+    /// subsequent batch; the calling thread fills the last slot.
+    pub fn new(workers: usize) -> Self {
+        BatchScheduler {
+            pool: WorkerPool::new(workers),
+        }
+    }
+
+    /// Total execution slots (pool threads + the calling thread).
+    pub fn workers(&self) -> usize {
+        self.pool.workers
+    }
+
+    /// Evaluate `f(i)` for every `i in 0..n` across the pool and return the
+    /// results in index order. Workers steal chunks from a shared counter,
+    /// so placement is dynamic but `out[i]` is always `f(i)`.
+    ///
+    /// Returns [`CoreError::WorkerPanicked`] when any invocation of `f`
+    /// panicked (the panic is contained; the pool stays usable).
+    pub fn try_map<T, F>(&self, n: usize, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let slots: Mutex<Vec<Option<T>>> =
+            Mutex::new(std::iter::repeat_with(|| None).take(n).collect());
+        let next = AtomicUsize::new(0);
+        let chunk = n.div_ceil(self.pool.workers * CHUNKS_PER_WORKER).max(1);
+        // Wake only as many pool threads as there are chunks to steal
+        // (minus the caller's slot): a 2-tuple batch on an 8-worker pool
+        // should not pay 7 wake-ups.
+        let helpers = n.div_ceil(chunk).saturating_sub(1);
+        let task = |_worker: usize| loop {
+            let lo = next.fetch_add(chunk, Ordering::Relaxed);
+            if lo >= n {
+                break;
+            }
+            let hi = (lo + chunk).min(n);
+            // Evaluate outside the lock; only the moves happen under it.
+            let vals: Vec<(usize, T)> = (lo..hi).map(|i| (i, f(i))).collect();
+            let mut guard = slots.lock().expect("result mutex");
+            for (i, v) in vals {
+                guard[i] = Some(v);
+            }
+        };
+        match self.pool.run(&task, helpers) {
+            Ok(()) => Ok(slots
+                .into_inner()
+                .expect("result mutex")
+                .into_iter()
+                .map(|slot| slot.expect("every index filled"))
+                .collect()),
+            Err(message) => Err(CoreError::WorkerPanicked { message }),
+        }
+    }
+
+    /// Drive one batch of `n` tuples through the two-phase pattern:
+    ///
+    /// 1. if [`BatchOps::needs_bootstrap`], tuple 0 runs the slow path
+    ///    sequentially so the fast phase has a model to read;
+    /// 2. the remaining tuples run [`BatchOps::fast`] concurrently on the
+    ///    pool, each with an RNG from [`BatchOps::tuple_seed`];
+    /// 3. results fold sequentially in tuple order: the accept hook rules
+    ///    [`Accept`](Verdict::Accept) / [`Filter`](Verdict::Filter) /
+    ///    [`Reroute`](Verdict::Reroute), and rerouted tuples (plus any
+    ///    tuple whose fast pass hit an empty model) re-run via
+    ///    [`BatchOps::slow`].
+    pub fn run_two_phase<O>(&self, ops: &mut O, n: usize) -> Result<BatchStats>
+    where
+        O: BatchOps + Sync,
+    {
+        let mut stats = BatchStats::default();
+        if n == 0 {
+            return Ok(stats);
+        }
+        let mut start = 0usize;
+        if ops.needs_bootstrap() {
+            slow_tuple(ops, 0, &mut stats)?;
+            start = 1;
+            if start == n {
+                return Ok(stats);
+            }
+        }
+
+        // Phase 1: parallel read-only inference against the frozen model.
+        let shared: &O = ops;
+        let inferred: Vec<Result<GpOutput>> = self.try_map(n - start, |i| {
+            let idx = start + i;
+            let mut rng = StdRng::seed_from_u64(shared.tuple_seed(idx));
+            shared.fast(idx, &mut rng)
+        })?;
+
+        // Phase 2: sequential fold in tuple order.
+        for (i, res) in inferred.into_iter().enumerate() {
+            let idx = start + i;
+            match res {
+                Ok(out) => match ops.accept(idx, &out) {
+                    Verdict::Accept => {
+                        ops.emit_fast(idx, out)?;
+                        stats.fast_path += 1;
+                    }
+                    Verdict::Filter { rho_upper } => {
+                        ops.emit_filtered(idx, rho_upper)?;
+                        stats.filtered += 1;
+                    }
+                    Verdict::Reroute => slow_tuple(ops, idx, &mut stats)?,
+                },
+                // A racing reader can see the pre-bootstrap empty model only
+                // when there is no bootstrap tuple in this batch; route it
+                // through the slow path like any other miss.
+                Err(CoreError::Gp(udf_gp::GpError::EmptyModel)) => {
+                    slow_tuple(ops, idx, &mut stats)?
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// Run one tuple through the slow path with its canonical RNG.
+fn slow_tuple<O: BatchOps>(ops: &mut O, idx: usize, stats: &mut BatchStats) -> Result<()> {
+    let mut rng = StdRng::seed_from_u64(ops.tuple_seed(idx));
+    ops.slow(idx, &mut rng)?;
+    stats.slow_path += 1;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn mix_seed_varies_with_every_input() {
+        let s = mix_seed(1, 2, 3);
+        assert_ne!(s, mix_seed(2, 2, 3));
+        assert_ne!(s, mix_seed(1, 3, 3));
+        assert_ne!(s, mix_seed(1, 2, 4));
+        assert_eq!(s, mix_seed(1, 2, 3));
+    }
+
+    #[test]
+    fn mix_seed_decorrelates_adjacent_indices() {
+        // The weak multiplier mix this replaced flipped only low bits
+        // between adjacent indices; the finalizer must flip about half.
+        for idx in 0..64u64 {
+            let a = mix_seed(7, 0, idx);
+            let b = mix_seed(7, 0, idx + 1);
+            let flipped = (a ^ b).count_ones();
+            assert!((8..=56).contains(&flipped), "idx {idx}: {flipped} bits");
+        }
+    }
+
+    #[test]
+    fn try_map_is_index_ordered_for_any_worker_count() {
+        for workers in [1usize, 2, 3, 8] {
+            let sched = BatchScheduler::new(workers);
+            let out = sched.try_map(100, |i| i * i).unwrap();
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_map_reuses_the_pool_across_batches() {
+        let sched = BatchScheduler::new(4);
+        for round in 0..50usize {
+            let out = sched.try_map(17, |i| i + round).unwrap();
+            assert_eq!(out[16], 16 + round);
+        }
+    }
+
+    #[test]
+    fn try_map_contains_panics_and_pool_survives() {
+        let sched = BatchScheduler::new(4);
+        let err = sched
+            .try_map(32, |i| if i == 13 { panic!("boom") } else { i })
+            .unwrap_err();
+        match &err {
+            CoreError::WorkerPanicked { message } => {
+                assert!(message.contains("boom"), "payload lost: {message:?}")
+            }
+            other => panic!("expected WorkerPanicked, got {other}"),
+        }
+        // The pool must stay usable after a contained panic.
+        let out = sched.try_map(8, |i| i).unwrap();
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn try_map_empty_is_fine() {
+        let sched = BatchScheduler::new(2);
+        let out: Vec<usize> = sched.try_map(0, |i| i).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunk_stealing_covers_every_index_exactly_once() {
+        let sched = BatchScheduler::new(8);
+        let hits: Vec<AtomicU64> = (0..257).map(|_| AtomicU64::new(0)).collect();
+        sched
+            .try_map(257, |i| hits[i].fetch_add(1, Ordering::Relaxed))
+            .unwrap();
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+}

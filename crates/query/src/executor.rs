@@ -1,12 +1,33 @@
 //! Query execution: UDF projection and UDF selection over relations.
+//!
+//! Two execution modes share one evaluation substrate:
+//!
+//! * the original tuple-at-a-time mode ([`Executor::project`] /
+//!   [`Executor::select`]), driven by a caller-supplied RNG;
+//! * a **batch-parallel** mode ([`Executor::project_batch`] /
+//!   [`Executor::select_batch`]) built on the shared two-phase core
+//!   [`udf_core::sched::BatchScheduler`]: read-only GP inference (or MC
+//!   sampling) fans out across the persistent worker pool, and only tuples
+//!   that miss the ε_GP budget take the sequential model-mutating path.
+//!   Per-tuple RNGs derive from [`mix_seed`]`(seed, 0, i)`, so results are
+//!   byte-identical for any worker count. On the MC path (and on the GP
+//!   path once the model is warm) they are also identical to a sequential
+//!   evaluation with the same per-tuple seeds; while the model is still
+//!   being tuned, accepted fast-path rows are inferred against the
+//!   batch-start model rather than each predecessor's tuning, exactly like
+//!   [`udf_core::parallel::ParallelOlgapro`].
 
 use crate::relation::{Relation, Tuple, UdfCall};
 use crate::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use udf_core::config::{AccuracyRequirement, OlgaproConfig};
-use udf_core::filtering::{gp_filtered, mc_filtered, FilterDecision, Predicate};
+use udf_core::filtering::{gp_filtered, mc_eval_tuple, mc_filtered, FilterDecision, Predicate};
 use udf_core::olgapro::Olgapro;
-use udf_core::output::OutputDistribution;
+use udf_core::output::{GpOutput, OutputDistribution};
+use udf_core::sched::{mix_seed, BatchOps, BatchScheduler, Verdict};
 use udf_core::McEvaluator;
+use udf_prob::InputDistribution;
 
 /// How UDF outputs are computed per tuple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +182,106 @@ impl Executor {
         Ok(out)
     }
 
+    /// Batch-parallel Q1 projection: like [`project`](Executor::project),
+    /// but the whole relation is one batch on `sched`'s worker pool.
+    ///
+    /// Tuple `i` is evaluated with an RNG seeded
+    /// [`mix_seed`]`(seed, 0, i)`, so the rows are byte-identical for any
+    /// worker count — and, once the GP model is warm (MC: always),
+    /// identical to processing the tuples sequentially in order with the
+    /// same per-tuple seeds.
+    pub fn project_batch(
+        &mut self,
+        rel: &Relation,
+        call: &UdfCall,
+        sched: &BatchScheduler,
+        seed: u64,
+    ) -> Result<Vec<ProjectedTuple>> {
+        self.run_batch(rel, call, None, sched, seed)
+    }
+
+    /// Batch-parallel Q2 selection: like [`select`](Executor::select), but
+    /// the whole relation is one batch on `sched`'s worker pool. On the GP
+    /// path, tuples are filtered from the fast-path envelope bounds (§5.5)
+    /// before any model-mutating work is scheduled.
+    pub fn select_batch(
+        &mut self,
+        rel: &Relation,
+        call: &UdfCall,
+        predicate: &Predicate,
+        sched: &BatchScheduler,
+        seed: u64,
+    ) -> Result<Vec<ProjectedTuple>> {
+        self.run_batch(rel, call, Some(*predicate), sched, seed)
+    }
+
+    /// Shared batch driver for projection (`predicate = None`) and
+    /// selection (`Some`).
+    fn run_batch(
+        &mut self,
+        rel: &Relation,
+        call: &UdfCall,
+        predicate: Option<Predicate>,
+        sched: &BatchScheduler,
+        seed: u64,
+    ) -> Result<Vec<ProjectedTuple>> {
+        let inputs: Vec<InputDistribution> = rel
+            .tuples()
+            .iter()
+            .map(|t| call.input_distribution(t))
+            .collect::<Result<_>>()?;
+        let n = inputs.len();
+        self.stats.tuples_in += n as u64;
+        let mut rows = Vec::with_capacity(n);
+        match self.strategy {
+            EvalStrategy::Mc => {
+                // MC never mutates shared state: the whole batch is one
+                // parallel map (mc_eval_tuple forks the UDF's call counter
+                // so per-tuple accounting stays exact under concurrency).
+                let accuracy = self.accuracy;
+                let udf = &call.udf;
+                let results: Vec<udf_core::Result<FilterDecision<OutputDistribution>>> = sched
+                    .try_map(n, |i| {
+                        let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0, i as u64));
+                        mc_eval_tuple(udf, &inputs[i], &accuracy, predicate.as_ref(), &mut rng)
+                    })?;
+                for (i, res) in results.into_iter().enumerate() {
+                    match res? {
+                        FilterDecision::Kept { output, tep } => {
+                            self.stats.udf_calls += output.udf_calls;
+                            self.stats.tuples_out += 1;
+                            rows.push(ProjectedTuple {
+                                source: i,
+                                output,
+                                tep,
+                            });
+                        }
+                        FilterDecision::Filtered { udf_calls, .. } => {
+                            self.stats.udf_calls += udf_calls;
+                        }
+                    }
+                }
+            }
+            EvalStrategy::Gp => {
+                let olga = self.olgapro.as_mut().expect("GP strategy has model");
+                let eps_gp_budget = olga.config().split().eps_gp;
+                let mut ops = GpRelationOps {
+                    olga,
+                    inputs: &inputs,
+                    predicate,
+                    seed,
+                    eps_gp_budget,
+                    rows: &mut rows,
+                    udf_calls: 0,
+                };
+                sched.run_two_phase(&mut ops, n)?;
+                self.stats.udf_calls += ops.udf_calls;
+                self.stats.tuples_out += rows.len() as u64;
+            }
+        }
+        Ok(rows)
+    }
+
     fn eval_tuple(
         &mut self,
         tuple: &Tuple,
@@ -178,6 +299,91 @@ impl Executor {
                 Ok(olga.process(&input, rng)?.into_distribution())
             }
         }
+    }
+}
+
+/// [`BatchOps`] adapter for one GP batch over a relation: fast path =
+/// read-only inference, accept hook = optional §5.5 filter + ε_GP budget,
+/// slow path = full Algorithm 5 (with filtering when a predicate is
+/// attached). Kept rows are pushed in tuple order, so the output relation
+/// preserves source order exactly like the sequential executor.
+struct GpRelationOps<'a> {
+    olga: &'a mut Olgapro,
+    inputs: &'a [InputDistribution],
+    predicate: Option<Predicate>,
+    seed: u64,
+    eps_gp_budget: f64,
+    rows: &'a mut Vec<ProjectedTuple>,
+    udf_calls: u64,
+}
+
+impl BatchOps for GpRelationOps<'_> {
+    fn tuple_seed(&self, idx: usize) -> u64 {
+        mix_seed(self.seed, 0, idx as u64)
+    }
+
+    fn needs_bootstrap(&self) -> bool {
+        self.olga.model().is_empty()
+    }
+
+    fn fast(&self, idx: usize, rng: &mut StdRng) -> udf_core::Result<GpOutput> {
+        self.olga.infer_only(&self.inputs[idx], rng)
+    }
+
+    fn accept(&self, _idx: usize, out: &GpOutput) -> Verdict {
+        if let Some(pred) = self.predicate {
+            let (_, _, rho_u) = out.tep_bounds(pred.lo, pred.hi);
+            if rho_u < pred.theta {
+                return Verdict::Filter { rho_upper: rho_u };
+            }
+        }
+        if out.eps_gp <= self.eps_gp_budget {
+            Verdict::Accept
+        } else {
+            Verdict::Reroute
+        }
+    }
+
+    fn emit_fast(&mut self, idx: usize, out: GpOutput) -> udf_core::Result<()> {
+        let tep = self
+            .predicate
+            .map(|p| out.tep_bounds(p.lo, p.hi).1)
+            .unwrap_or(1.0);
+        self.rows.push(ProjectedTuple {
+            source: idx,
+            output: out.into_distribution(),
+            tep,
+        });
+        Ok(())
+    }
+
+    fn slow(&mut self, idx: usize, rng: &mut StdRng) -> udf_core::Result<()> {
+        let input = &self.inputs[idx];
+        match self.predicate {
+            Some(pred) => match gp_filtered(self.olga, input, &pred, rng)? {
+                FilterDecision::Kept { output, tep } => {
+                    self.udf_calls += output.udf_calls;
+                    self.rows.push(ProjectedTuple {
+                        source: idx,
+                        output: output.into_distribution(),
+                        tep,
+                    });
+                }
+                FilterDecision::Filtered { udf_calls, .. } => {
+                    self.udf_calls += udf_calls;
+                }
+            },
+            None => {
+                let out = self.olga.process(input, rng)?;
+                self.udf_calls += out.udf_calls;
+                self.rows.push(ProjectedTuple {
+                    source: idx,
+                    output: out.into_distribution(),
+                    tep: 1.0,
+                });
+            }
+        }
+        Ok(())
     }
 }
 

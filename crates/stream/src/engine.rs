@@ -10,23 +10,25 @@
 //!    sharding the batch across `workers` threads for the read-only phase
 //!    and folding results back sequentially in tuple order.
 //!
-//! Per-query evaluation follows the fast-path/slow-path split of
-//! [`udf_core::parallel::ParallelOlgapro`]: GP inference against the frozen
-//! model (and MC sampling, which never mutates anything) runs in parallel;
-//! tuples whose error bound misses the GP budget fall back to the
-//! sequential, model-mutating path of Algorithm 5. Online filtering runs
-//! *before* the slow path, so a subscription with a selective predicate
-//! drops most tuples at fast-path cost (§5.5 / Remark 2.1).
+//! Per-query evaluation delegates to the shared two-phase execution core,
+//! [`udf_core::sched::BatchScheduler`]: GP inference against the frozen
+//! model (and MC sampling, which never mutates anything) runs in parallel
+//! on the engine's persistent worker pool; tuples whose error bound misses
+//! the GP budget fall back to the sequential, model-mutating path of
+//! Algorithm 5 through the scheduler's reroute verdict. Online filtering is
+//! the engine's accept hook, ruled *before* the slow path, so a
+//! subscription with a selective predicate drops most tuples at fast-path
+//! cost (§5.5 / Remark 2.1).
 //!
 //! ## Determinism
 //!
 //! The RNG for tuple `g` of query `q` is seeded with
-//! `mix(engine_seed, q, g)`, where `g` is the tuple's global index in the
-//! stream — never the worker id or the batch offset. Slow-path work is
-//! applied in tuple order on the scheduler thread. Worker count therefore
-//! changes only *where* fast-path work runs, not *what* it computes, and a
-//! fixed `(seed, batch_size)` yields byte-identical emitted distributions
-//! for any worker count.
+//! [`mix_seed`]`(engine_seed, q, g)`, where `g` is the tuple's global index
+//! in the stream — never the worker id or the batch offset. Slow-path work
+//! is applied in tuple order on the scheduler thread. Worker count
+//! therefore changes only *where* fast-path work runs, not *what* it
+//! computes, and a fixed `(seed, batch_size)` yields byte-identical emitted
+//! distributions for any worker count.
 
 use crate::source::Source;
 use crate::stats::{Digest, EngineStats, KeptSummary, StreamStats};
@@ -37,13 +39,12 @@ use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::time::Instant;
 use udf_core::config::{AccuracyRequirement, OlgaproConfig};
-use udf_core::filtering::{gp_filtered, mc_filtered, FilterDecision, Predicate};
+use udf_core::filtering::{gp_filtered, mc_eval_tuple, FilterDecision, Predicate};
 use udf_core::hybrid::{rule_based_choice, HybridChoice};
-use udf_core::mc::McEvaluator;
 use udf_core::olgapro::Olgapro;
 use udf_core::output::GpOutput;
+use udf_core::sched::{mix_seed, BatchOps, BatchScheduler, Verdict};
 use udf_core::udf::BlackBoxUdf;
-use udf_core::CoreError;
 use udf_prob::{Ecdf, InputDistribution};
 
 /// How a subscription evaluates its UDF.
@@ -121,16 +122,6 @@ impl EngineConfig {
     }
 }
 
-/// Per-tuple RNG seed: a SplitMix64-style finalizer over
-/// `(engine seed, query id, global tuple index)`.
-fn tuple_seed(seed: u64, query: u64, gidx: u64) -> u64 {
-    let mut z =
-        seed ^ query.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ gidx.wrapping_mul(0xD1B5_4A32_D192_ED03);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// The evaluator state owned by one subscription.
 enum Evaluator {
     /// MC path: stateless per-tuple sampling (the UDF handle lives on the
@@ -174,6 +165,10 @@ pub(crate) struct SubscribeParams {
 pub struct StreamEngine {
     config: EngineConfig,
     queries: Vec<QueryState>,
+    /// The shared two-phase execution core. Its worker pool persists for
+    /// the engine's lifetime and is reused for every micro-batch of every
+    /// subscription — no per-batch thread spawning on the hot path.
+    sched: BatchScheduler,
     tuples_seen: u64,
     last_run: EngineStats,
 }
@@ -182,6 +177,7 @@ impl StreamEngine {
     /// Create an engine with the given configuration.
     pub(crate) fn new(config: EngineConfig) -> Self {
         StreamEngine {
+            sched: BatchScheduler::new(config.workers),
             config,
             queries: Vec::new(),
             tuples_seen: 0,
@@ -335,30 +331,19 @@ impl StreamEngine {
     fn process_batch(&mut self, batch: &[InputDistribution]) -> Result<()> {
         let base = self.tuples_seen;
         self.tuples_seen += batch.len() as u64;
-        let workers = self.config.workers;
         let seed = self.config.seed;
+        let sched = &self.sched;
         for (qid, q) in self.queries.iter_mut().enumerate() {
             let t0 = Instant::now();
             match &q.eval {
-                Evaluator::Mc => mc_batch(q, batch, base, workers, seed, qid as u64)?,
-                Evaluator::Gp(..) => gp_batch(q, batch, base, workers, seed, qid as u64)?,
+                Evaluator::Mc => mc_batch(q, batch, base, sched, seed, qid as u64)?,
+                Evaluator::Gp(..) => gp_batch(q, batch, base, sched, seed, qid as u64)?,
             }
             q.stats.batches += 1;
             q.stats.busy += t0.elapsed();
         }
         Ok(())
     }
-}
-
-/// Flatten per-worker result chunks, converting a panicked worker (a UDF
-/// that panicked mid-batch) into [`StreamError::WorkerPanicked`] instead of
-/// unwinding through [`Session::run`](crate::session::Session::run).
-fn join_sharded<T>(joined: Vec<std::thread::Result<Vec<T>>>) -> Result<Vec<T>> {
-    let mut out = Vec::new();
-    for chunk in joined {
-        out.extend(chunk.map_err(|_| StreamError::WorkerPanicked)?);
-    }
-    Ok(out)
 }
 
 /// Fold one kept tuple into a query's registries.
@@ -396,13 +381,13 @@ fn record_filtered(q: &mut QueryState, gidx: u64, rho_upper: f64) {
 }
 
 /// MC batch evaluation: every tuple is independent, so the whole batch is
-/// fast-path, sharded across workers. Each worker forks the UDF's call
+/// one parallel map on the scheduler pool. Each tuple forks the UDF's call
 /// counter so per-tuple call counts stay exact under concurrency.
 fn mc_batch(
     q: &mut QueryState,
     batch: &[InputDistribution],
     base: u64,
-    workers: usize,
+    sched: &BatchScheduler,
     seed: u64,
     qid: u64,
 ) -> Result<()> {
@@ -412,31 +397,12 @@ fn mc_batch(
     let accuracy = q.accuracy;
     let predicate = q.predicate;
     let udf = &q.udf;
-    let chunk = batch.len().div_ceil(workers);
     let results: Vec<udf_core::Result<FilterDecision<udf_core::output::OutputDistribution>>> =
-        join_sharded(std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (w, chunk_inputs) in batch.chunks(chunk).enumerate() {
-                handles.push(scope.spawn(move || {
-                    chunk_inputs
-                        .iter()
-                        .enumerate()
-                        .map(|(i, input)| {
-                            let gidx = base + (w * chunk + i) as u64;
-                            let mut rng = StdRng::seed_from_u64(tuple_seed(seed, qid, gidx));
-                            let local_udf = udf.fork_counter();
-                            match &predicate {
-                                Some(p) => mc_filtered(&local_udf, input, &accuracy, p, &mut rng),
-                                None => McEvaluator::new(local_udf)
-                                    .compute(input, &accuracy, &mut rng)
-                                    .map(|output| FilterDecision::Kept { output, tep: 1.0 }),
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            handles.into_iter().map(|h| h.join()).collect()
-        }))?;
+        sched.try_map(batch.len(), |i| {
+            let gidx = base + i as u64;
+            let mut rng = StdRng::seed_from_u64(mix_seed(seed, qid, gidx));
+            mc_eval_tuple(udf, &batch[i], &accuracy, predicate.as_ref(), &mut rng)
+        })?;
 
     for (i, res) in results.into_iter().enumerate() {
         let gidx = base + i as u64;
@@ -459,146 +425,143 @@ fn mc_batch(
     Ok(())
 }
 
-/// GP batch evaluation: parallel read-only inference against the frozen
-/// model, then a sequential pass (in tuple order) that applies filtering,
-/// accepts fast-path results within the ε_GP budget, and routes the rest
-/// through the full model-mutating Algorithm 5.
+/// [`BatchOps`] adapter for one subscription's GP micro-batch: fast path =
+/// read-only inference, accept hook = online filter (§5.5) + ε_GP budget +
+/// model-size cap, slow path = the full model-mutating Algorithm 5. The
+/// `record_kept` / `record_filtered` bookkeeping runs inside the hooks, in
+/// tuple order, so digests reflect stream order exactly.
+struct GpBatchOps<'a> {
+    q: &'a mut QueryState,
+    batch: &'a [InputDistribution],
+    base: u64,
+    seed: u64,
+    qid: u64,
+}
+
+impl GpBatchOps<'_> {
+    fn olga(&self) -> &Olgapro {
+        let Evaluator::Gp(olga, _) = &self.q.eval else {
+            unreachable!("GP batch on a non-GP query")
+        };
+        olga
+    }
+}
+
+impl BatchOps for GpBatchOps<'_> {
+    fn tuple_seed(&self, idx: usize) -> u64 {
+        mix_seed(self.seed, self.qid, self.base + idx as u64)
+    }
+
+    fn needs_bootstrap(&self) -> bool {
+        self.olga().model().is_empty()
+    }
+
+    fn fast(&self, idx: usize, rng: &mut StdRng) -> udf_core::Result<GpOutput> {
+        self.olga().infer_only(&self.batch[idx], rng)
+    }
+
+    fn accept(&self, _idx: usize, out: &GpOutput) -> Verdict {
+        // Online filtering on the envelope upper bound (§5.5): the bound
+        // only widens on an under-trained model, so dropping here is sound
+        // and costs zero UDF calls.
+        if let Some(pred) = self.q.predicate {
+            let (_, _, rho_u) = out.tep_bounds(pred.lo, pred.hi);
+            if rho_u < pred.theta {
+                return Verdict::Filter { rho_upper: rho_u };
+            }
+        }
+        let Evaluator::Gp(olga, budget) = &self.q.eval else {
+            unreachable!("GP batch on a non-GP query")
+        };
+        // Model-size budget: once the warm model reaches the cap, stop
+        // growing it and emit at the achieved bound — this keeps per-tuple
+        // inference cost bounded on long streams.
+        let model_full =
+            self.q.max_model_points > 0 && olga.model().len() >= self.q.max_model_points;
+        if out.eps_gp <= *budget || model_full {
+            Verdict::Accept
+        } else {
+            Verdict::Reroute
+        }
+    }
+
+    fn emit_fast(&mut self, idx: usize, out: GpOutput) -> udf_core::Result<()> {
+        let gidx = self.base + idx as u64;
+        self.q.stats.tuples_in += 1;
+        self.q.stats.fast_path += 1;
+        let tep = self
+            .q
+            .predicate
+            .map(|p| out.tep_bounds(p.lo, p.hi).1)
+            .unwrap_or(1.0);
+        record_kept(self.q, gidx, &out.y_hat, out.error_bound(), tep);
+        Ok(())
+    }
+
+    fn emit_filtered(&mut self, idx: usize, rho_upper: f64) -> udf_core::Result<()> {
+        let gidx = self.base + idx as u64;
+        self.q.stats.tuples_in += 1;
+        self.q.stats.fast_path += 1;
+        record_filtered(self.q, gidx, rho_upper);
+        Ok(())
+    }
+
+    /// The full Algorithm 5 (with filtering when a predicate is attached),
+    /// mutating the model. The scheduler calls this in tuple order with a
+    /// freshly derived RNG, which is what keeps the engine deterministic.
+    fn slow(&mut self, idx: usize, rng: &mut StdRng) -> udf_core::Result<()> {
+        let gidx = self.base + idx as u64;
+        let input = &self.batch[idx];
+        let predicate = self.q.predicate;
+        let Evaluator::Gp(olga, _) = &mut self.q.eval else {
+            unreachable!("GP batch on a non-GP query")
+        };
+        self.q.stats.tuples_in += 1;
+        self.q.stats.slow_path += 1;
+        match predicate {
+            Some(pred) => match gp_filtered(olga, input, &pred, rng)? {
+                FilterDecision::Kept { output, tep } => {
+                    self.q.stats.udf_calls += output.udf_calls;
+                    record_kept(self.q, gidx, &output.y_hat, output.error_bound(), tep);
+                }
+                FilterDecision::Filtered {
+                    rho_upper,
+                    udf_calls,
+                } => {
+                    self.q.stats.udf_calls += udf_calls;
+                    record_filtered(self.q, gidx, rho_upper);
+                }
+            },
+            None => {
+                let out = olga.process(input, rng)?;
+                self.q.stats.udf_calls += out.udf_calls;
+                record_kept(self.q, gidx, &out.y_hat, out.error_bound(), 1.0);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// GP batch evaluation: one [`BatchScheduler::run_two_phase`] pass —
+/// parallel read-only inference against the frozen model, then a sequential
+/// fold (in tuple order) that filters, accepts within the ε_GP budget, and
+/// reroutes the rest through the full model-mutating Algorithm 5.
 fn gp_batch(
     q: &mut QueryState,
     batch: &[InputDistribution],
     base: u64,
-    workers: usize,
+    sched: &BatchScheduler,
     seed: u64,
     qid: u64,
 ) -> Result<()> {
-    if batch.is_empty() {
-        return Ok(());
-    }
-
-    // Cold model: bootstrap on the first tuple sequentially.
-    let mut start = 0usize;
-    {
-        let Evaluator::Gp(olga, _) = &q.eval else {
-            unreachable!("gp_batch called on a non-GP query")
-        };
-        if olga.model().is_empty() {
-            gp_slow_tuple(q, &batch[0], base, seed, qid)?;
-            start = 1;
-        }
-    }
-
-    let pending = &batch[start..];
-    if pending.is_empty() {
-        return Ok(());
-    }
-
-    // Phase 1: parallel inference against the frozen model.
-    let Evaluator::Gp(olga_ref, budget) = &q.eval else {
-        unreachable!("gp_batch called on a non-GP query")
+    let mut ops = GpBatchOps {
+        q,
+        batch,
+        base,
+        seed,
+        qid,
     };
-    let budget = *budget;
-    let chunk = pending.len().div_ceil(workers);
-    let inferred: Vec<udf_core::Result<GpOutput>> = join_sharded(std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (w, chunk_inputs) in pending.chunks(chunk).enumerate() {
-            handles.push(scope.spawn(move || {
-                chunk_inputs
-                    .iter()
-                    .enumerate()
-                    .map(|(i, input)| {
-                        let gidx = base + (start + w * chunk + i) as u64;
-                        let mut rng = StdRng::seed_from_u64(tuple_seed(seed, qid, gidx));
-                        olga_ref.infer_only(input, &mut rng)
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        handles.into_iter().map(|h| h.join()).collect()
-    }))?;
-
-    // Phase 2: sequential fold in tuple order.
-    for (i, res) in inferred.into_iter().enumerate() {
-        let gidx = base + (start + i) as u64;
-        let input = &pending[i];
-        match res {
-            Ok(out) => {
-                // Online filtering on the envelope upper bound (§5.5): the
-                // bound only widens on an under-trained model, so dropping
-                // here is sound and costs zero UDF calls.
-                if let Some(pred) = q.predicate {
-                    let (_, _, rho_u) = out.tep_bounds(pred.lo, pred.hi);
-                    if rho_u < pred.theta {
-                        q.stats.tuples_in += 1;
-                        q.stats.fast_path += 1;
-                        record_filtered(q, gidx, rho_u);
-                        continue;
-                    }
-                }
-                // Model-size budget: once the warm model reaches the cap,
-                // stop growing it and emit at the achieved bound — this
-                // keeps per-tuple inference cost bounded on long streams.
-                let model_full = q.max_model_points > 0
-                    && matches!(&q.eval,
-                        Evaluator::Gp(o, _) if o.model().len() >= q.max_model_points);
-                if out.eps_gp <= budget || model_full {
-                    q.stats.tuples_in += 1;
-                    q.stats.fast_path += 1;
-                    let tep = q
-                        .predicate
-                        .map(|p| out.tep_bounds(p.lo, p.hi).1)
-                        .unwrap_or(1.0);
-                    record_kept(q, gidx, &out.y_hat, out.error_bound(), tep);
-                } else {
-                    gp_slow_tuple(q, input, gidx, seed, qid)?;
-                }
-            }
-            Err(CoreError::Gp(udf_gp::GpError::EmptyModel)) => {
-                gp_slow_tuple(q, input, gidx, seed, qid)?;
-            }
-            Err(e) => return Err(e.into()),
-        }
-    }
-    Ok(())
-}
-
-/// Slow path for one GP tuple: the full Algorithm 5 (with filtering when a
-/// predicate is attached), mutating the model. Always called in tuple order
-/// from the scheduler thread with a freshly derived RNG, which is what
-/// keeps the engine deterministic.
-fn gp_slow_tuple(
-    q: &mut QueryState,
-    input: &InputDistribution,
-    gidx: u64,
-    seed: u64,
-    qid: u64,
-) -> Result<()> {
-    let predicate = q.predicate;
-    let Evaluator::Gp(olga, _) = &mut q.eval else {
-        unreachable!("gp_slow_tuple called on a non-GP query")
-    };
-    let mut rng = StdRng::seed_from_u64(tuple_seed(seed, qid, gidx));
-    q.stats.tuples_in += 1;
-    q.stats.slow_path += 1;
-    match predicate {
-        Some(pred) => match gp_filtered(olga, input, &pred, &mut rng)? {
-            FilterDecision::Kept { output, tep } => {
-                q.stats.udf_calls += output.udf_calls;
-                record_kept(q, gidx, &output.y_hat, output.error_bound(), tep);
-            }
-            FilterDecision::Filtered {
-                rho_upper,
-                udf_calls,
-            } => {
-                q.stats.udf_calls += udf_calls;
-                record_filtered(q, gidx, rho_upper);
-            }
-        },
-        None => {
-            let out = olga.process(input, &mut rng)?;
-            q.stats.udf_calls += out.udf_calls;
-            record_kept(q, gidx, &out.y_hat, out.error_bound(), 1.0);
-        }
-    }
+    sched.run_two_phase(&mut ops, batch.len())?;
     Ok(())
 }
 
@@ -607,12 +570,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn tuple_seed_mixes_all_inputs() {
-        let s = tuple_seed(1, 2, 3);
-        assert_ne!(s, tuple_seed(2, 2, 3));
-        assert_ne!(s, tuple_seed(1, 3, 3));
-        assert_ne!(s, tuple_seed(1, 2, 4));
-        assert_eq!(s, tuple_seed(1, 2, 3));
+    fn engine_owns_a_pool_sized_to_its_config() {
+        let engine = StreamEngine::new(EngineConfig::new().workers(3));
+        assert_eq!(engine.sched.workers(), 3);
+        // The per-tuple seed mixer is the shared one from udf_core::sched.
+        assert_eq!(mix_seed(1, 2, 3), mix_seed(1, 2, 3));
+        assert_ne!(mix_seed(1, 2, 3), mix_seed(1, 2, 4));
     }
 
     #[test]

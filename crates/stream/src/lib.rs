@@ -14,9 +14,11 @@
 //! * [`Session`](session::Session) — register many concurrent
 //!   `(query, UDF)` subscriptions, then drive them all over one stream;
 //! * a micro-batching scheduler ([`engine`]) that pipelines ingest against
-//!   evaluation through a bounded channel (backpressure) and shards each
-//!   batch across worker threads, reusing the fast-path/slow-path split of
-//!   [`udf_core::parallel::ParallelOlgapro`];
+//!   evaluation through a bounded channel (backpressure) and runs each
+//!   batch on the persistent worker pool of
+//!   [`udf_core::sched::BatchScheduler`] — the same two-phase
+//!   fast-path/slow-path core used by `udf_core::parallel` and the
+//!   `udf_query` batch executor;
 //! * per-query online filtering: subscriptions with a selection
 //!   [`Predicate`](udf_core::filtering::Predicate) drop tuples from the
 //!   envelope/Hoeffding upper bounds before paying for full evaluation;
@@ -25,7 +27,7 @@
 //!
 //! ## Determinism
 //!
-//! The engine inherits the contract documented in `udf_core::parallel`: the
+//! The engine inherits the contract documented in `udf_core::sched`: the
 //! RNG for each tuple is derived from `(engine seed, query id, global tuple
 //! index)`, slow-path (model-mutating) work runs sequentially in tuple
 //! order, and batch boundaries are fixed by the configuration — so a fixed
@@ -113,7 +115,12 @@ impl std::error::Error for StreamError {}
 
 impl From<udf_core::CoreError> for StreamError {
     fn from(e: udf_core::CoreError) -> Self {
-        StreamError::Core(e)
+        match e {
+            // A panic contained by the scheduler pool (a UDF that panicked
+            // mid-batch) keeps its dedicated stream-level variant.
+            udf_core::CoreError::WorkerPanicked { .. } => StreamError::WorkerPanicked,
+            e => StreamError::Core(e),
+        }
     }
 }
 

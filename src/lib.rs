@@ -55,6 +55,8 @@ pub mod prelude {
     pub use udf_core::mc::McEvaluator;
     pub use udf_core::olgapro::Olgapro;
     pub use udf_core::output::{GpOutput, OutputDistribution};
+    pub use udf_core::parallel::ParallelOlgapro;
+    pub use udf_core::sched::{mix_seed, BatchOps, BatchScheduler, BatchStats, Verdict};
     pub use udf_core::udf::{BlackBoxUdf, CostModel, FnUdf, UdfFunction};
     pub use udf_prob::{Ecdf, InputDistribution, Normal, Univariate};
     pub use udf_query::{EvalStrategy, Executor, Relation, Schema, Tuple, UdfCall, Value};
