@@ -1,0 +1,102 @@
+//! `uql/overhead` — what the declarative front-end costs on top of
+//! driving the engine by hand.
+//!
+//! Four axes:
+//!
+//! * `parse` — lexer + parser alone;
+//! * `parse_plan` — through the binder (catalog lookup, column
+//!   resolution, accuracy/predicate validation, pushdown);
+//! * `dispatch_16` — full `run_uql` vs. a hand-built
+//!   `Executor::select_batch` on a small 16-tuple relation: the per-query
+//!   fixed cost including scheduler/executor construction;
+//! * `dispatch_10k` — the same pair over 10 000 tuples: the front-end
+//!   cost amortized to noise (reported per-tuple via throughput).
+//!
+//! ```sh
+//! cargo bench --bench uql_overhead
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use udf_core::config::{AccuracyRequirement, Metric};
+use udf_core::filtering::Predicate;
+use udf_core::sched::BatchScheduler;
+use udf_lang::{parse, run_uql, Context, QueryOutput};
+use udf_query::{EvalStrategy, Executor, Relation, Schema, Tuple, UdfCall, Value};
+
+/// The benchmarked statement (MC + KS keeps the per-tuple work small so
+/// the front-end share is visible).
+fn uql(n_label: &str) -> String {
+    format!(
+        "SELECT F1(x) WITH ACCURACY 0.3 0.05 METRIC ks FROM {n_label} \
+         WHERE PR(F1(x) IN [0.2, 1.4]) >= 0.4 USING mc WORKERS 1 SEED 7"
+    )
+}
+
+fn relation(n: usize) -> Relation {
+    let tuples = (0..n)
+        .map(|i| {
+            Tuple::new(vec![Value::Gaussian {
+                mu: (i as f64 * 0.37) % 10.0,
+                sigma: 0.5,
+            }])
+        })
+        .collect();
+    Relation::new(Schema::new(&["x"]), tuples).unwrap()
+}
+
+fn ctx(n: usize, name: &str) -> Context {
+    let mut ctx = Context::standard();
+    ctx.register_relation(name, relation(n));
+    ctx
+}
+
+/// The hand-built equivalent of [`uql`]: same catalog entry, accuracy,
+/// predicate, seed.
+fn hand_built(rel: &Relation, ctx: &Context) -> usize {
+    let entry = ctx.udfs().get("F1").unwrap();
+    let call = UdfCall::resolve(entry.udf.clone(), rel.schema(), &["x"]).unwrap();
+    let accuracy = AccuracyRequirement::new(0.3, 0.05, entry.default_lambda(), Metric::Ks).unwrap();
+    let mut ex = Executor::new(EvalStrategy::Mc, accuracy, &call, entry.output_range).unwrap();
+    let pred = Predicate::new(0.2, 1.4, 0.4).unwrap();
+    let sched = BatchScheduler::new(1);
+    ex.select_batch(rel, &call, &pred, &sched, 7).unwrap().len()
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uql/overhead");
+    let src = uql("rel16");
+    g.bench_function("parse", |b| {
+        b.iter(|| parse(&src).unwrap());
+    });
+    let context = ctx(16, "rel16");
+    g.bench_function("parse_plan", |b| {
+        b.iter(|| context.compile(&src).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uql/overhead");
+    for n in [16usize, 10_000] {
+        let name = format!("rel{n}");
+        let src = uql(&name);
+        let mut context = ctx(n, &name);
+        let rel = relation(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("uql_select", n), &n, |b, _| {
+            b.iter(|| {
+                let QueryOutput::Rows(out) = run_uql(&src, &mut context).unwrap() else {
+                    unreachable!()
+                };
+                out.rows.len()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("direct_select", n), &n, |b, _| {
+            b.iter(|| hand_built(&rel, &context));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_dispatch);
+criterion_main!(benches);

@@ -159,6 +159,12 @@ mod tests {
         assert!(AccuracyRequirement::new(0.1, 1.0, 0.1, Metric::Ks).is_err());
         assert!(AccuracyRequirement::new(0.1, 0.05, -1.0, Metric::Ks).is_err());
         assert!(AccuracyRequirement::new(0.1, 0.05, 0.1, Metric::Discrepancy).is_ok());
+        // Non-finite requirements must fail closed, not pass a vacuous
+        // range comparison.
+        assert!(AccuracyRequirement::new(f64::NAN, 0.05, 0.1, Metric::Ks).is_err());
+        assert!(AccuracyRequirement::new(f64::INFINITY, 0.05, 0.1, Metric::Ks).is_err());
+        assert!(AccuracyRequirement::new(0.1, f64::NAN, 0.1, Metric::Ks).is_err());
+        assert!(AccuracyRequirement::new(0.1, 0.05, f64::NAN, Metric::Ks).is_err());
     }
 
     #[test]

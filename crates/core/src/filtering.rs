@@ -31,8 +31,22 @@ pub struct Predicate {
 }
 
 impl Predicate {
-    /// Validated constructor.
+    /// Validated constructor: the interval must be finite and non-empty
+    /// (`lo < hi`; NaN bounds are rejected, not silently accepted by a
+    /// vacuous comparison) and θ must lie strictly inside `(0, 1)`.
     pub fn new(lo: f64, hi: f64, theta: f64) -> Result<Self> {
+        if !lo.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: "predicate lower bound",
+                value: lo,
+            });
+        }
+        if !hi.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                what: "predicate upper bound",
+                value: hi,
+            });
+        }
         if lo >= hi {
             return Err(CoreError::InvalidConfig {
                 what: "predicate interval",
@@ -202,6 +216,16 @@ mod tests {
         assert!(Predicate::new(1.0, 0.0, 0.1).is_err());
         assert!(Predicate::new(0.0, 1.0, 0.0).is_err());
         assert!(Predicate::new(0.0, 1.0, 0.1).is_ok());
+        // Empty interval.
+        assert!(Predicate::new(1.0, 1.0, 0.1).is_err());
+        // Non-finite bounds must not slip through a vacuous comparison.
+        assert!(Predicate::new(f64::NAN, 1.0, 0.1).is_err());
+        assert!(Predicate::new(0.0, f64::NAN, 0.1).is_err());
+        assert!(Predicate::new(f64::NEG_INFINITY, 1.0, 0.1).is_err());
+        assert!(Predicate::new(0.0, f64::INFINITY, 0.1).is_err());
+        // θ at the boundaries and NaN.
+        assert!(Predicate::new(0.0, 1.0, 1.0).is_err());
+        assert!(Predicate::new(0.0, 1.0, f64::NAN).is_err());
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Query execution: a [`Context`] of registered objects plus the
+//! dispatcher that runs bound plans on the engine.
+//!
+//! Relation queries run as one batch on a [`BatchScheduler`] worker pool
+//! through
+//! [`Executor::select_batch`] / [`Executor::project_batch`] — byte-identical
+//! results for any `WORKERS` count. `FROM STREAM` queries subscribe a
+//! [`QuerySpec`] on a fresh [`Session`] and drive it over the registered
+//! source, so a UQL stream query produces exactly the determinism digest of
+//! the equivalent hand-built subscription.
+
+use crate::error::{LangError, Result};
+use crate::parser::parse;
+use crate::plan::{bind, BoundQuery, PhysicalPlan, RelPlan, StreamPlan};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+use udf_core::sched::BatchScheduler;
+use udf_query::{Executor, ProjectedTuple, QueryStats, Relation, UdfCall};
+use udf_stream::{EngineConfig, EngineStats, KeptSummary, QuerySpec, Session, Source, StreamStats};
+use udf_workloads::UdfCatalog;
+
+/// A factory producing fresh instances of a registered stream source. Each
+/// query run gets its own source, so repeated runs replay the same tuple
+/// sequence (sources own their RNG seed).
+pub type SourceFactory = Box<dyn Fn() -> Box<dyn Source + Send>>;
+
+/// Everything a UQL statement can reference by name: the UDF catalog,
+/// finite relations, and stream-source factories. Relation queries reuse
+/// one persistent [`BatchScheduler`] worker pool per `WORKERS` value
+/// across statements, so repeated queries pay channel traffic instead of
+/// thread spawns (the point of the pool — see `udf_core::sched`).
+pub struct Context {
+    udfs: UdfCatalog,
+    relations: BTreeMap<String, Relation>,
+    streams: BTreeMap<String, (usize, SourceFactory)>,
+    schedulers: BTreeMap<usize, BatchScheduler>,
+}
+
+impl Context {
+    /// An empty context (no UDFs, relations, or streams).
+    pub fn new() -> Self {
+        Context {
+            udfs: UdfCatalog::new(),
+            relations: BTreeMap::new(),
+            streams: BTreeMap::new(),
+            schedulers: BTreeMap::new(),
+        }
+    }
+
+    /// A context pre-loaded with [`UdfCatalog::standard`] (`F1`–`F4`,
+    /// `GalAge`, `ComoveVol`, `AngDist`).
+    pub fn standard() -> Self {
+        Context {
+            udfs: UdfCatalog::standard(),
+            ..Context::new()
+        }
+    }
+
+    /// The UDF catalog.
+    pub fn udfs(&self) -> &UdfCatalog {
+        &self.udfs
+    }
+
+    /// Mutable access to the UDF catalog (for registering custom UDFs).
+    pub fn udfs_mut(&mut self) -> &mut UdfCatalog {
+        &mut self.udfs
+    }
+
+    /// Register (or replace) a named finite relation.
+    pub fn register_relation(&mut self, name: impl Into<String>, rel: Relation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Look up a registered relation.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Registered relation names, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Register (or replace) a named stream source: `dim` is the tuple
+    /// dimensionality every instance yields; `factory` builds a fresh
+    /// source per query run.
+    pub fn register_stream(
+        &mut self,
+        name: impl Into<String>,
+        dim: usize,
+        factory: impl Fn() -> Box<dyn Source + Send> + 'static,
+    ) {
+        self.streams.insert(name.into(), (dim, Box::new(factory)));
+    }
+
+    /// Tuple dimensionality of a registered stream source.
+    pub fn stream_dim(&self, name: &str) -> Option<usize> {
+        self.streams.get(name).map(|(d, _)| *d)
+    }
+
+    /// Registered stream-source names, sorted.
+    pub fn stream_names(&self) -> Vec<&str> {
+        self.streams.keys().map(String::as_str).collect()
+    }
+
+    /// Parse, bind, and (unless `EXPLAIN`) execute one UQL statement.
+    pub fn run(&mut self, src: &str) -> Result<QueryOutput> {
+        run_uql(src, self)
+    }
+
+    /// Parse and bind without executing (what `EXPLAIN` uses).
+    pub fn compile(&self, src: &str) -> Result<BoundQuery> {
+        let query = parse(src)?;
+        bind(&query, self)
+    }
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context::new()
+    }
+}
+
+/// What a statement produced.
+#[derive(Debug)]
+pub enum QueryOutput {
+    /// `EXPLAIN`: the rendered plan, nothing executed.
+    Plan(String),
+    /// A relation query's result set.
+    Rows(RowsOutput),
+    /// A stream query's run summary.
+    Stream(StreamOutput),
+}
+
+/// Result of a one-shot relation query.
+#[derive(Debug)]
+pub struct RowsOutput {
+    /// Kept rows, in source-tuple order.
+    pub rows: Vec<ProjectedTuple>,
+    /// Executor counters.
+    pub stats: QueryStats,
+    /// Wall-clock execution time (excluding parse/bind).
+    pub elapsed: Duration,
+    /// The rendered plan that ran.
+    pub plan: String,
+}
+
+/// Result of a bounded stream query.
+#[derive(Debug)]
+pub struct StreamOutput {
+    /// Per-query stream statistics.
+    pub stats: StreamStats,
+    /// Determinism digest over every emitted distribution and decision.
+    pub digest: u64,
+    /// The subscription's most recent emitted tuples.
+    pub recent: Vec<KeptSummary>,
+    /// Engine-level counters for the run.
+    pub engine: EngineStats,
+    /// The rendered plan that ran.
+    pub plan: String,
+}
+
+impl QueryOutput {
+    /// Human-readable report (what the REPL prints).
+    pub fn report(&self) -> String {
+        match self {
+            QueryOutput::Plan(p) => p.clone(),
+            QueryOutput::Rows(r) => {
+                let mut s = format!(
+                    "{} row(s) in {:.2?}  [in={} out={} udf_calls={}]\n",
+                    r.rows.len(),
+                    r.elapsed,
+                    r.stats.tuples_in,
+                    r.stats.tuples_out,
+                    r.stats.udf_calls,
+                );
+                const SHOW: usize = 10;
+                for row in r.rows.iter().take(SHOW) {
+                    s.push_str(&format!(
+                        "  #{:<6} median={:<12.6} err≤{:<8.4} tep={:.3}\n",
+                        row.source,
+                        row.output.ecdf.quantile(0.5),
+                        row.output.error_bound,
+                        row.tep,
+                    ));
+                }
+                if r.rows.len() > SHOW {
+                    s.push_str(&format!("  … {} more\n", r.rows.len() - SHOW));
+                }
+                s
+            }
+            QueryOutput::Stream(o) => format!(
+                "stream run: {} tuple(s), {} batch(es) in {:.2?}\n  {}\n  digest=0x{:016x}\n",
+                o.engine.tuples, o.engine.batches, o.engine.elapsed, o.stats, o.digest,
+            ),
+        }
+    }
+}
+
+/// The one-shot facade: parse, bind, and execute `src` against `ctx`.
+///
+/// `EXPLAIN`-prefixed statements stop after binding and return the plan.
+pub fn run_uql(src: &str, ctx: &mut Context) -> Result<QueryOutput> {
+    let query = parse(src)?;
+    let bound = bind(&query, ctx)?;
+    let plan = bound.explain();
+    if query.explain {
+        return Ok(QueryOutput::Plan(plan));
+    }
+    match bound.physical {
+        PhysicalPlan::Relation(p) => exec_relation(&p, ctx, plan),
+        PhysicalPlan::Stream(p) => exec_stream(&p, ctx, plan),
+    }
+}
+
+fn exec_relation(p: &RelPlan, ctx: &mut Context, plan: String) -> Result<QueryOutput> {
+    // Field-level borrows: the relation map and the scheduler cache are
+    // disjoint, so the pool entry can be created while the relation is
+    // held.
+    let rel = ctx
+        .relations
+        .get(&p.relation)
+        .expect("binder checked the relation");
+    let sched = ctx
+        .schedulers
+        .entry(p.workers)
+        .or_insert_with(|| BatchScheduler::new(p.workers));
+    let args: Vec<&str> = p.args.iter().map(String::as_str).collect();
+    let call = UdfCall::resolve(p.udf.clone(), rel.schema(), &args)?;
+    let mut executor = Executor::new(p.strategy, p.accuracy, &call, p.output_range)?;
+    let t0 = Instant::now();
+    let rows = match &p.predicate {
+        Some(pred) => executor.select_batch(rel, &call, pred, sched, p.seed)?,
+        None => executor.project_batch(rel, &call, sched, p.seed)?,
+    };
+    Ok(QueryOutput::Rows(RowsOutput {
+        rows,
+        stats: executor.stats(),
+        elapsed: t0.elapsed(),
+        plan,
+    }))
+}
+
+fn exec_stream(p: &StreamPlan, ctx: &Context, plan: String) -> Result<QueryOutput> {
+    if p.limit.is_none() {
+        return Err(LangError::Exec(
+            "stream query has no LIMIT and UQL sources may be unbounded; \
+             add `LIMIT n` to bound the run"
+                .to_string(),
+        ));
+    }
+    let (_, factory) = ctx
+        .streams
+        .get(&p.source)
+        .expect("binder checked the source");
+    let source = factory();
+    let mut session = Session::new(
+        EngineConfig::new()
+            .workers(p.workers)
+            .batch_size(p.batch)
+            .seed(p.seed),
+    );
+    let mut spec = QuerySpec::new(
+        format!("uql:{}@{}", p.udf.name(), p.source),
+        p.udf.clone(),
+        p.accuracy,
+        p.strategy,
+    )
+    .output_range(p.output_range);
+    if let Some(pred) = p.predicate {
+        spec = spec.predicate(pred);
+    }
+    let id = session.subscribe(spec)?;
+    let engine = session.run(source, p.limit)?;
+    Ok(QueryOutput::Stream(StreamOutput {
+        stats: session.stats(id)?.clone(),
+        digest: session.digest(id)?,
+        recent: session.recent(id)?,
+        engine,
+        plan,
+    }))
+}

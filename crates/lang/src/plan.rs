@@ -1,0 +1,593 @@
+//! Logical plans, the predicate-pushdown rewrite, and the binder that
+//! lowers UQL onto the execution engine.
+//!
+//! Compilation is three stages past parsing:
+//!
+//! 1. **naive logical plan** — the query as written:
+//!    `PrFilter(UdfProject(Scan))`;
+//! 2. **optimized logical plan** — predicate pushdown fuses the filter into
+//!    the UDF operator (`UdfSelect(Scan)`), which is what routes selections
+//!    through the engine's envelope-filtering fast path (§5.5): the
+//!    predicate is ruled on the GP fast-path bounds *before* any
+//!    model-mutating work is scheduled, and MC evaluation early-stops on
+//!    the Hoeffding bound (Remark 2.1);
+//! 3. **physical plan** — names resolved against the catalog/context,
+//!    accuracy and predicate validated into engine types, strategy fixed
+//!    (AUTO resolves by the paper's §6.3 rules), ready to execute.
+
+use crate::ast::{MetricName, Query, SourceRef, StrategyName};
+use crate::error::{LangError, Result, Span};
+use crate::exec::Context;
+use std::fmt;
+use udf_core::config::{AccuracyRequirement, Metric};
+use udf_core::filtering::Predicate;
+use udf_core::hybrid::{rule_based_choice, HybridChoice};
+use udf_core::udf::BlackBoxUdf;
+use udf_query::EvalStrategy;
+use udf_stream::StreamStrategy;
+
+/// A logical-plan operator tree (used for `EXPLAIN`; the physical plan
+/// carries the bound engine objects).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a finite registered relation.
+    Scan {
+        /// Relation name.
+        relation: String,
+        /// Row count at bind time.
+        rows: usize,
+    },
+    /// Scan a registered stream source.
+    StreamScan {
+        /// Source name.
+        source: String,
+        /// Tuple dimensionality.
+        dim: usize,
+    },
+    /// Compute a UDF output distribution per tuple (query Q1).
+    UdfProject {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// Rendered call, e.g. `GalAge(z)`.
+        call: String,
+    },
+    /// Keep tuples with `Pr[g(x) ∈ [lo, hi]] ≥ θ` (query Q2's selection).
+    PrFilter {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// Rendered predicate.
+        predicate: String,
+    },
+    /// The fused projection + filter produced by predicate pushdown: the
+    /// engine rules the predicate from fast-path bounds before paying for
+    /// full evaluation.
+    UdfSelect {
+        /// Input operator.
+        input: Box<LogicalPlan>,
+        /// Rendered call.
+        call: String,
+        /// Rendered predicate.
+        predicate: String,
+    },
+}
+
+impl LogicalPlan {
+    /// Predicate pushdown: `PrFilter(UdfProject(x))` fuses into
+    /// `UdfSelect(x)` so the filter is evaluated inside the UDF operator
+    /// (envelope bounds / Hoeffding early stop) instead of after full
+    /// materialization.
+    pub fn optimize(self) -> LogicalPlan {
+        match self {
+            LogicalPlan::PrFilter { input, predicate } => match input.optimize() {
+                LogicalPlan::UdfProject { input, call } => LogicalPlan::UdfSelect {
+                    input,
+                    call,
+                    predicate,
+                },
+                other => LogicalPlan::PrFilter {
+                    input: Box::new(other),
+                    predicate,
+                },
+            },
+            LogicalPlan::UdfProject { input, call } => LogicalPlan::UdfProject {
+                input: Box::new(input.optimize()),
+                call,
+            },
+            leaf => leaf,
+        }
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan { relation, rows } => {
+                writeln!(f, "{pad}Scan {relation} ({rows} rows)")
+            }
+            LogicalPlan::StreamScan { source, dim } => {
+                writeln!(f, "{pad}StreamScan {source} (dim {dim})")
+            }
+            LogicalPlan::UdfProject { input, call } => {
+                writeln!(f, "{pad}UdfProject {call}")?;
+                input.fmt_indented(f, depth + 1)
+            }
+            LogicalPlan::PrFilter { input, predicate } => {
+                writeln!(f, "{pad}PrFilter {predicate}")?;
+                input.fmt_indented(f, depth + 1)
+            }
+            LogicalPlan::UdfSelect {
+                input,
+                call,
+                predicate,
+            } => {
+                writeln!(
+                    f,
+                    "{pad}UdfSelect {call} {predicate}   [pushdown: fast-path filtering §5.5]"
+                )?;
+                input.fmt_indented(f, depth + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+/// A fully bound, executable plan over a finite relation.
+#[derive(Debug, Clone)]
+pub struct RelPlan {
+    /// Registered relation name.
+    pub relation: String,
+    /// The bound UDF (cloned from the catalog).
+    pub udf: BlackBoxUdf,
+    /// Argument column names, in call order.
+    pub args: Vec<String>,
+    /// Resolved evaluation strategy.
+    pub strategy: EvalStrategy,
+    /// Validated accuracy requirement.
+    pub accuracy: AccuracyRequirement,
+    /// Output-range estimate from the catalog (scales Γ and λ).
+    pub output_range: f64,
+    /// Validated selection predicate, when the query has a WHERE clause.
+    pub predicate: Option<Predicate>,
+    /// Fast-path worker threads.
+    pub workers: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+/// A fully bound, executable plan over a stream source.
+#[derive(Debug, Clone)]
+pub struct StreamPlan {
+    /// Registered source name.
+    pub source: String,
+    /// The bound UDF (cloned from the catalog).
+    pub udf: BlackBoxUdf,
+    /// Resolved evaluation strategy.
+    pub strategy: StreamStrategy,
+    /// Validated accuracy requirement.
+    pub accuracy: AccuracyRequirement,
+    /// Output-range estimate from the catalog.
+    pub output_range: f64,
+    /// Validated selection predicate, when present.
+    pub predicate: Option<Predicate>,
+    /// Fast-path worker threads.
+    pub workers: usize,
+    /// Micro-batch size.
+    pub batch: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Optional tuple limit for the run.
+    pub limit: Option<u64>,
+}
+
+/// The bound physical plan.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// One-shot batch execution over a relation
+    /// ([`Executor::select_batch`](udf_query::Executor::select_batch) /
+    /// [`project_batch`](udf_query::Executor::project_batch)).
+    Relation(RelPlan),
+    /// A [`udf_stream::Session`] subscription driven over the source.
+    Stream(StreamPlan),
+}
+
+/// Everything compilation produced for one statement.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// The query as written.
+    pub logical: LogicalPlan,
+    /// After predicate pushdown.
+    pub optimized: LogicalPlan,
+    /// The executable binding.
+    pub physical: PhysicalPlan,
+}
+
+impl BoundQuery {
+    /// The `EXPLAIN` rendering: both logical plans plus the physical
+    /// binding details.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        s.push_str("Logical plan:\n");
+        s.push_str(&indent(&self.logical.to_string()));
+        if self.optimized != self.logical {
+            s.push_str("Optimized plan (predicate pushdown):\n");
+            s.push_str(&indent(&self.optimized.to_string()));
+        }
+        s.push_str("Physical plan:\n");
+        match &self.physical {
+            PhysicalPlan::Relation(p) => {
+                s.push_str(&format!(
+                    "  BatchExec relation={} udf={} strategy={:?} workers={} seed={}\n",
+                    p.relation,
+                    p.udf.name(),
+                    p.strategy,
+                    p.workers,
+                    p.seed,
+                ));
+                s.push_str(&format!(
+                    "    accuracy: eps={} delta={} lambda={:.4} metric={:?}\n",
+                    p.accuracy.eps, p.accuracy.delta, p.accuracy.lambda, p.accuracy.metric,
+                ));
+                match &p.predicate {
+                    Some(pr) => s.push_str(&format!(
+                        "    predicate: Pr[y ∈ [{}, {}]] ≥ {} — pushed into the {} fast path\n",
+                        pr.lo,
+                        pr.hi,
+                        pr.theta,
+                        match p.strategy {
+                            EvalStrategy::Gp => "GP-envelope (§5.5)",
+                            EvalStrategy::Mc => "Hoeffding early-stop (Remark 2.1)",
+                        },
+                    )),
+                    None => s.push_str("    predicate: none (pure projection)\n"),
+                }
+            }
+            PhysicalPlan::Stream(p) => {
+                s.push_str(&format!(
+                    "  StreamSubscribe source={} udf={} strategy={:?} workers={} batch={} seed={}{}\n",
+                    p.source,
+                    p.udf.name(),
+                    p.strategy,
+                    p.workers,
+                    p.batch,
+                    p.seed,
+                    match p.limit {
+                        Some(l) => format!(" limit={l}"),
+                        None => " (unbounded)".to_string(),
+                    },
+                ));
+                s.push_str(&format!(
+                    "    accuracy: eps={} delta={} lambda={:.4} metric={:?}\n",
+                    p.accuracy.eps, p.accuracy.delta, p.accuracy.lambda, p.accuracy.metric,
+                ));
+                match &p.predicate {
+                    Some(pr) => s.push_str(&format!(
+                        "    predicate: Pr[y ∈ [{}, {}]] ≥ {} — online filter in the accept hook\n",
+                        pr.lo, pr.hi, pr.theta,
+                    )),
+                    None => s.push_str("    predicate: none (every tuple is emitted)\n"),
+                }
+            }
+        }
+        s
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines().fold(String::new(), |mut acc, l| {
+        acc.push_str("  ");
+        acc.push_str(l);
+        acc.push('\n');
+        acc
+    })
+}
+
+/// Bind a parsed query against a [`Context`]: resolve the UDF and source,
+/// validate accuracy/predicate into engine types, resolve AUTO, and build
+/// the logical plans.
+pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
+    let sel = &query.select;
+
+    // 1. The projected UDF must exist in the catalog.
+    let entry = ctx.udfs().get(&sel.call.name.node).ok_or_else(|| {
+        LangError::semantic(
+            sel.call.name.span,
+            format!(
+                "unknown UDF `{}` (registered: {})",
+                sel.call.name.node,
+                ctx.udfs().names().join(", "),
+            ),
+        )
+    })?;
+    let udf = entry.udf.clone();
+    if sel.call.args.len() != udf.dim() {
+        return Err(LangError::semantic(
+            sel.call.span,
+            format!(
+                "UDF `{}` takes {} argument(s), got {}",
+                udf.name(),
+                udf.dim(),
+                sel.call.args.len(),
+            ),
+        ));
+    }
+
+    // 2. Accuracy: explicit clause or the paper's defaults; λ is always 1%
+    //    of the catalog's output-range estimate (§6.1-C). The range comes
+    //    from a user-registrable entry, so a poisoned value (negative,
+    //    NaN) must surface as a diagnostic, not a panic.
+    let lambda = entry.default_lambda();
+    let output_range = entry.output_range;
+    if !(output_range > 0.0 && output_range.is_finite()) {
+        return Err(LangError::semantic(
+            sel.call.name.span,
+            format!(
+                "catalog entry `{}` has invalid output_range {output_range} \
+                 (must be finite and positive)",
+                udf.name(),
+            ),
+        ));
+    }
+    let accuracy = match &sel.accuracy {
+        None => AccuracyRequirement::new(0.1, 0.05, lambda, Metric::Discrepancy)
+            .expect("paper defaults with a validated lambda"),
+        Some(acc) => {
+            let metric = match acc.metric.as_ref().map(|m| m.node) {
+                Some(MetricName::Ks) => Metric::Ks,
+                _ => Metric::Discrepancy,
+            };
+            AccuracyRequirement::new(acc.eps.node, acc.delta.node, lambda, metric)
+                .map_err(|e| accuracy_diagnostic(e, acc.eps.span, acc.delta.span))?
+        }
+    };
+
+    // 3. The WHERE predicate must filter on the *selected* UDF call — that
+    //    is the shape the engine's fused select operators execute. The UDF
+    //    name compares case-insensitively, matching catalog lookup.
+    let predicate = match &sel.predicate {
+        None => None,
+        Some(p) => {
+            let same_call = p.call.name.node.eq_ignore_ascii_case(&sel.call.name.node)
+                && p.call.args == sel.call.args;
+            if !same_call {
+                return Err(LangError::semantic(
+                    p.call.span,
+                    format!(
+                        "the PR(...) predicate must reference the selected call `{}` \
+                         (got `{}`); filtering on a different UDF is not supported",
+                        sel.call, p.call,
+                    ),
+                ));
+            }
+            Some(
+                Predicate::new(p.lo.node, p.hi.node, p.theta.node)
+                    .map_err(|e| predicate_diagnostic(e, p))?,
+            )
+        }
+    };
+
+    // 4. Options.
+    let workers = match &sel.options.workers {
+        None => 1,
+        Some(w) if w.node >= 1 && w.node <= 1024 => w.node as usize,
+        Some(w) => {
+            return Err(LangError::semantic(
+                w.span,
+                format!("WORKERS must be in 1..=1024, got {}", w.node),
+            ));
+        }
+    };
+    let seed = sel.options.seed.as_ref().map_or(0, |s| s.node);
+    let strategy_name = sel
+        .options
+        .strategy
+        .as_ref()
+        .map_or(StrategyName::Auto, |s| s.node);
+
+    // 5. Source-specific lowering.
+    let call_text = sel.call.to_string();
+    let pred_text = sel.predicate.as_ref().map(|p| {
+        format!(
+            "Pr[{} ∈ [{:?}, {:?}]] ≥ {:?}",
+            p.call, p.lo.node, p.hi.node, p.theta.node
+        )
+    });
+    match &sel.source {
+        SourceRef::Relation(name) => {
+            if let Some(c) = sel.options.batch.as_ref().or(sel.options.limit.as_ref()) {
+                return Err(LangError::semantic(
+                    c.span,
+                    "BATCH and LIMIT apply to `FROM STREAM` queries only",
+                ));
+            }
+            let rel = ctx.relation(&name.node).ok_or_else(|| {
+                LangError::semantic(
+                    name.span,
+                    format!(
+                        "unknown relation `{}` (registered: {})",
+                        name.node,
+                        ctx.relation_names().join(", "),
+                    ),
+                )
+            })?;
+            // Columns resolve now so typos fail at bind time with spans.
+            for arg in &sel.call.args {
+                if rel.schema().index_of(&arg.node).is_err() {
+                    return Err(LangError::semantic(
+                        arg.span,
+                        format!(
+                            "relation `{}` has no column `{}` (columns: {})",
+                            name.node,
+                            arg.node,
+                            rel.schema().columns().join(", "),
+                        ),
+                    ));
+                }
+            }
+            let strategy = match strategy_name {
+                StrategyName::Mc => EvalStrategy::Mc,
+                StrategyName::Gp => EvalStrategy::Gp,
+                StrategyName::Auto => {
+                    match rule_based_choice(udf.dim(), udf.cost_model().per_call()) {
+                        HybridChoice::Mc => EvalStrategy::Mc,
+                        HybridChoice::Gp | HybridChoice::Calibrating => EvalStrategy::Gp,
+                    }
+                }
+            };
+            let scan = LogicalPlan::Scan {
+                relation: name.node.clone(),
+                rows: rel.len(),
+            };
+            let logical = build_logical(scan, &call_text, pred_text.as_deref());
+            Ok(BoundQuery {
+                optimized: logical.clone().optimize(),
+                logical,
+                physical: PhysicalPlan::Relation(RelPlan {
+                    relation: name.node.clone(),
+                    udf,
+                    args: sel.call.args.iter().map(|a| a.node.clone()).collect(),
+                    strategy,
+                    accuracy,
+                    output_range,
+                    predicate,
+                    workers,
+                    seed,
+                }),
+            })
+        }
+        SourceRef::Stream(name) => {
+            let dim = ctx.stream_dim(&name.node).ok_or_else(|| {
+                LangError::semantic(
+                    name.span,
+                    format!(
+                        "unknown stream source `{}` (registered: {})",
+                        name.node,
+                        ctx.stream_names().join(", "),
+                    ),
+                )
+            })?;
+            if udf.dim() != dim {
+                return Err(LangError::semantic(
+                    sel.call.span,
+                    format!(
+                        "UDF `{}` is {}-dimensional but stream `{}` yields {}-dimensional tuples",
+                        udf.name(),
+                        udf.dim(),
+                        name.node,
+                        dim,
+                    ),
+                ));
+            }
+            let strategy = match strategy_name {
+                StrategyName::Mc => StreamStrategy::Mc,
+                StrategyName::Gp => StreamStrategy::Gp,
+                StrategyName::Auto => StreamStrategy::Auto,
+            };
+            let batch = match &sel.options.batch {
+                None => 256,
+                Some(b) if b.node >= 1 && b.node <= 1_048_576 => b.node as usize,
+                Some(b) => {
+                    return Err(LangError::semantic(
+                        b.span,
+                        format!("BATCH must be in 1..=1048576, got {}", b.node),
+                    ));
+                }
+            };
+            let scan = LogicalPlan::StreamScan {
+                source: name.node.clone(),
+                dim,
+            };
+            let logical = build_logical(scan, &call_text, pred_text.as_deref());
+            Ok(BoundQuery {
+                optimized: logical.clone().optimize(),
+                logical,
+                physical: PhysicalPlan::Stream(StreamPlan {
+                    source: name.node.clone(),
+                    udf,
+                    strategy,
+                    accuracy,
+                    output_range,
+                    predicate,
+                    workers,
+                    batch,
+                    seed,
+                    limit: sel.options.limit.as_ref().map(|l| l.node),
+                }),
+            })
+        }
+    }
+}
+
+fn build_logical(scan: LogicalPlan, call: &str, pred: Option<&str>) -> LogicalPlan {
+    let project = LogicalPlan::UdfProject {
+        input: Box::new(scan),
+        call: call.to_string(),
+    };
+    match pred {
+        None => project,
+        Some(p) => LogicalPlan::PrFilter {
+            input: Box::new(project),
+            predicate: p.to_string(),
+        },
+    }
+}
+
+/// Map an [`AccuracyRequirement`] construction error onto the literal at
+/// fault.
+fn accuracy_diagnostic(e: udf_core::CoreError, eps: Span, delta: Span) -> LangError {
+    match &e {
+        udf_core::CoreError::InvalidConfig { what: "eps", value } => LangError::semantic(
+            eps,
+            format!("accuracy ε must be a finite number in (0, 1), got {value}"),
+        ),
+        udf_core::CoreError::InvalidConfig {
+            what: "delta",
+            value,
+        } => LangError::semantic(
+            delta,
+            format!("accuracy δ must be a finite number in (0, 1), got {value}"),
+        ),
+        _ => LangError::semantic(eps.to(delta), e.to_string()),
+    }
+}
+
+/// Map a [`Predicate`] construction error onto the literal at fault.
+fn predicate_diagnostic(e: udf_core::CoreError, p: &crate::ast::PrFilterExpr) -> LangError {
+    match &e {
+        udf_core::CoreError::InvalidConfig {
+            what: "predicate lower bound",
+            value,
+        } => LangError::semantic(
+            p.lo.span,
+            format!("interval bound must be finite, got {value}"),
+        ),
+        udf_core::CoreError::InvalidConfig {
+            what: "predicate upper bound",
+            value,
+        } => LangError::semantic(
+            p.hi.span,
+            format!("interval bound must be finite, got {value}"),
+        ),
+        udf_core::CoreError::InvalidConfig {
+            what: "predicate interval",
+            ..
+        } => LangError::semantic(
+            p.lo.span.to(p.hi.span),
+            format!(
+                "empty interval: lower bound {:?} must be below upper bound {:?}",
+                p.lo.node, p.hi.node
+            ),
+        ),
+        udf_core::CoreError::InvalidConfig {
+            what: "theta",
+            value,
+        } => LangError::semantic(
+            p.theta.span,
+            format!("probability threshold θ must lie in (0, 1), got {value}"),
+        ),
+        _ => LangError::semantic(p.span, e.to_string()),
+    }
+}

@@ -1,0 +1,300 @@
+//! A table of malformed queries asserting that every rejection carries a
+//! source span pointing at the offending fragment and a message naming the
+//! problem.
+
+use udf_lang::{run_uql, Context, LangError, Stage};
+use udf_query::{Relation, Schema, Tuple, Value};
+use udf_stream::SyntheticSource;
+
+fn ctx() -> Context {
+    let mut ctx = Context::standard();
+    let tuples = (0..4)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Det(i as f64),
+                Value::Gaussian {
+                    mu: 0.5,
+                    sigma: 0.1,
+                },
+            ])
+        })
+        .collect();
+    ctx.register_relation(
+        "sky",
+        Relation::new(Schema::new(&["objID", "z"]), tuples).unwrap(),
+    );
+    ctx.register_stream("synth", 1, || {
+        Box::new(SyntheticSource::gaussian(1, 0.5, 1))
+    });
+    ctx
+}
+
+struct Case {
+    query: &'static str,
+    /// Stage expected to reject it.
+    stage: Stage,
+    /// Substring the message must contain.
+    message: &'static str,
+    /// The source fragment the span must cover.
+    at: &'static str,
+}
+
+#[test]
+fn malformed_queries_fail_with_spans() {
+    let cases = [
+        // ── lexer ──────────────────────────────────────────────────────
+        Case {
+            query: "SELECT GalAge(z) FROM sky; DROP TABLE sky",
+            stage: Stage::Lex,
+            message: "unexpected character `;`",
+            at: ";",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [1e, 2]) >= 0.5",
+            stage: Stage::Lex,
+            message: "empty exponent",
+            at: "1e",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [1, 2]) > 0.5",
+            stage: Stage::Lex,
+            message: "expected `>=`",
+            at: ">",
+        },
+        // ── parser ─────────────────────────────────────────────────────
+        Case {
+            query: "SELECT FROM sky",
+            stage: Stage::Parse,
+            message: "expected `(` after UDF name",
+            at: "sky",
+        },
+        Case {
+            query: "SELECT GalAge(z) sky",
+            stage: Stage::Parse,
+            message: "expected keyword `FROM`",
+            at: "sky",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky WHERE GalAge(z) IN [0, 1]",
+            stage: Stage::Parse,
+            message: "expected keyword `PR`",
+            at: "GalAge",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [0.1 0.2]) >= 0.5",
+            stage: Stage::Parse,
+            message: "`,` between interval bounds",
+            at: "0.2",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky WORKERS 2.5",
+            stage: Stage::Parse,
+            message: "non-negative integer",
+            at: "2.5",
+        },
+        Case {
+            // 2^53 + 1 does not survive the f64 literal; silently rounding
+            // a SEED would break the determinism contract.
+            query: "SELECT GalAge(z) FROM sky SEED 9007199254740993",
+            stage: Stage::Parse,
+            message: "2^53",
+            at: "9007199254740993",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky SEED 1 SEED 2",
+            stage: Stage::Parse,
+            message: "duplicate `SEED`",
+            at: "SEED",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky USING turbo",
+            stage: Stage::Parse,
+            message: "unknown strategy `turbo`",
+            at: "turbo",
+        },
+        Case {
+            query: "SELECT GalAge(z) WITH ACCURACY 0.1 0.05 METRIC manhattan FROM sky",
+            stage: Stage::Parse,
+            message: "unknown metric `manhattan`",
+            at: "manhattan",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky extra tokens",
+            stage: Stage::Parse,
+            message: "trailing input",
+            at: "extra",
+        },
+        // ── binder ─────────────────────────────────────────────────────
+        Case {
+            query: "SELECT GalAgee(z) FROM sky",
+            stage: Stage::Semantic,
+            message: "unknown UDF `GalAgee`",
+            at: "GalAgee",
+        },
+        Case {
+            query: "SELECT GalAge(z, z) FROM sky",
+            stage: Stage::Semantic,
+            message: "takes 1 argument(s), got 2",
+            at: "GalAge(z, z)",
+        },
+        Case {
+            query: "SELECT GalAge(redshift) FROM sky",
+            stage: Stage::Semantic,
+            message: "no column `redshift`",
+            at: "redshift",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM skyy",
+            stage: Stage::Semantic,
+            message: "unknown relation `skyy`",
+            at: "skyy",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM STREAM nope LIMIT 10",
+            stage: Stage::Semantic,
+            message: "unknown stream source `nope`",
+            at: "nope",
+        },
+        Case {
+            query: "SELECT ComoveVol(x, x) FROM STREAM synth LIMIT 10",
+            stage: Stage::Semantic,
+            message: "2-dimensional but stream `synth` yields 1-dimensional",
+            at: "ComoveVol(x, x)",
+        },
+        Case {
+            query: "SELECT GalAge(z) WITH ACCURACY 1.5 0.05 FROM sky",
+            stage: Stage::Semantic,
+            message: "ε must be a finite number in (0, 1)",
+            at: "1.5",
+        },
+        Case {
+            query: "SELECT GalAge(z) WITH ACCURACY 0.1 0 FROM sky",
+            stage: Stage::Semantic,
+            message: "δ must be a finite number in (0, 1)",
+            at: "0",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [0.9, 0.2]) >= 0.5",
+            stage: Stage::Semantic,
+            message: "empty interval",
+            at: "0.9, 0.2",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [0.2, 0.9]) >= 1.0",
+            stage: Stage::Semantic,
+            message: "θ must lie in (0, 1)",
+            at: "1.0",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky WHERE PR(ComoveVol(z, z) IN [0, 1]) >= 0.5",
+            stage: Stage::Semantic,
+            message: "must reference the selected call",
+            at: "ComoveVol(z, z)",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky WORKERS 0",
+            stage: Stage::Semantic,
+            message: "WORKERS must be in 1..=1024",
+            at: "0",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky LIMIT 10",
+            stage: Stage::Semantic,
+            message: "apply to `FROM STREAM` queries only",
+            at: "10",
+        },
+    ];
+
+    let mut ctx = ctx();
+    for case in &cases {
+        let err = run_uql(case.query, &mut ctx)
+            .map(|_| ())
+            .expect_err(&format!("must reject: {}", case.query));
+        let LangError::Diagnostic {
+            stage,
+            span,
+            message,
+        } = &err
+        else {
+            panic!("{}: expected a span diagnostic, got {err}", case.query)
+        };
+        assert_eq!(*stage, case.stage, "{}: wrong stage ({err})", case.query);
+        assert!(
+            message.contains(case.message),
+            "{}: message {message:?} missing {:?}",
+            case.query,
+            case.message,
+        );
+        // The span must cover the offending fragment. Find the expected
+        // fragment's last occurrence that intersects the span.
+        let covered = &case.query[span.start..span.end.min(case.query.len())];
+        assert!(
+            covered.contains(case.at) || case.at.contains(covered.trim()),
+            "{}: span {span} covers {covered:?}, expected {:?}",
+            case.query,
+            case.at,
+        );
+        // And the caret rendering must not panic and must carry the message.
+        assert!(err.render(case.query).contains(case.message));
+    }
+}
+
+/// A user-registered catalog entry with a poisoned output range must
+/// surface as a diagnostic on the call site, not a panic inside `bind`.
+#[test]
+fn poisoned_catalog_entry_is_a_diagnostic() {
+    use std::sync::Arc;
+    use udf_workloads::registry::UdfEntry;
+    let mut ctx = ctx();
+    ctx.udfs_mut().register(UdfEntry::probed(
+        Arc::new(udf_uncertain_probe::Identity),
+        udf_core::udf::CostModel::Free,
+        vec![(0.0, 1.0)],
+        Some(f64::NAN),
+        "bad range",
+    ));
+    let err = run_uql("SELECT Identity(z) FROM sky", &mut ctx).unwrap_err();
+    let LangError::Diagnostic { stage, message, .. } = &err else {
+        panic!("expected diagnostic, got {err}")
+    };
+    assert_eq!(*stage, Stage::Semantic);
+    assert!(message.contains("invalid output_range"), "{message}");
+}
+
+mod udf_uncertain_probe {
+    pub struct Identity;
+    impl udf_core::udf::UdfFunction for Identity {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn eval(&self, x: &[f64]) -> f64 {
+            x[0]
+        }
+        fn name(&self) -> &str {
+            "Identity"
+        }
+    }
+}
+
+/// The predicate call matches the selected call case-insensitively, like
+/// catalog lookup does.
+#[test]
+fn predicate_call_matches_case_insensitively() {
+    let mut ctx = ctx();
+    let out = run_uql(
+        "SELECT galage(z) FROM sky WHERE PR(GalAge(z) IN [0.5, 0.9]) >= 0.6 USING mc SEED 1",
+        &mut ctx,
+    );
+    assert!(out.is_ok(), "case difference must not reject: {out:?}");
+}
+
+/// Execution-stage errors (no span) still explain themselves.
+#[test]
+fn exec_errors_are_explained() {
+    let mut ctx = ctx();
+    let err = run_uql("SELECT F1(x) FROM STREAM synth", &mut ctx).unwrap_err();
+    assert!(err.span().is_none());
+    assert!(err
+        .render("SELECT F1(x) FROM STREAM synth")
+        .contains("LIMIT"));
+}

@@ -8,10 +8,10 @@
 //! `udf_core::parallel`, early filtering in `udf_core::filtering`); this
 //! crate turns it into a long-running, multi-query engine:
 //!
-//! * [`Source`](source::Source) — unbounded/finite producers of uncertain
+//! * [`source::Source`] — unbounded/finite producers of uncertain
 //!   tuples, with adapters for the synthetic §6.1 workload generators and
 //!   the astrophysics catalog;
-//! * [`Session`](session::Session) — register many concurrent
+//! * [`session::Session`] — register many concurrent
 //!   `(query, UDF)` subscriptions, then drive them all over one stream;
 //! * a micro-batching scheduler ([`engine`]) that pipelines ingest against
 //!   evaluation through a bounded channel (backpressure) and runs each
@@ -22,7 +22,7 @@
 //! * per-query online filtering: subscriptions with a selection
 //!   [`Predicate`](udf_core::filtering::Predicate) drop tuples from the
 //!   envelope/Hoeffding upper bounds before paying for full evaluation;
-//! * [`StreamStats`](stats::StreamStats) — a per-query registry of
+//! * [`stats::StreamStats`] — a per-query registry of
 //!   throughput, fast/slow-path counts, filter selectivity, and latency.
 //!
 //! ## Determinism

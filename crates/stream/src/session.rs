@@ -1,6 +1,6 @@
 //! The user-facing continuous-query API.
 //!
-//! A [`Session`] owns one [`StreamEngine`](crate::engine::StreamEngine) and
+//! A [`Session`] owns one [`crate::engine::StreamEngine`] and
 //! exposes the subscribe/run/inspect lifecycle:
 //!
 //! ```text
@@ -95,6 +95,22 @@ impl QuerySpec {
         self.max_model_points = n;
         self
     }
+
+    /// Reject invalid builder values with a typed error. Runs at
+    /// [`Session::subscribe`] for every strategy — previously a
+    /// non-finite/non-positive [`output_range`](QuerySpec::output_range)
+    /// was only caught on the GP path (via `OlgaproConfig`), letting MC
+    /// subscriptions carry poisoned configuration silently.
+    fn validate(&self) -> crate::Result<()> {
+        if !(self.output_range > 0.0 && self.output_range.is_finite()) {
+            return Err(udf_core::CoreError::InvalidConfig {
+                what: "output_range",
+                value: self.output_range,
+            }
+            .into());
+        }
+        Ok(())
+    }
 }
 
 /// A long-lived, multi-query streaming session.
@@ -116,8 +132,11 @@ impl Session {
     }
 
     /// Register a continuous query. Subscriptions persist (with their warm
-    /// model state) across [`run`](Session::run) calls.
+    /// model state) across [`run`](Session::run) calls. Invalid builder
+    /// values (e.g. a non-finite output range) are rejected here with a
+    /// typed error rather than at first evaluation.
     pub fn subscribe(&mut self, spec: QuerySpec) -> Result<QueryId> {
+        spec.validate()?;
         let QuerySpec {
             name,
             udf,
@@ -357,6 +376,29 @@ mod tests {
             matches!(err, crate::StreamError::WorkerPanicked),
             "expected WorkerPanicked, got {err}"
         );
+    }
+
+    #[test]
+    fn subscribe_rejects_invalid_output_range() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            // MC subscriptions must be validated too, not just GP ones.
+            for strategy in [StreamStrategy::Mc, StreamStrategy::Gp] {
+                let mut session = Session::new(EngineConfig::new());
+                let err = session
+                    .subscribe(QuerySpec::new("bad", sin_udf(), acc(), strategy).output_range(bad))
+                    .unwrap_err();
+                assert!(
+                    matches!(
+                        &err,
+                        crate::StreamError::Core(udf_core::CoreError::InvalidConfig {
+                            what: "output_range",
+                            ..
+                        })
+                    ),
+                    "range {bad} / {strategy:?}: got {err}"
+                );
+            }
+        }
     }
 
     #[test]

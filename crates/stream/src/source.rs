@@ -172,6 +172,20 @@ impl Source for AstroSource {
     }
 }
 
+/// Boxed sources forward, so callers holding heterogeneous sources (e.g. a
+/// query front-end with a registry of named stream factories) can drive
+/// [`Session::run`](crate::session::Session::run) without knowing the
+/// concrete type.
+impl Source for Box<dyn Source + Send> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<InputDistribution>) -> usize {
+        (**self).next_batch(max, out)
+    }
+}
+
 /// A finite in-memory source — handy for tests and replay. Tuples are
 /// moved out as they are consumed.
 #[derive(Debug)]

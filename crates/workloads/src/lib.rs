@@ -10,11 +10,15 @@
 //!   DESIGN.md §3 for the substitution argument), and a synthetic SDSS-like
 //!   galaxy catalog with Gaussian-uncertain redshifts;
 //! * [`quadrature`] — adaptive Simpson integration used by the cosmology
-//!   functions.
+//!   functions;
+//! * [`registry`] — the named UDF catalog (function + input-domain
+//!   metadata) shared by the UQL front-end, examples, and benches.
 
 pub mod astro;
 pub mod quadrature;
+pub mod registry;
 pub mod synthetic;
 
 pub use astro::{Cosmology, GalaxyCatalog};
+pub use registry::{UdfCatalog, UdfEntry};
 pub use synthetic::{GaussianMixtureFn, PaperFunction};

@@ -11,13 +11,14 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use udf_core::udf::BlackBoxUdf;
 use udf_uncertain::prelude::*;
-use udf_workloads::astro::{AngDist, ComoveVol, Cosmology, GalAge, GalaxyCatalog};
+use udf_workloads::astro::GalaxyCatalog;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2013);
-    let cosmology = Cosmology::default();
+    // All three astro UDFs (with output-range metadata) come from the
+    // shared registry instead of ad-hoc construction.
+    let udfs = UdfCatalog::standard();
 
     // Synthetic SDSS-like catalog (see DESIGN.md §3 for the substitution).
     let catalog = GalaxyCatalog::generate(12, &mut rng);
@@ -42,9 +43,9 @@ fn main() {
     // ------------------------------------------------------------------
     // Q1: GalAge over every galaxy, GP strategy (GalAge is a slow UDF).
     // ------------------------------------------------------------------
-    let galage = BlackBoxUdf::new(std::sync::Arc::new(GalAge(cosmology)), CostModel::Free);
-    let call = UdfCall::resolve(galage, galaxy.schema(), &["redshift"]).unwrap();
-    let mut ex = Executor::new(EvalStrategy::Gp, acc, &call, 1.0).unwrap();
+    let galage = udfs.get("GalAge").unwrap();
+    let call = UdfCall::resolve(galage.udf.clone(), galaxy.schema(), &["redshift"]).unwrap();
+    let mut ex = Executor::new(EvalStrategy::Gp, acc, &call, galage.output_range).unwrap();
     let rows = ex.project(&galaxy, &call, &mut rng).unwrap();
 
     println!("Q1: SELECT objID, GalAge(redshift) FROM Galaxy");
@@ -77,11 +78,16 @@ fn main() {
     );
 
     // WHERE AngDist(g1.z, g2.z) ∈ [0.05, 0.35] with TEP ≥ 0.1.
-    let angdist = BlackBoxUdf::new(std::sync::Arc::new(AngDist(cosmology)), CostModel::Free);
-    let where_call =
-        UdfCall::resolve(angdist, pairs.schema(), &["g1.redshift", "g2.redshift"]).unwrap();
+    let angdist = udfs.get("AngDist").unwrap();
+    let where_call = UdfCall::resolve(
+        angdist.udf.clone(),
+        pairs.schema(),
+        &["g1.redshift", "g2.redshift"],
+    )
+    .unwrap();
     let pred = Predicate::new(0.05, 0.35, 0.1).unwrap();
-    let mut where_ex = Executor::new(EvalStrategy::Gp, acc, &where_call, 0.8).unwrap();
+    let mut where_ex =
+        Executor::new(EvalStrategy::Gp, acc, &where_call, angdist.output_range).unwrap();
     let surviving = where_ex
         .select(&pairs, &where_call, &pred, &mut rng)
         .unwrap();
@@ -101,20 +107,15 @@ fn main() {
             .collect(),
     )
     .unwrap();
-    let comovevol = BlackBoxUdf::new(
-        std::sync::Arc::new(ComoveVol {
-            cosmology,
-            area: 0.1,
-        }),
-        CostModel::Free,
-    );
+    let comovevol = udfs.get("ComoveVol").unwrap();
     let vol_call = UdfCall::resolve(
-        comovevol,
+        comovevol.udf.clone(),
         survivors.schema(),
         &["g1.redshift", "g2.redshift"],
     )
     .unwrap();
-    let mut vol_ex = Executor::new(EvalStrategy::Gp, acc, &vol_call, 0.3).unwrap();
+    let mut vol_ex =
+        Executor::new(EvalStrategy::Gp, acc, &vol_call, comovevol.output_range).unwrap();
     let volumes = vol_ex.project(&survivors, &vol_call, &mut rng).unwrap();
 
     println!("\n  pair   TEP     vol p50 [(c/H0)³]  ±ε");

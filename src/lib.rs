@@ -35,11 +35,13 @@
 //! ```
 //!
 //! See the crate-level docs of [`udf_core`], [`udf_gp`], [`udf_prob`],
-//! [`udf_query`], and [`udf_workloads`] for the full API, and
-//! `EXPERIMENTS.md` for the paper-reproduction harness.
+//! [`udf_query`], [`udf_workloads`], [`udf_stream`], and [`udf_lang`] (the
+//! UQL declarative front-end) for the full API, and `EXPERIMENTS.md` for
+//! the paper-reproduction harness.
 
 pub use udf_core as core;
 pub use udf_gp as gp;
+pub use udf_lang as lang;
 pub use udf_linalg as linalg;
 pub use udf_prob as prob;
 pub use udf_query as query;
@@ -58,10 +60,12 @@ pub mod prelude {
     pub use udf_core::parallel::ParallelOlgapro;
     pub use udf_core::sched::{mix_seed, BatchOps, BatchScheduler, BatchStats, Verdict};
     pub use udf_core::udf::{BlackBoxUdf, CostModel, FnUdf, UdfFunction};
+    pub use udf_lang::{run_uql, Context as UqlContext, LangError, QueryOutput};
     pub use udf_prob::{Ecdf, InputDistribution, Normal, Univariate};
     pub use udf_query::{EvalStrategy, Executor, Relation, Schema, Tuple, UdfCall, Value};
     pub use udf_stream::{
         AstroSource, EngineConfig, EngineStats, QueryId, QuerySpec, Session, Source, StreamStats,
         StreamStrategy, SyntheticSource, VecSource,
     };
+    pub use udf_workloads::{UdfCatalog, UdfEntry};
 }
