@@ -1,0 +1,96 @@
+//! `gp/model_cap` — what the bounded GP model lifecycle buys on the
+//! paper's adversarial case: the spiky F2 under a tight accuracy
+//! (ε = 0.1) over a relation whose tuples keep visiting fresh regions of
+//! the domain.
+//!
+//! Uncapped, every fresh region reroutes into online tuning, the model
+//! grows with the relation, and per-tuple cost climbs as O(m²) inference /
+//! O(m³) retraining — the `uncapped` series is *deliberately* the
+//! pathological path and grows super-linearly with the length axis. The
+//! `capped` series bounds the model at a fixed budget, so throughput stays
+//! flat: over-budget tuples are emitted at their achieved error bound and
+//! counted (`QueryStats::cap_hits`), never silently dropped.
+//!
+//! ```sh
+//! cargo bench --bench model_cap
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use udf_core::config::{AccuracyRequirement, Metric, ModelBudget};
+use udf_core::filtering::Predicate;
+use udf_core::sched::BatchScheduler;
+use udf_core::udf::{BlackBoxUdf, CostModel};
+use udf_query::{EvalStrategy, Executor, Relation, Schema, Tuple, UdfCall, Value};
+use udf_workloads::synthetic::{sweep_mean, PaperFunction};
+
+const CAP: usize = 16;
+const SEED: u64 = 0xF2CA9;
+
+fn sweep_rel(n: usize) -> Relation {
+    let tuples = (0..n)
+        .map(|i| {
+            Tuple::new(vec![Value::Gaussian {
+                mu: sweep_mean(i),
+                sigma: 0.4,
+            }])
+        })
+        .collect();
+    Relation::new(Schema::new(&["x"]), tuples).unwrap()
+}
+
+/// One capped-or-uncapped `select_batch` over `n` sweeping tuples; returns
+/// (rows kept, model size, cap hits) so the interesting state is computed,
+/// not optimized away.
+fn run_select(rel: &Relation, cap: usize, sched: &BatchScheduler) -> (usize, usize, u64) {
+    let f2 = PaperFunction::F2.instantiate(1);
+    let range = f2.output_range();
+    let udf = BlackBoxUdf::new(Arc::new(f2), CostModel::Free);
+    let call = UdfCall::resolve(udf, rel.schema(), &["x"]).unwrap();
+    let acc = AccuracyRequirement::new(0.1, 0.05, 0.0, Metric::Ks).unwrap();
+    let pred = Predicate::new(-0.5, 2.5, 0.3).unwrap();
+    let mut ex = Executor::new(EvalStrategy::Gp, acc, &call, range)
+        .unwrap()
+        .with_model_cap(cap, ModelBudget::StopGrowing)
+        .unwrap();
+    let rows = ex.select_batch(rel, &call, &pred, sched, SEED).unwrap();
+    let model = ex.olgapro().unwrap().model().len();
+    (rows.len(), model, ex.stats().cap_hits)
+}
+
+fn bench_model_cap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gp/model_cap");
+    let sched = BatchScheduler::new(1);
+    for n in [32usize, 64] {
+        let rel = sweep_rel(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("capped16", n), &n, |b, _| {
+            b.iter(|| run_select(&rel, CAP, &sched));
+        });
+        g.bench_with_input(BenchmarkId::new("uncapped", n), &n, |b, _| {
+            b.iter(|| run_select(&rel, 0, &sched));
+        });
+    }
+    // The capped path alone at longer lengths: cost per tuple must stay
+    // flat once the model is full (the uncapped pair would dominate the
+    // bench wall-clock here — that asymmetry is the result).
+    for n in [256usize, 512] {
+        let rel = sweep_rel(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("capped16", n), &n, |b, _| {
+            b.iter(|| run_select(&rel, CAP, &sched));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // The uncapped arm is deliberately the pathological O(n³) path: keep
+    // the sample budget small so the bench finishes in minutes.
+    config = Criterion::default()
+        .sample_size(5)
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_model_cap
+);
+criterion_main!(benches);

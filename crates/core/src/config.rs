@@ -78,6 +78,27 @@ impl AccuracyRequirement {
     }
 }
 
+/// How OLGAPRO spends a bounded model budget once the training set reaches
+/// [`OlgaproConfig::max_model_points`].
+///
+/// Exact-GP cost grows with the training-set size `m`: O(m²) per inference
+/// and O(m³) per retrain, so an unbounded model turns a long run of hard
+/// tuples into a quadratic/cubic wall. A budget keeps per-tuple cost
+/// bounded, in the spirit of sparse-GP inducing-point budgets (SPGP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelBudget {
+    /// Stop adding training points: over-budget tuples are emitted at the
+    /// *achieved* error bound (which stays attached to every output), and
+    /// each such degraded acceptance is counted in
+    /// [`crate::olgapro::OlgaproStats::cap_hits`]. The default.
+    #[default]
+    StopGrowing,
+    /// Evict the oldest training point to make room, so the model keeps
+    /// adapting to input drift at a fixed size. Each eviction re-factors
+    /// the covariance — O(cap³), expensive but *bounded* per tuple.
+    EvictOldest,
+}
+
 /// When OLGAPRO re-learns hyperparameters (§5.3 / Expt 3).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RetrainStrategy {
@@ -110,6 +131,14 @@ pub struct OlgaproConfig {
     pub init_lengthscale: f64,
     /// Initial kernel signal standard deviation.
     pub init_sigma_f: f64,
+    /// Maximum GP training-set size; **0 means uncapped** (the default).
+    /// Nonzero caps must be at least the bootstrap size
+    /// ([`min_model_cap`](OlgaproConfig::min_model_cap)) — set them through
+    /// [`with_model_cap`](OlgaproConfig::with_model_cap) /
+    /// [`set_model_cap`](OlgaproConfig::set_model_cap), which validate.
+    pub max_model_points: usize,
+    /// What happens at the cap (ignored while `max_model_points == 0`).
+    pub model_budget: ModelBudget,
 }
 
 impl OlgaproConfig {
@@ -131,7 +160,37 @@ impl OlgaproConfig {
             bootstrap_points: 5,
             init_lengthscale: 1.0,
             init_sigma_f: 1.0,
+            max_model_points: 0,
+            model_budget: ModelBudget::StopGrowing,
         })
+    }
+
+    /// The smallest valid nonzero model cap: the bootstrap size. A cap
+    /// below it could never finish bootstrapping (stop-growing) or would
+    /// thrash the bootstrap set (evict-oldest).
+    pub fn min_model_cap(&self) -> usize {
+        self.bootstrap_points.max(2)
+    }
+
+    /// Set the model-size budget in place. `n == 0` removes the cap;
+    /// nonzero caps below [`min_model_cap`](OlgaproConfig::min_model_cap)
+    /// are rejected.
+    pub fn set_model_cap(&mut self, n: usize, budget: ModelBudget) -> Result<()> {
+        if n > 0 && n < self.min_model_cap() {
+            return Err(CoreError::InvalidConfig {
+                what: "max_model_points",
+                value: n as f64,
+            });
+        }
+        self.max_model_points = n;
+        self.model_budget = budget;
+        Ok(())
+    }
+
+    /// Builder-style [`set_model_cap`](OlgaproConfig::set_model_cap).
+    pub fn with_model_cap(mut self, n: usize, budget: ModelBudget) -> Result<Self> {
+        self.set_model_cap(n, budget)?;
+        Ok(self)
     }
 
     /// The (ε, δ) split between sampling and GP modeling (Theorem 4.1).
@@ -184,6 +243,32 @@ mod tests {
         assert!((s.eps_mc + s.eps_gp - 0.1).abs() < 1e-12);
         assert!((cfg.gamma - 0.5).abs() < 1e-12);
         assert!(cfg.samples_per_input() > 0);
+    }
+
+    #[test]
+    fn model_cap_validation() {
+        let acc = AccuracyRequirement::paper_default(0.1);
+        let cfg = OlgaproConfig::new(acc, 10.0).unwrap();
+        assert_eq!(cfg.max_model_points, 0, "default is uncapped");
+        assert_eq!(cfg.model_budget, ModelBudget::StopGrowing);
+        assert_eq!(cfg.min_model_cap(), 5);
+        // 0 clears the cap; caps >= bootstrap are fine; 1..bootstrap thrash.
+        assert!(cfg
+            .clone()
+            .with_model_cap(0, ModelBudget::StopGrowing)
+            .is_ok());
+        assert!(cfg
+            .clone()
+            .with_model_cap(5, ModelBudget::EvictOldest)
+            .is_ok());
+        for bad in 1..5 {
+            assert!(
+                cfg.clone()
+                    .with_model_cap(bad, ModelBudget::StopGrowing)
+                    .is_err(),
+                "cap {bad} is below the bootstrap size"
+            );
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod parallel;
 pub mod sched;
 pub mod udf;
 
-pub use config::{AccuracyRequirement, Metric, OlgaproConfig, RetrainStrategy};
+pub use config::{AccuracyRequirement, Metric, ModelBudget, OlgaproConfig, RetrainStrategy};
 pub use filtering::{FilterDecision, Predicate};
 pub use hybrid::{HybridChoice, HybridEvaluator};
 pub use mc::McEvaluator;

@@ -13,7 +13,7 @@
 //! 5. **online retraining** (§5.3): if points were added, re-learn the
 //!    hyperparameters only when the first Newton step exceeds Δθ.
 
-use crate::config::{Metric, OlgaproConfig, RetrainStrategy};
+use crate::config::{Metric, ModelBudget, OlgaproConfig, RetrainStrategy};
 use crate::error_bound::{envelope_ecdfs, ks_bound, lambda_discrepancy_bound};
 use crate::output::GpOutput;
 use crate::udf::BlackBoxUdf;
@@ -50,6 +50,12 @@ pub struct OlgaproStats {
     pub retrains: u64,
     /// Retraining decisions evaluated (Newton heuristic invocations).
     pub retrain_checks: u64,
+    /// Inputs accepted at a *degraded* (achieved) error bound because the
+    /// model cap blocked further online tuning
+    /// ([`OlgaproConfig::max_model_points`] under
+    /// [`ModelBudget::StopGrowing`]). Nonzero means outputs may carry
+    /// `eps_gp` above the GP budget — observable, never silent.
+    pub cap_hits: u64,
 }
 
 /// The online evaluator (Algorithm 5).
@@ -109,6 +115,40 @@ impl Olgapro {
     /// Configuration in effect.
     pub fn config(&self) -> &OlgaproConfig {
         &self.config
+    }
+
+    /// Change the model-size budget in place (validated; see
+    /// [`OlgaproConfig::set_model_cap`]). Shrinking the cap below the
+    /// current model size stops further growth but does not discard
+    /// already-learned points.
+    pub fn set_model_cap(&mut self, n: usize, budget: ModelBudget) -> Result<()> {
+        self.config.set_model_cap(n, budget)
+    }
+
+    /// True when the model cap forbids any further growth: the training
+    /// set has reached [`OlgaproConfig::max_model_points`] under the
+    /// [`ModelBudget::StopGrowing`] policy. Batch accept hooks use this to
+    /// emit over-budget fast-path results at the achieved bound instead of
+    /// rerouting — with a full stop-growing model, [`process`](Olgapro::process)
+    /// computes exactly what [`infer_only`](Olgapro::infer_only) already
+    /// did, so accepting is byte-identical and strictly cheaper.
+    pub fn model_full(&self) -> bool {
+        self.config.max_model_points > 0
+            && self.model.len() >= self.config.max_model_points
+            && self.config.model_budget == ModelBudget::StopGrowing
+    }
+
+    /// Record a degraded-accuracy acceptance decided on a caller's fast
+    /// path (the batch adapters accept over-budget results themselves when
+    /// [`model_full`](Olgapro::model_full), bypassing
+    /// [`process`](Olgapro::process) and its own counting).
+    pub fn note_cap_hit(&mut self) {
+        self.stats.cap_hits += 1;
+    }
+
+    /// True when the training set is at the cap (either policy).
+    fn at_capacity(&self) -> bool {
+        self.config.max_model_points > 0 && self.model.len() >= self.config.max_model_points
     }
 
     /// Inference-only evaluation: compute the output distribution and error
@@ -186,6 +226,18 @@ impl Olgapro {
         let z_alpha = simultaneous_z(self.model.kernel(), &bbox, split.delta_gp);
         let (mut means, mut sds, mut eps_gp) = self.infer_and_bound(&samples, &bbox, z_alpha)?;
         while eps_gp > split.eps_gp && points_added < self.config.max_points_per_input {
+            // Model-size budget: bounded per-tuple cost on long runs.
+            if self.at_capacity() {
+                match self.config.model_budget {
+                    ModelBudget::StopGrowing => {
+                        // Accept this input at the achieved bound; the
+                        // degradation is counted, not silent.
+                        self.stats.cap_hits += 1;
+                        break;
+                    }
+                    ModelBudget::EvictOldest => self.model.remove_oldest()?,
+                }
+            }
             let pick = self.pick_training_sample(&samples, &sds, &bbox, z_alpha, rng)?;
             let x = samples[pick].clone();
             let y = self.eval_udf(&x)?;
@@ -473,6 +525,106 @@ mod tests {
             lv <= rnd + 2,
             "largest-variance used {lv} points, random used {rnd}"
         );
+    }
+
+    #[test]
+    fn stop_growing_cap_bounds_model_and_counts_hits() {
+        // A tight budget over a drifting input sequence grows the model
+        // without bound; the cap must pin it and count every degraded
+        // acceptance.
+        let cap = 8usize;
+        let mk = |cap: usize| {
+            let cfg = config(0.12)
+                .with_model_cap(cap, ModelBudget::StopGrowing)
+                .unwrap();
+            Olgapro::new(
+                BlackBoxUdf::from_fn("bumpy", 1, |x| (x[0] * 3.0).sin() + (x[0] * 7.0).cos()),
+                cfg,
+            )
+        };
+        let mut capped = mk(cap);
+        let mut uncapped = mk(0);
+        let mut rng_a = StdRng::seed_from_u64(40);
+        let mut rng_b = StdRng::seed_from_u64(40);
+        for i in 0..24 {
+            let input = InputDistribution::diagonal_gaussian(&[(0.4 * i as f64, 0.3)]).unwrap();
+            capped.process(&input, &mut rng_a).unwrap();
+            uncapped.process(&input, &mut rng_b).unwrap();
+            assert!(
+                capped.model().len() <= cap,
+                "input {i}: model {} exceeds cap {cap}",
+                capped.model().len()
+            );
+        }
+        assert!(
+            uncapped.model().len() > cap,
+            "workload too easy for the test"
+        );
+        assert!(capped.stats().cap_hits > 0, "cap never hit");
+        assert_eq!(uncapped.stats().cap_hits, 0, "uncapped run counted hits");
+        assert!(
+            capped.udf().calls() < uncapped.udf().calls(),
+            "cap must bound training cost: {} vs {}",
+            capped.udf().calls(),
+            uncapped.udf().calls()
+        );
+    }
+
+    #[test]
+    fn evict_oldest_keeps_size_and_adapts() {
+        let cap = 8usize;
+        let cfg = config(0.12)
+            .with_model_cap(cap, ModelBudget::EvictOldest)
+            .unwrap();
+        let mut olga = Olgapro::new(
+            BlackBoxUdf::from_fn("bumpy", 1, |x| (x[0] * 3.0).sin() + (x[0] * 7.0).cos()),
+            cfg,
+        );
+        let mut rng = StdRng::seed_from_u64(41);
+        for i in 0..24 {
+            let input = InputDistribution::diagonal_gaussian(&[(0.4 * i as f64, 0.3)]).unwrap();
+            olga.process(&input, &mut rng).unwrap();
+            assert!(olga.model().len() <= cap, "input {i}");
+        }
+        assert_eq!(olga.model().len(), cap, "churn should keep the model full");
+        assert!(!olga.model_full(), "evict-oldest can always grow");
+        // The surviving training points track the recent inputs, not the
+        // early ones: eviction discarded the oldest region.
+        let oldest_kept = olga
+            .model()
+            .inputs()
+            .iter()
+            .map(|x| x[0])
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            oldest_kept > 1.0,
+            "oldest surviving point {oldest_kept} was never evicted"
+        );
+    }
+
+    #[test]
+    fn full_stop_growing_process_matches_infer_only() {
+        // The accept hooks rely on this: with a full stop-growing model,
+        // `process` is exactly `infer_only` (same RNG stream, no mutation).
+        let cfg = config(0.12)
+            .with_model_cap(6, ModelBudget::StopGrowing)
+            .unwrap();
+        let mut olga = Olgapro::new(smooth_udf(), cfg);
+        let mut rng = StdRng::seed_from_u64(42);
+        for i in 0..8 {
+            let input = InputDistribution::diagonal_gaussian(&[(0.9 * i as f64, 0.4)]).unwrap();
+            olga.process(&input, &mut rng).unwrap();
+        }
+        assert!(olga.model_full(), "warm-up never filled the model");
+        let input = InputDistribution::diagonal_gaussian(&[(7.7, 0.4)]).unwrap();
+        let a = olga
+            .infer_only(&input, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        let b = olga.process(&input, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a.y_hat.values(), b.y_hat.values());
+        assert_eq!(a.eps_gp, b.eps_gp);
+        assert_eq!(b.points_added, 0);
+        assert!(!b.retrained);
     }
 
     #[test]

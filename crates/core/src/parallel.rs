@@ -56,7 +56,11 @@ impl BatchOps for OlgaproBatch<'_> {
     }
 
     fn accept(&self, _idx: usize, out: &GpOutput) -> Verdict {
-        if out.eps_gp <= self.eps_gp_budget {
+        // A full stop-growing model accepts at the achieved bound: the
+        // slow path could neither tune nor change the result (`process`
+        // degenerates to `infer_only` there), so rerouting would only pay
+        // a second inference pass for byte-identical output.
+        if out.eps_gp <= self.eps_gp_budget || self.olga.model_full() {
             Verdict::Accept
         } else {
             Verdict::Reroute
@@ -64,6 +68,10 @@ impl BatchOps for OlgaproBatch<'_> {
     }
 
     fn emit_fast(&mut self, idx: usize, out: GpOutput) -> Result<()> {
+        if out.eps_gp > self.eps_gp_budget {
+            // Only reachable via the model-full acceptance above.
+            self.olga.note_cap_hit();
+        }
         self.outputs[idx] = Some(out);
         Ok(())
     }
@@ -226,6 +234,44 @@ mod tests {
         assert!(sa.slow_path > 0, "cold batch must exercise the slow path");
         for (i, (x, y)) in oa.iter().zip(&ob).enumerate() {
             assert_eq!(x.y_hat.values(), y.y_hat.values(), "tuple {i}");
+        }
+    }
+
+    #[test]
+    fn full_model_accepts_on_the_fast_path_identically_for_any_workers() {
+        use crate::config::ModelBudget;
+        let cap = 8usize;
+        let run = |workers: usize| {
+            let mut olga = setup(0.12);
+            olga.set_model_cap(cap, ModelBudget::StopGrowing).unwrap();
+            let mut par = ParallelOlgapro::new(olga, workers);
+            let batch: Vec<InputDistribution> = (0..24)
+                .map(|i| InputDistribution::diagonal_gaussian(&[(0.5 * i as f64, 0.3)]).unwrap())
+                .collect();
+            par.process_batch(&batch, 5).unwrap();
+            let (outs, stats) = par.process_batch(&batch, 6).unwrap();
+            (outs, stats, par)
+        };
+        let (o2, s2, p2) = run(2);
+        let (o8, s8, p8) = run(8);
+        assert!(p2.inner().model().len() <= cap, "cap overshoot");
+        assert!(
+            p2.inner().model_full(),
+            "workload too easy: cap never reached"
+        );
+        assert!(
+            p2.inner().stats().cap_hits > 0,
+            "degraded accepts not counted"
+        );
+        assert_eq!(
+            s2.slow_path, 0,
+            "a full stop-growing model must not reroute: {s2:?}"
+        );
+        assert_eq!(s2, s8, "routing must not depend on worker count");
+        assert_eq!(p2.inner().stats().cap_hits, p8.inner().stats().cap_hits);
+        for (i, (x, y)) in o2.iter().zip(&o8).enumerate() {
+            assert_eq!(x.y_hat.values(), y.y_hat.values(), "tuple {i}");
+            assert_eq!(x.eps_gp, y.eps_gp, "tuple {i}");
         }
     }
 

@@ -204,6 +204,28 @@ impl GpModel {
         }
     }
 
+    /// Remove the oldest training point and refactor from scratch —
+    /// O(n³) in the *remaining* size, so under a fixed model budget the
+    /// cost per eviction stays bounded. Used by evict-oldest model-cap
+    /// policies; errors on an empty model.
+    pub fn remove_oldest(&mut self) -> Result<()> {
+        if self.xs.is_empty() {
+            return Err(GpError::EmptyModel);
+        }
+        self.xs.remove(0);
+        self.ys.remove(0);
+        self.index = RTree::bulk_load(
+            self.dim,
+            self.xs
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, p)| (p, i))
+                .collect(),
+        );
+        self.refit()
+    }
+
     /// Posterior mean and variance at `x` (global inference, Eq. 2).
     pub fn predict(&self, x: &[f64]) -> Result<Prediction> {
         let chol = self.chol.as_ref().ok_or(GpError::EmptyModel)?;
@@ -365,6 +387,28 @@ mod tests {
         }
         let p = m.predict(&[1.0]).unwrap();
         assert!((p.mean - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn remove_oldest_matches_suffix_fit() {
+        let xs: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64 * 0.4]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0].cos()).collect();
+        let mut evicting = GpModel::new(Box::new(SquaredExponential::new(1.0, 1.0)), 1);
+        evicting.fit(xs.clone(), ys.clone()).unwrap();
+        evicting.remove_oldest().unwrap();
+        evicting.remove_oldest().unwrap();
+        let mut suffix = GpModel::new(Box::new(SquaredExponential::new(1.0, 1.0)), 1);
+        suffix.fit(xs[2..].to_vec(), ys[2..].to_vec()).unwrap();
+        assert_eq!(evicting.len(), 7);
+        assert_eq!(evicting.spatial_index().len(), 7);
+        for q in [0.1, 1.3, 2.6] {
+            let a = evicting.predict(&[q]).unwrap();
+            let b = suffix.predict(&[q]).unwrap();
+            assert!((a.mean - b.mean).abs() < 1e-9, "q={q}");
+            assert!((a.var - b.var).abs() < 1e-9, "q={q}");
+        }
+        let mut empty = GpModel::new(Box::new(SquaredExponential::new(1.0, 1.0)), 1);
+        assert!(matches!(empty.remove_oldest(), Err(GpError::EmptyModel)));
     }
 
     #[test]

@@ -164,6 +164,8 @@ pub struct Options {
     pub seed: Option<Spanned<u64>>,
     /// `LIMIT n` — stop a stream after n tuples.
     pub limit: Option<Spanned<u64>>,
+    /// `MODEL CAP n` — GP model-size budget (0 = uncapped).
+    pub model_cap: Option<Spanned<u64>>,
 }
 
 impl fmt::Display for CallExpr {
@@ -223,6 +225,9 @@ impl fmt::Display for Select {
         }
         if let Some(l) = &o.limit {
             write!(f, " LIMIT {}", l.node)?;
+        }
+        if let Some(c) = &o.model_cap {
+            write!(f, " MODEL CAP {}", c.node)?;
         }
         Ok(())
     }

@@ -14,6 +14,7 @@ use crate::parser::parse;
 use crate::plan::{bind, BoundQuery, PhysicalPlan, RelPlan, StreamPlan};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
+use udf_core::config::ModelBudget;
 use udf_core::sched::BatchScheduler;
 use udf_query::{Executor, ProjectedTuple, QueryStats, Relation, UdfCall};
 use udf_stream::{EngineConfig, EngineStats, KeptSummary, QuerySpec, Session, Source, StreamStats};
@@ -167,12 +168,13 @@ impl QueryOutput {
             QueryOutput::Plan(p) => p.clone(),
             QueryOutput::Rows(r) => {
                 let mut s = format!(
-                    "{} row(s) in {:.2?}  [in={} out={} udf_calls={}]\n",
+                    "{} row(s) in {:.2?}  [in={} out={} udf_calls={} cap_hits={}]\n",
                     r.rows.len(),
                     r.elapsed,
                     r.stats.tuples_in,
                     r.stats.tuples_out,
                     r.stats.udf_calls,
+                    r.stats.cap_hits,
                 );
                 const SHOW: usize = 10;
                 for row in r.rows.iter().take(SHOW) {
@@ -227,7 +229,8 @@ fn exec_relation(p: &RelPlan, ctx: &mut Context, plan: String) -> Result<QueryOu
         .or_insert_with(|| BatchScheduler::new(p.workers));
     let args: Vec<&str> = p.args.iter().map(String::as_str).collect();
     let call = UdfCall::resolve(p.udf.clone(), rel.schema(), &args)?;
-    let mut executor = Executor::new(p.strategy, p.accuracy, &call, p.output_range)?;
+    let mut executor = Executor::new(p.strategy, p.accuracy, &call, p.output_range)?
+        .with_model_cap(p.model_cap, ModelBudget::StopGrowing)?;
     let t0 = Instant::now();
     let rows = match &p.predicate {
         Some(pred) => executor.select_batch(rel, &call, pred, sched, p.seed)?,
@@ -266,7 +269,8 @@ fn exec_stream(p: &StreamPlan, ctx: &Context, plan: String) -> Result<QueryOutpu
         p.accuracy,
         p.strategy,
     )
-    .output_range(p.output_range);
+    .output_range(p.output_range)
+    .max_model_points(p.model_cap);
     if let Some(pred) = p.predicate {
         spec = spec.predicate(pred);
     }

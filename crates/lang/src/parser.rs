@@ -10,7 +10,8 @@
 //! source    := "STREAM" IDENT | IDENT ;
 //! where     := "WHERE" "PR" "(" call "IN" "[" NUMBER "," NUMBER "]" ")" ">=" NUMBER ;
 //! option    := "USING" ( "MC" | "GP" | "AUTO" )
-//!            | "WORKERS" INT | "BATCH" INT | "SEED" INT | "LIMIT" INT ;
+//!            | "WORKERS" INT | "BATCH" INT | "SEED" INT | "LIMIT" INT
+//!            | "MODEL" "CAP" INT ;
 //! ```
 //!
 //! Options may appear in any order but at most once each; the AST
@@ -289,6 +290,11 @@ impl Parser {
                 let kw = self.next().expect("peeked").span;
                 let n = self.expect_uint("LIMIT count")?;
                 set_once(&mut o.limit, n, kw, "LIMIT")?;
+            } else if self.at_keyword("MODEL") {
+                let kw = self.next().expect("peeked").span;
+                self.expect_keyword("CAP")?;
+                let n = self.expect_uint("MODEL CAP size")?;
+                set_once(&mut o.model_cap, n, kw, "MODEL CAP")?;
             } else {
                 return Ok(o);
             }
@@ -359,12 +365,25 @@ mod tests {
     }
 
     #[test]
+    fn parses_model_cap() {
+        let q = parse("SELECT F2(x) FROM pts USING gp MODEL CAP 32 SEED 1").unwrap();
+        assert_eq!(q.select.options.model_cap.as_ref().unwrap().node, 32);
+        // Two-keyword clause: `MODEL` without `CAP` is a parse error.
+        let err = parse("SELECT F2(x) FROM pts MODEL 32").unwrap_err();
+        assert!(err.to_string().contains("keyword `CAP`"), "{err}");
+        let err = parse("SELECT F2(x) FROM pts MODEL CAP 8 MODEL CAP 9").unwrap_err();
+        assert!(err.to_string().contains("duplicate `MODEL CAP`"), "{err}");
+        let err = parse("SELECT F2(x) FROM pts MODEL CAP -3").unwrap_err();
+        assert!(err.to_string().contains("non-negative integer"), "{err}");
+    }
+
+    #[test]
     fn canonical_display_reparses_identically() {
         let srcs = [
             "SELECT GalAge(z) FROM sky",
             "explain select AngDist(z1, z2) with accuracy 0.2 0.05 metric ks from stream pairs \
              where pr(AngDist(z1, z2) in [0.1, 0.3]) >= 0.5 using gp workers 8 batch 32 seed 9 \
-             limit 500",
+             limit 500 model cap 64",
         ];
         for src in srcs {
             let ast = parse(src).unwrap();

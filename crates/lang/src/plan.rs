@@ -19,7 +19,7 @@ use crate::ast::{MetricName, Query, SourceRef, StrategyName};
 use crate::error::{LangError, Result, Span};
 use crate::exec::Context;
 use std::fmt;
-use udf_core::config::{AccuracyRequirement, Metric};
+use udf_core::config::{AccuracyRequirement, Metric, OlgaproConfig};
 use udf_core::filtering::Predicate;
 use udf_core::hybrid::{rule_based_choice, HybridChoice};
 use udf_core::udf::BlackBoxUdf;
@@ -156,6 +156,8 @@ pub struct RelPlan {
     pub workers: usize,
     /// Master RNG seed.
     pub seed: u64,
+    /// GP model-size budget (0 = uncapped).
+    pub model_cap: usize,
 }
 
 /// A fully bound, executable plan over a stream source.
@@ -181,6 +183,8 @@ pub struct StreamPlan {
     pub seed: u64,
     /// Optional tuple limit for the run.
     pub limit: Option<u64>,
+    /// GP model-size budget (0 = uncapped).
+    pub model_cap: usize,
 }
 
 /// The bound physical plan.
@@ -220,12 +224,13 @@ impl BoundQuery {
         match &self.physical {
             PhysicalPlan::Relation(p) => {
                 s.push_str(&format!(
-                    "  BatchExec relation={} udf={} strategy={:?} workers={} seed={}\n",
+                    "  BatchExec relation={} udf={} strategy={:?} workers={} seed={}{}\n",
                     p.relation,
                     p.udf.name(),
                     p.strategy,
                     p.workers,
                     p.seed,
+                    render_model_cap(p.model_cap),
                 ));
                 s.push_str(&format!(
                     "    accuracy: eps={} delta={} lambda={:.4} metric={:?}\n",
@@ -255,8 +260,8 @@ impl BoundQuery {
                     p.batch,
                     p.seed,
                     match p.limit {
-                        Some(l) => format!(" limit={l}"),
-                        None => " (unbounded)".to_string(),
+                        Some(l) => format!("{} limit={l}", render_model_cap(p.model_cap)),
+                        None => format!("{} (unbounded)", render_model_cap(p.model_cap)),
                     },
                 ));
                 s.push_str(&format!(
@@ -273,6 +278,34 @@ impl BoundQuery {
             }
         }
         s
+    }
+}
+
+/// A nonzero `MODEL CAP` on a query whose strategy resolved to MC would be
+/// silently dropped (MC has no model) — reject it with a span instead,
+/// whether the MC choice was explicit (`USING mc`) or made by AUTO.
+fn reject_cap_on_mc(sel: &crate::ast::Select, model_cap: usize, is_mc: bool) -> Result<()> {
+    if model_cap == 0 || !is_mc {
+        return Ok(());
+    }
+    let span = sel
+        .options
+        .model_cap
+        .as_ref()
+        .expect("nonzero model_cap implies the clause was written")
+        .span;
+    Err(LangError::semantic(
+        span,
+        "MODEL CAP bounds the GP model, but this query's strategy resolved to MC \
+         (explicitly or via AUTO's §6.3 rules); use `USING gp` or drop the cap",
+    ))
+}
+
+fn render_model_cap(cap: usize) -> String {
+    if cap > 0 {
+        format!(" model_cap={cap}")
+    } else {
+        String::new()
     }
 }
 
@@ -386,6 +419,33 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
         .strategy
         .as_ref()
         .map_or(StrategyName::Auto, |s| s.node);
+    let model_cap = match &sel.options.model_cap {
+        None => 0usize,
+        Some(c) => {
+            if c.node > 1_000_000 {
+                return Err(LangError::semantic(
+                    c.span,
+                    format!("MODEL CAP must be at most 1000000, got {}", c.node),
+                ));
+            }
+            // Caps the model could never bootstrap under are rejected here
+            // with a span, rather than as an engine error at run time.
+            let min = OlgaproConfig::new(accuracy, output_range)
+                .expect("accuracy and output_range validated above")
+                .min_model_cap();
+            if c.node > 0 && (c.node as usize) < min {
+                return Err(LangError::semantic(
+                    c.span,
+                    format!(
+                        "MODEL CAP must be 0 (uncapped) or at least the GP bootstrap \
+                         size ({min}), got {}",
+                        c.node
+                    ),
+                ));
+            }
+            c.node as usize
+        }
+    };
 
     // 5. Source-specific lowering.
     let call_text = sel.call.to_string();
@@ -437,6 +497,10 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
                     }
                 }
             };
+            // The cap is checked against the *resolved* strategy, so
+            // `USING mc MODEL CAP n` and a cap silently dropped by AUTO
+            // picking MC fail the same way.
+            reject_cap_on_mc(sel, model_cap, strategy == EvalStrategy::Mc)?;
             let scan = LogicalPlan::Scan {
                 relation: name.node.clone(),
                 rows: rel.len(),
@@ -455,6 +519,7 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
                     predicate,
                     workers,
                     seed,
+                    model_cap,
                 }),
             })
         }
@@ -486,6 +551,19 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
                 StrategyName::Gp => StreamStrategy::Gp,
                 StrategyName::Auto => StreamStrategy::Auto,
             };
+            // AUTO stays symbolic on streams (the engine resolves it at
+            // subscribe), but it resolves by the same deterministic §6.3
+            // rule — apply it here so a cap AUTO would drop is rejected
+            // with a span instead of silently ignored.
+            let resolves_to_mc = match strategy {
+                StreamStrategy::Mc => true,
+                StreamStrategy::Gp => false,
+                StreamStrategy::Auto => matches!(
+                    rule_based_choice(udf.dim(), udf.cost_model().per_call()),
+                    HybridChoice::Mc
+                ),
+            };
+            reject_cap_on_mc(sel, model_cap, resolves_to_mc)?;
             let batch = match &sel.options.batch {
                 None => 256,
                 Some(b) if b.node >= 1 && b.node <= 1_048_576 => b.node as usize,
@@ -515,6 +593,7 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
                     batch,
                     seed,
                     limit: sel.options.limit.as_ref().map(|l| l.node),
+                    model_cap,
                 }),
             })
         }

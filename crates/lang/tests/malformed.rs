@@ -203,6 +203,45 @@ fn malformed_queries_fail_with_spans() {
             message: "apply to `FROM STREAM` queries only",
             at: "10",
         },
+        Case {
+            query: "SELECT GalAge(z) FROM sky USING gp MODEL 12",
+            stage: Stage::Parse,
+            message: "expected keyword `CAP`",
+            at: "12",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky MODEL CAP 3 MODEL CAP 4",
+            stage: Stage::Parse,
+            message: "duplicate `MODEL CAP`",
+            at: "MODEL",
+        },
+        Case {
+            // A nonzero cap the model could never bootstrap under.
+            query: "SELECT GalAge(z) FROM sky USING gp MODEL CAP 3",
+            stage: Stage::Semantic,
+            message: "at least the GP bootstrap size (5)",
+            at: "3",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky USING mc MODEL CAP 16",
+            stage: Stage::Semantic,
+            message: "strategy resolved to MC",
+            at: "16",
+        },
+        Case {
+            // No USING clause: AUTO picks MC for the free 1-D F1, which
+            // would silently drop the cap — same rejection as explicit mc.
+            query: "SELECT F1(z) FROM sky MODEL CAP 16",
+            stage: Stage::Semantic,
+            message: "strategy resolved to MC",
+            at: "16",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky USING gp MODEL CAP 2000000",
+            stage: Stage::Semantic,
+            message: "MODEL CAP must be at most 1000000",
+            at: "2000000",
+        },
     ];
 
     let mut ctx = ctx();

@@ -60,10 +60,10 @@ fn options() -> impl Strategy<Value = Options> {
         1u64..64,
         1u64..4096,
         0u64..1_000_000,
-        1u64..100_000,
-        0u8..32,
+        (1u64..100_000, 0u64..1000),
+        0u8..64,
     )
-        .prop_map(|(s, w, b, seed, l, mask)| Options {
+        .prop_map(|(s, w, b, seed, (l, cap), mask)| Options {
             strategy: (mask & 1 != 0).then(|| {
                 sp(match s % 3 {
                     0 => StrategyName::Mc,
@@ -75,6 +75,7 @@ fn options() -> impl Strategy<Value = Options> {
             batch: (mask & 4 != 0).then(|| sp(b)),
             seed: (mask & 8 != 0).then(|| sp(seed)),
             limit: (mask & 16 != 0).then(|| sp(l)),
+            model_cap: (mask & 32 != 0).then(|| sp(cap)),
         })
 }
 

@@ -21,7 +21,7 @@ use crate::relation::{Relation, Tuple, UdfCall};
 use crate::Result;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use udf_core::config::{AccuracyRequirement, OlgaproConfig};
+use udf_core::config::{AccuracyRequirement, ModelBudget, OlgaproConfig};
 use udf_core::filtering::{gp_filtered, mc_eval_tuple, mc_filtered, FilterDecision, Predicate};
 use udf_core::olgapro::Olgapro;
 use udf_core::output::{GpOutput, OutputDistribution};
@@ -48,6 +48,10 @@ pub struct QueryStats {
     pub tuples_out: u64,
     /// UDF invocations across all tuples.
     pub udf_calls: u64,
+    /// Tuples evaluated at a degraded (achieved) error bound because the
+    /// GP model cap blocked further online tuning — nonzero only when a
+    /// cap is set via [`Executor::with_model_cap`].
+    pub cap_hits: u64,
 }
 
 /// One output row of a UDF projection.
@@ -97,6 +101,28 @@ impl Executor {
             olgapro,
             stats: QueryStats::default(),
         })
+    }
+
+    /// Cap the GP model at `n` training points under the given budget
+    /// policy. **`0` is the uncapped sentinel (the default)** — on long
+    /// relations an uncapped model makes per-tuple inference O(m²) and
+    /// retraining O(m³) in the model size m. Nonzero caps below the GP
+    /// bootstrap size are rejected; the MC strategy ignores the cap.
+    ///
+    /// Capped runs accept over-budget tuples at their *achieved* error
+    /// bound (attached to every output row) and count them in
+    /// [`QueryStats::cap_hits`].
+    pub fn with_model_cap(mut self, n: usize, budget: ModelBudget) -> Result<Self> {
+        if let Some(olga) = &mut self.olgapro {
+            olga.set_model_cap(n, budget)?;
+        }
+        Ok(self)
+    }
+
+    /// The GP evaluator, when the strategy is [`EvalStrategy::Gp`] —
+    /// exposes model size and core statistics for observability.
+    pub fn olgapro(&self) -> Option<&Olgapro> {
+        self.olgapro.as_ref()
     }
 
     /// Execution counters so far.
@@ -161,7 +187,10 @@ impl Executor {
                 }
                 EvalStrategy::Gp => {
                     let olga = self.olgapro.as_mut().expect("GP strategy has model");
+                    let cap_before = olga.stats().cap_hits;
                     let d = gp_filtered(olga, &input, predicate, rng)?;
+                    let cap_delta = olga.stats().cap_hits - cap_before;
+                    self.stats.cap_hits += cap_delta;
                     match d {
                         FilterDecision::Filtered { udf_calls, .. } => {
                             self.stats.udf_calls += udf_calls;
@@ -273,9 +302,11 @@ impl Executor {
                     eps_gp_budget,
                     rows: &mut rows,
                     udf_calls: 0,
+                    cap_hits: 0,
                 };
                 sched.run_two_phase(&mut ops, n)?;
                 self.stats.udf_calls += ops.udf_calls;
+                self.stats.cap_hits += ops.cap_hits;
                 self.stats.tuples_out += rows.len() as u64;
             }
         }
@@ -296,7 +327,11 @@ impl Executor {
             }
             EvalStrategy::Gp => {
                 let olga = self.olgapro.as_mut().expect("GP strategy has model");
-                Ok(olga.process(&input, rng)?.into_distribution())
+                let cap_before = olga.stats().cap_hits;
+                let out = olga.process(&input, rng)?;
+                let cap_delta = olga.stats().cap_hits - cap_before;
+                self.stats.cap_hits += cap_delta;
+                Ok(out.into_distribution())
             }
         }
     }
@@ -315,6 +350,7 @@ struct GpRelationOps<'a> {
     eps_gp_budget: f64,
     rows: &'a mut Vec<ProjectedTuple>,
     udf_calls: u64,
+    cap_hits: u64,
 }
 
 impl BatchOps for GpRelationOps<'_> {
@@ -337,7 +373,9 @@ impl BatchOps for GpRelationOps<'_> {
                 return Verdict::Filter { rho_upper: rho_u };
             }
         }
-        if out.eps_gp <= self.eps_gp_budget {
+        // A full stop-growing model accepts at the achieved bound — the
+        // slow path could neither tune nor change the result.
+        if out.eps_gp <= self.eps_gp_budget || self.olga.model_full() {
             Verdict::Accept
         } else {
             Verdict::Reroute
@@ -345,6 +383,11 @@ impl BatchOps for GpRelationOps<'_> {
     }
 
     fn emit_fast(&mut self, idx: usize, out: GpOutput) -> udf_core::Result<()> {
+        if out.eps_gp > self.eps_gp_budget {
+            // Only reachable through the model-full acceptance above.
+            self.olga.note_cap_hit();
+            self.cap_hits += 1;
+        }
         let tep = self
             .predicate
             .map(|p| out.tep_bounds(p.lo, p.hi).1)
@@ -359,6 +402,7 @@ impl BatchOps for GpRelationOps<'_> {
 
     fn slow(&mut self, idx: usize, rng: &mut StdRng) -> udf_core::Result<()> {
         let input = &self.inputs[idx];
+        let cap_before = self.olga.stats().cap_hits;
         match self.predicate {
             Some(pred) => match gp_filtered(self.olga, input, &pred, rng)? {
                 FilterDecision::Kept { output, tep } => {
@@ -383,6 +427,9 @@ impl BatchOps for GpRelationOps<'_> {
                 });
             }
         }
+        // A reroute that crossed the cap mid-tuple is a degraded
+        // acceptance too (Algorithm 5 counted it in the core stats).
+        self.cap_hits += self.olga.stats().cap_hits - cap_before;
         Ok(())
     }
 }

@@ -38,7 +38,7 @@ use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::time::Instant;
-use udf_core::config::{AccuracyRequirement, OlgaproConfig};
+use udf_core::config::{AccuracyRequirement, ModelBudget, OlgaproConfig};
 use udf_core::filtering::{gp_filtered, mc_eval_tuple, FilterDecision, Predicate};
 use udf_core::hybrid::{rule_based_choice, HybridChoice};
 use udf_core::olgapro::Olgapro;
@@ -144,7 +144,17 @@ pub(crate) struct QueryState {
     pub(crate) recent: VecDeque<KeptSummary>,
     retain: usize,
     pub(crate) decisions: Option<Vec<(u64, bool)>>,
-    max_model_points: usize,
+}
+
+impl QueryState {
+    /// Current GP training-set size (`None` for MC subscriptions) —
+    /// observability for the model-cap contract.
+    pub(crate) fn model_points(&self) -> Option<usize> {
+        match &self.eval {
+            Evaluator::Mc => None,
+            Evaluator::Gp(olga, _) => Some(olga.model().len()),
+        }
+    }
 }
 
 /// Parameters for registering a subscription with [`StreamEngine`].
@@ -220,7 +230,13 @@ impl StreamEngine {
         let eval = match strategy {
             StreamStrategy::Mc => Evaluator::Mc,
             StreamStrategy::Gp | StreamStrategy::Auto => {
-                let cfg = OlgaproConfig::new(params.accuracy, params.output_range)?;
+                // The model-size budget lives in the core config, so the
+                // slow path (Algorithm 5) enforces it itself — a burst of
+                // mid-batch reroutes can no longer overshoot the cap. The
+                // validated constructor also rejects caps below the
+                // bootstrap size instead of letting them thrash.
+                let cfg = OlgaproConfig::new(params.accuracy, params.output_range)?
+                    .with_model_cap(params.max_model_points, ModelBudget::StopGrowing)?;
                 let budget = cfg.split().eps_gp;
                 Evaluator::Gp(Box::new(Olgapro::new(params.udf.clone(), cfg)), budget)
             }
@@ -240,7 +256,6 @@ impl StreamEngine {
             recent: VecDeque::with_capacity(params.retain),
             retain: params.retain,
             decisions: params.record_decisions.then(Vec::new),
-            max_model_points: params.max_model_points,
         });
         Ok(self.queries.len() - 1)
     }
@@ -473,12 +488,11 @@ impl BatchOps for GpBatchOps<'_> {
         let Evaluator::Gp(olga, budget) = &self.q.eval else {
             unreachable!("GP batch on a non-GP query")
         };
-        // Model-size budget: once the warm model reaches the cap, stop
-        // growing it and emit at the achieved bound — this keeps per-tuple
+        // Model-size budget (delegated to the core config): once the warm
+        // model is full under stop-growing, emit at the achieved bound —
+        // the slow path could not improve it, and this keeps per-tuple
         // inference cost bounded on long streams.
-        let model_full =
-            self.q.max_model_points > 0 && olga.model().len() >= self.q.max_model_points;
-        if out.eps_gp <= *budget || model_full {
+        if out.eps_gp <= *budget || olga.model_full() {
             Verdict::Accept
         } else {
             Verdict::Reroute
@@ -489,6 +503,14 @@ impl BatchOps for GpBatchOps<'_> {
         let gidx = self.base + idx as u64;
         self.q.stats.tuples_in += 1;
         self.q.stats.fast_path += 1;
+        if let Evaluator::Gp(olga, budget) = &mut self.q.eval {
+            if out.eps_gp > *budget {
+                // Only reachable through the model-full acceptance above:
+                // count the degraded emission in both stat registries.
+                olga.note_cap_hit();
+                self.q.stats.cap_hits += 1;
+            }
+        }
         let tep = self
             .q
             .predicate
@@ -516,6 +538,7 @@ impl BatchOps for GpBatchOps<'_> {
         let Evaluator::Gp(olga, _) = &mut self.q.eval else {
             unreachable!("GP batch on a non-GP query")
         };
+        let cap_hits_before = olga.stats().cap_hits;
         self.q.stats.tuples_in += 1;
         self.q.stats.slow_path += 1;
         match predicate {
@@ -538,6 +561,12 @@ impl BatchOps for GpBatchOps<'_> {
                 record_kept(self.q, gidx, &out.y_hat, out.error_bound(), 1.0);
             }
         }
+        // A reroute that crossed the cap mid-tuple is a degraded
+        // acceptance too (Algorithm 5 counted it in the core stats).
+        let Evaluator::Gp(olga, _) = &self.q.eval else {
+            unreachable!("GP batch on a non-GP query")
+        };
+        self.q.stats.cap_hits += olga.stats().cap_hits - cap_hits_before;
         Ok(())
     }
 }

@@ -86,11 +86,20 @@ impl QuerySpec {
         self
     }
 
-    /// Cap the GP model at `n` training points (0 = unbounded, the
-    /// default). On long streams the model otherwise keeps absorbing
-    /// points on hard tuples and per-tuple inference cost grows with it;
-    /// with a cap, over-budget tuples are emitted fast-path at their
-    /// *achieved* error bound (which stays attached to every output).
+    /// Cap the GP model at `n` training points.
+    ///
+    /// **`0` is a sentinel meaning *unbounded*, and it is the default.**
+    /// An unbounded model keeps absorbing points on hard tuples: per-tuple
+    /// inference is O(m²) and retraining O(m³) in the model size m, so a
+    /// spiky UDF under a tight accuracy silently degrades a long stream
+    /// into a quadratic/cubic wall. Set a cap for any long-running GP
+    /// subscription; over-budget tuples are then emitted fast-path at
+    /// their *achieved* error bound (which stays attached to every output)
+    /// and counted in [`StreamStats::cap_hits`].
+    ///
+    /// Nonzero caps smaller than the GP bootstrap size are rejected by
+    /// [`Session::subscribe`] — such a model could never finish
+    /// bootstrapping and would thrash. Ignored by the MC strategy.
     pub fn max_model_points(mut self, n: usize) -> Self {
         self.max_model_points = n;
         self
@@ -200,6 +209,15 @@ impl Session {
         self.engine.query(id.0).map(|q| q.decisions.as_deref())
     }
 
+    /// Current GP model size (training points) of a subscription, `None`
+    /// for MC subscriptions. With [`QuerySpec::max_model_points`] set this
+    /// never exceeds the cap — including mid-batch, when a burst of
+    /// slow-path reroutes crosses it (the cap is enforced inside
+    /// Algorithm 5 itself, not just at the batch-routing layer).
+    pub fn model_points(&self, id: QueryId) -> Result<Option<usize>> {
+        self.engine.query(id.0).map(|q| q.model_points())
+    }
+
     /// Counters for the most recent [`run`](Session::run).
     pub fn last_run(&self) -> EngineStats {
         self.engine.last_run()
@@ -265,6 +283,11 @@ mod tests {
             capped.slow_path,
             uncapped.slow_path
         );
+        assert!(
+            capped.cap_hits > 0,
+            "degraded-accuracy acceptance must be counted, not silent"
+        );
+        assert_eq!(uncapped.cap_hits, 0);
     }
 
     #[test]
@@ -399,6 +422,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn subscribe_rejects_cap_below_bootstrap() {
+        for bad in [1usize, 2, 4] {
+            let mut session = Session::new(EngineConfig::new());
+            let err = session
+                .subscribe(
+                    QuerySpec::new("bad", sin_udf(), acc(), StreamStrategy::Gp)
+                        .output_range(2.0)
+                        .max_model_points(bad),
+                )
+                .unwrap_err();
+            assert!(
+                matches!(
+                    &err,
+                    crate::StreamError::Core(udf_core::CoreError::InvalidConfig {
+                        what: "max_model_points",
+                        ..
+                    })
+                ),
+                "cap {bad}: got {err}"
+            );
+        }
+        // 0 (the uncapped sentinel) and bootstrap-sized caps are accepted;
+        // MC ignores the knob entirely.
+        let mut session = Session::new(EngineConfig::new());
+        assert!(session
+            .subscribe(
+                QuerySpec::new("ok", sin_udf(), acc(), StreamStrategy::Gp)
+                    .output_range(2.0)
+                    .max_model_points(5),
+            )
+            .is_ok());
+        assert!(session
+            .subscribe(
+                QuerySpec::new("mc", sin_udf(), acc(), StreamStrategy::Mc).max_model_points(1),
+            )
+            .is_ok());
     }
 
     #[test]

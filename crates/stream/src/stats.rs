@@ -20,6 +20,12 @@ pub struct StreamStats {
     pub slow_path: u64,
     /// UDF invocations attributed to this subscription.
     pub udf_calls: u64,
+    /// Tuples emitted at a degraded (achieved) error bound because the
+    /// GP model cap blocked further online tuning — nonzero only for
+    /// capped GP subscriptions ([`QuerySpec::max_model_points`]).
+    ///
+    /// [`QuerySpec::max_model_points`]: crate::session::QuerySpec::max_model_points
+    pub cap_hits: u64,
     /// Micro-batches processed.
     pub batches: u64,
     /// Wall-clock time this subscription spent evaluating.
@@ -56,7 +62,7 @@ impl fmt::Display for StreamStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<16} in={:<8} kept={:<8} filtered={:<7} fast={:<8} slow={:<5} calls={:<9} {:>9.0} tup/s  {:>8.1} µs/tup",
+            "{:<16} in={:<8} kept={:<8} filtered={:<7} fast={:<8} slow={:<5} calls={:<9} cap_hits={:<5} {:>9.0} tup/s  {:>8.1} µs/tup",
             self.query,
             self.tuples_in,
             self.kept,
@@ -64,6 +70,7 @@ impl fmt::Display for StreamStats {
             self.fast_path,
             self.slow_path,
             self.udf_calls,
+            self.cap_hits,
             self.throughput().unwrap_or(0.0),
             self.mean_latency().unwrap_or(Duration::ZERO).as_secs_f64() * 1e6,
         )
@@ -195,6 +202,7 @@ mod tests {
             fast_path: 8,
             slow_path: 2,
             udf_calls: 100,
+            cap_hits: 0,
             batches: 1,
             busy: Duration::from_millis(5),
         };

@@ -197,11 +197,67 @@ pub fn generate_inputs(
         .collect()
 }
 
+/// Deterministic domain sweep: `n` Gaussian input tuples whose means walk
+/// the domain on a golden-ratio (low-discrepancy) schedule, so every batch
+/// keeps visiting fresh regions — no RNG, no warm pocket.
+///
+/// This is the adversarial workload for GP model growth: under a tight
+/// accuracy each fresh region misses the ε_GP budget and forces online
+/// tuning, so without a model cap the training set grows with `n` and
+/// per-tuple cost climbs as O(m²)/O(m³). The model-cap regression tests
+/// and the `gp/model_cap` bench axis both drive this sweep.
+pub fn sweep_inputs(d: usize, n: usize, sigma_i: f64) -> Vec<InputDistribution> {
+    (0..n)
+        .map(|i| {
+            let marginals: Vec<Box<dyn Univariate>> = (0..d)
+                .map(|j| {
+                    Box::new(Normal::new(sweep_mean(i * d + j), sigma_i).expect("valid params"))
+                        as Box<dyn Univariate>
+                })
+                .collect();
+            InputDistribution::independent(marginals).expect("non-empty marginals")
+        })
+        .collect()
+}
+
+/// The golden-ratio mean schedule behind [`sweep_inputs`]: the `i`-th mean
+/// in [`DOMAIN`]. Exposed so relational tests and benches can build
+/// `Relation`s on the same sweep.
+pub fn sweep_mean(i: usize) -> f64 {
+    const PHI_FRAC: f64 = 0.618_033_988_749_894_9; // 1/φ
+    DOMAIN.0 + (i as f64 * PHI_FRAC).fract() * (DOMAIN.1 - DOMAIN.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn sweep_inputs_is_deterministic_and_in_domain() {
+        let a = sweep_inputs(1, 32, 0.3);
+        let b = sweep_inputs(1, 32, 0.3);
+        assert_eq!(a.len(), 32);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(1);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sample_n(&mut rng, 3), y.sample_n(&mut rng2, 3));
+        }
+        // The sweep keeps visiting fresh regions: consecutive means differ.
+        let means: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(2);
+            a.iter()
+                .map(|x| {
+                    let s = x.sample_n(&mut r, 256);
+                    s.iter().map(|v| v[0]).sum::<f64>() / 256.0
+                })
+                .collect()
+        };
+        for w in means.windows(2) {
+            assert!((w[0] - w[1]).abs() > 0.5, "sweep stalled: {w:?}");
+        }
+    }
 
     #[test]
     fn paper_family_shapes() {

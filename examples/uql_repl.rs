@@ -119,7 +119,7 @@ fn main() {
                     "SELECT f(attr, ...) [WITH ACCURACY eps delta [METRIC ks|disc]]\n\
                      FROM <relation> | STREAM <source>\n\
                      [WHERE PR(f(attr, ...) IN [lo, hi]) >= theta]\n\
-                     [USING mc|gp|auto] [WORKERS n] [BATCH n] [SEED n] [LIMIT n]\n\
+                     [USING mc|gp|auto] [WORKERS n] [BATCH n] [SEED n] [LIMIT n] [MODEL CAP n]\n\
                      Prefix with EXPLAIN to print the plan without executing."
                 );
                 continue;
