@@ -1,0 +1,127 @@
+//! `join/pruning` — what envelope-based pair pruning buys on the paper's
+//! §1 Q2 shape: an `AngDist` self-join over n galaxies with a narrow
+//! `Pr[· ∈ [a, b]] ≥ θ` band.
+//!
+//! The `naive` series materializes the filtered cross product and
+//! evaluates every pair (warmup + main rounds, the hand-built Q2
+//! construction); the `pruned` series runs the same join with the §4.2
+//! envelope certificate, skipping per-sample inference for pairs the
+//! band bounds prove rejectable. Outputs are byte-identical by
+//! construction (pinned by `crates/join/tests/parity.rs` and the UQL
+//! `join_e2e` suite); the axis shows wall-clock plus, via the printed
+//! one-shot stats, *measurably fewer per-pair evaluations* —
+//! `pairs_pruned > 0` and `pairs_evaluated < pairs_generated` at n ≥ 128.
+//!
+//! Both series run under a model cap of 160 with a per-pair tuning
+//! budget of 3: the default 10-point budget at this λ-tight accuracy
+//! exhausts itself on every fresh-region pair (the warmup alone would
+//! grow the model past 300 points and per-pair inference cost with it —
+//! the `gp/model_cap` axis prices that pathology), while the small
+//! budget spreads the capped model evenly across the join's input
+//! space. Degraded acceptances are visible as `cap_hits`, identically
+//! in both series.
+//!
+//! ```sh
+//! cargo bench --bench join_pruning
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use udf_core::config::{AccuracyRequirement, Metric};
+use udf_core::filtering::Predicate;
+use udf_core::sched::BatchScheduler;
+use udf_join::{JoinExecutor, JoinSpec, JoinStats, Side};
+use udf_query::{EvalStrategy, Relation, Schema, Tuple, Value};
+use udf_workloads::UdfCatalog;
+
+const SEED: u64 = 0x901D;
+const MODEL_CAP: usize = 160;
+const TUNING_BUDGET: usize = 3;
+
+fn galaxies(n: usize) -> Relation {
+    let tuples = (0..n)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Det(i as f64),
+                Value::Gaussian {
+                    mu: 0.1 + 1.7 * i as f64 / n as f64,
+                    sigma: 0.02,
+                },
+            ])
+        })
+        .collect();
+    Relation::new(Schema::new(&["objID", "z"]), tuples).unwrap()
+}
+
+fn run_join(g: &Relation, prune: bool, sched: &BatchScheduler) -> JoinStats {
+    let cat = UdfCatalog::standard();
+    let entry = cat.get("AngDist").unwrap();
+    let accuracy =
+        AccuracyRequirement::new(0.2, 0.05, entry.default_lambda(), Metric::Discrepancy).unwrap();
+    let spec = JoinSpec::new(
+        g,
+        "a",
+        g,
+        "b",
+        entry.udf.clone(),
+        &[(Side::Left, "z"), (Side::Right, "z")],
+        accuracy,
+        entry.output_range,
+    )
+    .unwrap()
+    .on_less_than("objID", "objID")
+    .unwrap()
+    .predicate(Predicate::new(0.3, 0.36, 0.5).unwrap())
+    .strategy(EvalStrategy::Gp)
+    .prune(prune)
+    .model_cap(MODEL_CAP)
+    .tuning_budget(TUNING_BUDGET)
+    .seed(SEED);
+    let out = JoinExecutor::new(&spec).unwrap().run(sched).unwrap();
+    out.stats
+}
+
+fn bench_join_pruning(c: &mut Criterion) {
+    let sched = BatchScheduler::new(2);
+    // One-shot evaluation-count report (the acceptance metric; criterion
+    // times the same runs below).
+    for n in [64usize, 128, 256] {
+        let g = galaxies(n);
+        let naive = run_join(&g, false, &sched);
+        let pruned = run_join(&g, true, &sched);
+        assert_eq!(naive.pairs_kept, pruned.pairs_kept, "outputs must agree");
+        eprintln!(
+            "join/pruning n={n}: naive evaluated {} of {} pairs; pruned evaluated {} \
+             (pairs_pruned={}, prune_attempts={})",
+            naive.pairs_evaluated(),
+            naive.pairs_generated,
+            pruned.pairs_evaluated(),
+            pruned.pairs_pruned,
+            pruned.prune_attempts,
+        );
+    }
+
+    let mut grp = c.benchmark_group("join/pruning");
+    for n in [64usize, 128, 256] {
+        let g = galaxies(n);
+        let pairs = (n * (n - 1) / 2) as u64;
+        grp.throughput(Throughput::Elements(pairs));
+        grp.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| run_join(&g, false, &sched));
+        });
+        grp.bench_with_input(BenchmarkId::new("pruned", n), &n, |b, _| {
+            b.iter(|| run_join(&g, true, &sched));
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Each iteration is a full O(n²)-pair join: keep the sample budget
+    // small so the axis finishes in minutes.
+    config = Criterion::default()
+        .sample_size(5)
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_join_pruning
+);
+criterion_main!(benches);

@@ -125,6 +125,26 @@ impl Olgapro {
         self.config.set_model_cap(n, budget)
     }
 
+    /// Change the per-tuple online-tuning budget
+    /// ([`OlgaproConfig::max_points_per_input`], the paper's Expt-2 knob,
+    /// default 10): each input adds at most `n` training points before it
+    /// is emitted at the achieved bound. Workloads whose accuracy target
+    /// is unreachable in fresh regions (tight λ over a wide domain) use a
+    /// small budget to *spread* model growth across inputs instead of
+    /// exhausting it on the first ones — udf-join's warmup relies on
+    /// this. Zero is rejected (the tuning loop could never make
+    /// progress).
+    pub fn set_tuning_budget(&mut self, n: usize) -> Result<()> {
+        if n == 0 {
+            return Err(CoreError::InvalidConfig {
+                what: "max_points_per_input",
+                value: 0.0,
+            });
+        }
+        self.config.max_points_per_input = n;
+        Ok(())
+    }
+
     /// True when the model cap forbids any further growth: the training
     /// set has reached [`OlgaproConfig::max_model_points`] under the
     /// [`ModelBudget::StopGrowing`] policy. Batch accept hooks use this to

@@ -1,0 +1,519 @@
+//! The batch-parallel uncertain θ-join executor.
+//!
+//! ## Execution shape
+//!
+//! MC joins are embarrassingly parallel: one batch over the filtered
+//! cross product, exactly the hand-built Q2 construction.
+//!
+//! GP joins run **two rounds** so one warm model amortizes across all
+//! O(n²) pairs:
+//!
+//! 1. **warmup** — [`warmup_indices`] picks a small, evenly-strided,
+//!    deterministic subset of the pair enumeration (the stride is what
+//!    matters: a prefix would only cover one left tuple's slice) and
+//!    runs it *sequentially through the full Algorithm 5 path*
+//!    ([`Executor::select_seeded`](udf_query::Executor::select_seeded)):
+//!    each warmup pair tunes the model before the next is judged, so no
+//!    pair is ever ruled by the raw bootstrap model — a cold frozen model
+//!    (near-duplicate training cluster, ill-conditioned α) can
+//!    spuriously filter arbitrarily many pairs in a batch fast phase;
+//! 2. **main** — every remaining pair runs in one two-phase
+//!    [`Executor::select_batch_indexed`](udf_query::Executor::select_batch_indexed)
+//!    batch whose fast phase reads the now-warm frozen model, so most
+//!    pairs are served read-only in parallel instead of rerouting
+//!    through the sequential slow path.
+//!
+//! Both rounds seed every pair from its *global* enumeration index, so
+//! RNG streams, emitted `source` ids, and fold positions are independent
+//! of worker count — and a hand-built construction over the materialized
+//! cross product reproduces the join byte-for-byte (pinned by
+//! `tests/parity.rs`).
+//!
+//! With pruning enabled, the main round first runs the
+//! [`PairPruner`] pre-pass against the
+//! post-warmup model: pairs whose envelope certificate proves `ρ_U = 0`
+//! are dropped *without per-sample inference* — provably the same pairs
+//! the main batch's accept hook would have filtered, so pruning on/off
+//! is byte-identical while evaluating measurably fewer pairs.
+
+use crate::prune::{coverage_radius, pair_input, PairPruner};
+use crate::spec::JoinSpec;
+use crate::{JoinError, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+use udf_core::filtering::EnvelopeDecision;
+use udf_core::output::OutputDistribution;
+use udf_core::sched::{BatchScheduler, BatchStats};
+use udf_prob::InputDistribution;
+use udf_query::{EvalStrategy, Executor, ProjectedTuple, QueryStats, Relation, Schema, UdfCall};
+
+/// Warmup-round size for GP joins: enough strided pairs to train the
+/// model across the input space, few enough that the sequential warmup
+/// stays a vanishing fraction of O(n²) pair evaluations.
+pub const WARMUP_PAIRS: usize = 32;
+
+/// The deterministic warmup subset for a join of `total` candidate pairs:
+/// [`WARMUP_PAIRS`] indices evenly strided over `0..total` (all of them
+/// when `total` is small). Strictly increasing and duplicate-free.
+pub fn warmup_indices(total: usize) -> Vec<usize> {
+    if total <= WARMUP_PAIRS {
+        return (0..total).collect();
+    }
+    let mut out: Vec<usize> = (0..WARMUP_PAIRS)
+        .map(|k| k * total / WARMUP_PAIRS)
+        .collect();
+    out.dedup();
+    out
+}
+
+/// Join-level counters (the per-pair evaluation counters ride along from
+/// the two-phase scheduler and the executor's [`QueryStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Candidate pairs after the `ON` filter.
+    pub pairs_generated: u64,
+    /// Pairs skipped by the exact envelope certificate — no per-sample
+    /// inference, no UDF calls, provably no output change.
+    pub pairs_pruned: u64,
+    /// Exact certificates attempted (the R-tree screen's hit count).
+    pub prune_attempts: u64,
+    /// Pairs the certificate proved *certainly kept* (`ρ_L = 1 ≥ θ`);
+    /// they are still evaluated to produce their output distribution.
+    pub certain_accepts: u64,
+    /// Pairs fully served by the parallel read-only fast path.
+    pub fast_path: u64,
+    /// Pairs that took the sequential model-mutating slow path.
+    pub slow_path: u64,
+    /// Pairs dropped by the §5.5 accept-hook filter (after evaluation).
+    pub filtered: u64,
+    /// Output rows.
+    pub pairs_kept: u64,
+    /// Degraded acceptances under the model cap.
+    pub cap_hits: u64,
+    /// UDF invocations across the whole join.
+    pub udf_calls: u64,
+}
+
+impl JoinStats {
+    /// Pairs that went through MC/GP evaluation (generated − pruned).
+    pub fn pairs_evaluated(&self) -> u64 {
+        self.pairs_generated - self.pairs_pruned
+    }
+
+    fn absorb(&mut self, b: BatchStats) {
+        self.fast_path += b.fast_path as u64;
+        self.slow_path += b.slow_path as u64;
+        self.filtered += b.filtered as u64;
+    }
+}
+
+impl fmt::Display for JoinStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pairs_generated={} pairs_pruned={} pairs_kept={} fast={} slow={} filtered={} \
+             cap_hits={} udf_calls={}",
+            self.pairs_generated,
+            self.pairs_pruned,
+            self.pairs_kept,
+            self.fast_path,
+            self.slow_path,
+            self.filtered,
+            self.cap_hits,
+            self.udf_calls,
+        )
+    }
+}
+
+/// One surviving joined pair.
+#[derive(Debug, Clone)]
+pub struct JoinedPair {
+    /// Global pair index (position in the `ON`-filtered enumeration —
+    /// identical to the row index a materialized
+    /// [`Relation::cross_join`](udf_query::Relation::cross_join) would
+    /// assign).
+    pub pair: usize,
+    /// Left source-tuple index.
+    pub left: usize,
+    /// Right source-tuple index.
+    pub right: usize,
+    /// The pair UDF's output distribution.
+    pub output: OutputDistribution,
+    /// Tuple-existence probability estimate.
+    pub tep: f64,
+}
+
+/// What a join run produced.
+#[derive(Debug)]
+pub struct JoinOutput {
+    /// The joined relation of *kept* pairs (prefixed schema), in pair
+    /// order.
+    pub relation: Relation,
+    /// Per-pair outputs aligned with [`relation`](JoinOutput::relation)'s
+    /// tuples.
+    pub rows: Vec<JoinedPair>,
+    /// Join-level counters.
+    pub stats: JoinStats,
+    /// The inner executor's counters (tuples in/out there count
+    /// *evaluated* pairs — pruned pairs never reach it).
+    pub query_stats: QueryStats,
+}
+
+/// How many left tuples each streamed pre-pass block covers (bounds the
+/// pruned path's transient memory at `block × right.len()` decisions).
+const LEFT_BLOCK: usize = 64;
+
+/// Rows plus the pair-index → `(left, right)` coordinate map the
+/// execution paths hand back to [`JoinExecutor::run`].
+type RowsAndCoords = (Vec<ProjectedTuple>, BTreeMap<usize, (usize, usize)>);
+
+/// Executes one [`JoinSpec`] — see the [module docs](self) for the
+/// two-round shape and the pruning contract.
+pub struct JoinExecutor<'s, 'a> {
+    spec: &'s JoinSpec<'a>,
+    schema: Schema,
+    call: UdfCall,
+    executor: Executor,
+}
+
+impl<'s, 'a> JoinExecutor<'s, 'a> {
+    /// Validate the spec and build the inner pair executor.
+    pub fn new(spec: &'s JoinSpec<'a>) -> Result<Self> {
+        if spec.prune {
+            if spec.strategy != EvalStrategy::Gp {
+                return Err(JoinError::InvalidSpec(
+                    "envelope pruning requires the GP strategy (MC has no band to bound)"
+                        .to_string(),
+                ));
+            }
+            if spec.predicate.is_none() {
+                return Err(JoinError::InvalidSpec(
+                    "envelope pruning requires a PR predicate to rule on".to_string(),
+                ));
+            }
+        }
+        let schema = spec.joined_schema()?;
+        let qualified = spec.qualified_args();
+        let names: Vec<&str> = qualified.iter().map(String::as_str).collect();
+        let call = UdfCall::resolve(spec.udf.clone(), &schema, &names)?;
+        let mut executor = Executor::new(spec.strategy, spec.accuracy, &call, spec.output_range)?
+            .with_model_cap(spec.model_cap, spec.budget())?;
+        if let Some(n) = spec.tuning_budget {
+            executor = executor.with_tuning_budget(n)?;
+        }
+        Ok(JoinExecutor {
+            spec,
+            schema,
+            call,
+            executor,
+        })
+    }
+
+    /// The inner executor's counters so far.
+    pub fn query_stats(&self) -> QueryStats {
+        self.executor.stats()
+    }
+
+    /// Run the join on `sched`'s worker pool.
+    pub fn run(&mut self, sched: &BatchScheduler) -> Result<JoinOutput> {
+        let spec = self.spec;
+        let (nl, nr) = (spec.left.len(), spec.right.len());
+        let cross = (nl as u64).checked_mul(nr as u64);
+        if cross.is_none_or(|p| p > u32::MAX as u64) {
+            return Err(JoinError::Query(udf_query::QueryError::JoinTooLarge {
+                left: nl,
+                right: nr,
+            }));
+        }
+        let mut stats = JoinStats::default();
+        let (mut rows, pair_of) = match (spec.strategy, spec.prune) {
+            (EvalStrategy::Mc, _) | (EvalStrategy::Gp, false) => {
+                self.run_materialized(sched, &mut stats)?
+            }
+            (EvalStrategy::Gp, true) => self.run_pruned(sched, &mut stats)?,
+        };
+        rows.sort_by_key(|r| r.source);
+
+        let q = self.executor.stats();
+        stats.udf_calls = q.udf_calls;
+        stats.cap_hits = q.cap_hits;
+        stats.pairs_kept = rows.len() as u64;
+
+        let mut tuples = Vec::with_capacity(rows.len());
+        let mut joined = Vec::with_capacity(rows.len());
+        for row in rows {
+            let (i, j) = *pair_of
+                .get(&row.source)
+                .expect("every emitted row's pair index was enumerated");
+            tuples.push(spec.left.tuples()[i].concat(&spec.right.tuples()[j]));
+            joined.push(JoinedPair {
+                pair: row.source,
+                left: i,
+                right: j,
+                output: row.output,
+                tep: row.tep,
+            });
+        }
+        Ok(JoinOutput {
+            relation: Relation::new(self.schema.clone(), tuples)?,
+            rows: joined,
+            stats,
+            query_stats: q,
+        })
+    }
+
+    /// Materialized path (MC, and GP without pruning): filtered cross
+    /// product via [`Relation::cross_join`], then one batch (MC) or the
+    /// warmup + main rounds (GP) over it.
+    fn run_materialized(
+        &mut self,
+        sched: &BatchScheduler,
+        stats: &mut JoinStats,
+    ) -> Result<RowsAndCoords> {
+        let spec = self.spec;
+        let pairs_rel =
+            spec.left
+                .cross_join(&spec.left_prefix, spec.right, &spec.right_prefix, |i, j| {
+                    spec.keep(i, j)
+                })?;
+        let total = pairs_rel.len();
+        stats.pairs_generated = total as u64;
+        let mut pair_of = BTreeMap::new();
+        let mut idx = 0usize;
+        for i in 0..spec.left.len() {
+            for j in 0..spec.right.len() {
+                if spec.keep(i, j) {
+                    pair_of.insert(idx, (i, j));
+                    idx += 1;
+                }
+            }
+        }
+        let inputs: Vec<(usize, InputDistribution)> = pairs_rel
+            .tuples()
+            .iter()
+            .map(|t| self.call.input_distribution(t))
+            .enumerate()
+            .map(|(k, d)| d.map(|d| (k, d)))
+            .collect::<udf_query::Result<_>>()?;
+        let mut rows = Vec::new();
+        let main = match spec.strategy {
+            EvalStrategy::Mc => inputs,
+            EvalStrategy::Gp => {
+                let mut rounds = split_rounds(inputs, &warmup_indices(total));
+                let main = rounds.pop().expect("split_rounds returns two rounds");
+                let warm = rounds.pop().expect("split_rounds returns two rounds");
+                rows.extend(self.warmup(&warm, stats)?);
+                main
+            }
+        };
+        if !main.is_empty() {
+            let (r, b) = match &spec.predicate {
+                Some(pred) => self
+                    .executor
+                    .select_batch_indexed(&main, pred, sched, spec.seed)?,
+                None => self
+                    .executor
+                    .project_batch_indexed(&main, sched, spec.seed)?,
+            };
+            stats.absorb(b);
+            rows.extend(r);
+        }
+        Ok((rows, pair_of))
+    }
+
+    /// The pruned path: warmup round, then a streamed pre-pass that
+    /// certifies rejectable pairs from band bounds over their sample
+    /// boxes, then one two-phase batch over the survivors. The joined
+    /// relation is never materialized for pruned pairs.
+    fn run_pruned(
+        &mut self,
+        sched: &BatchScheduler,
+        stats: &mut JoinStats,
+    ) -> Result<RowsAndCoords> {
+        let spec = self.spec;
+        let pred = spec.predicate.expect("validated in new()");
+        let (nl, nr) = (spec.left.len(), spec.right.len());
+
+        // Enumeration offsets: the global index of left tuple i's first
+        // candidate pair (pair indices must match the materialized
+        // enumeration exactly — they seed the per-pair RNGs).
+        let mut offsets = Vec::with_capacity(nl);
+        let mut total = 0usize;
+        for i in 0..nl {
+            offsets.push(total);
+            total += (0..nr).filter(|&j| spec.keep(i, j)).count();
+        }
+        stats.pairs_generated = total as u64;
+        let mut pair_of = BTreeMap::new();
+        let mut rows = Vec::new();
+        if total == 0 {
+            return Ok((rows, pair_of));
+        }
+
+        // Warmup round: strided pairs train the model across the input
+        // space before anything is certified against it.
+        let warm = warmup_indices(total);
+        let warm_inputs = self.collect_pairs(&warm, &mut pair_of)?;
+        rows.extend(self.warmup(&warm_inputs, stats)?);
+        let in_warmup = |idx: usize| warm.binary_search(&idx).is_ok();
+
+        // Main-round pre-pass: R-tree screen + exact certificates, in
+        // parallel on the same pool, everything read-only against the
+        // frozen post-warmup model.
+        let pruner = PairPruner::new(spec);
+        let olga = self.executor.olgapro().expect("pruning requires GP");
+        let coverage = coverage_radius(olga);
+        let mut survivors: Vec<(usize, InputDistribution)> = Vec::new();
+        for block_start in (0..nl).step_by(LEFT_BLOCK) {
+            let block_len = LEFT_BLOCK.min(nl - block_start);
+            #[allow(clippy::needless_range_loop)] // j drives keep() and attempt[] in lockstep
+            let decisions = sched.try_map(block_len, |b| -> Result<_> {
+                let i = block_start + b;
+                let attempt = pruner.attempts(spec, i, olga, &pred, coverage);
+                let mut out = Vec::new();
+                let mut idx = offsets[i];
+                for j in 0..nr {
+                    if !spec.keep(i, j) {
+                        continue;
+                    }
+                    let this = idx;
+                    idx += 1;
+                    if in_warmup(this) {
+                        continue;
+                    }
+                    if attempt[j] {
+                        let (decision, input) =
+                            pruner.certify_pair(spec, olga, &pred, i, j, this)?;
+                        out.push((this, j, true, decision, Some(input)));
+                    } else {
+                        out.push((this, j, false, EnvelopeDecision::Undecided, None));
+                    }
+                }
+                Ok(out)
+            })?;
+            for (b, per_left) in decisions.into_iter().enumerate() {
+                let i = block_start + b;
+                for (idx, j, attempted, decision, input) in per_left? {
+                    if attempted {
+                        stats.prune_attempts += 1;
+                    }
+                    match decision {
+                        EnvelopeDecision::DefiniteReject => {
+                            stats.pairs_pruned += 1;
+                            continue;
+                        }
+                        EnvelopeDecision::DefiniteAccept => stats.certain_accepts += 1,
+                        EnvelopeDecision::Undecided => {}
+                    }
+                    pair_of.insert(idx, (i, j));
+                    let input = match input {
+                        Some(d) => d,
+                        None => pair_input(spec, i, j)?,
+                    };
+                    survivors.push((idx, input));
+                }
+            }
+        }
+
+        if !survivors.is_empty() {
+            let (r, b) = self
+                .executor
+                .select_batch_indexed(&survivors, &pred, sched, spec.seed)?;
+            stats.absorb(b);
+            rows.extend(r);
+        }
+        Ok((rows, pair_of))
+    }
+
+    /// The GP warmup round: sequential full-path evaluation of the
+    /// strided pairs (see the [module docs](self) for why this must not
+    /// be a batch). Warmup pairs count as slow-path work; drops are
+    /// filter decisions like any other.
+    fn warmup(
+        &mut self,
+        warm: &[(usize, InputDistribution)],
+        stats: &mut JoinStats,
+    ) -> Result<Vec<ProjectedTuple>> {
+        let spec = self.spec;
+        let rows = self
+            .executor
+            .select_seeded(warm, spec.predicate.as_ref(), spec.seed)?;
+        stats.slow_path += warm.len() as u64;
+        stats.filtered += (warm.len() - rows.len()) as u64;
+        Ok(rows)
+    }
+
+    /// Resolve a sorted list of global pair indices to `(idx, input)`
+    /// pairs in one enumeration pass, recording their coordinates.
+    fn collect_pairs(
+        &self,
+        wanted: &[usize],
+        pair_of: &mut BTreeMap<usize, (usize, usize)>,
+    ) -> Result<Vec<(usize, InputDistribution)>> {
+        let spec = self.spec;
+        let mut out = Vec::with_capacity(wanted.len());
+        let mut next = 0usize;
+        let mut idx = 0usize;
+        'outer: for i in 0..spec.left.len() {
+            for j in 0..spec.right.len() {
+                if !spec.keep(i, j) {
+                    continue;
+                }
+                if next < wanted.len() && wanted[next] == idx {
+                    pair_of.insert(idx, (i, j));
+                    out.push((idx, pair_input(spec, i, j)?));
+                    next += 1;
+                    if next == wanted.len() {
+                        break 'outer;
+                    }
+                }
+                idx += 1;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Split an indexed input list into `[warmup, main]` rounds by global
+/// pair index (`warm` must be sorted, as [`warmup_indices`] returns).
+fn split_rounds(
+    inputs: Vec<(usize, InputDistribution)>,
+    warm: &[usize],
+) -> Vec<Vec<(usize, InputDistribution)>> {
+    let mut a = Vec::with_capacity(warm.len());
+    let mut b = Vec::with_capacity(inputs.len().saturating_sub(warm.len()));
+    for (idx, input) in inputs {
+        if warm.binary_search(&idx).is_ok() {
+            a.push((idx, input));
+        } else {
+            b.push((idx, input));
+        }
+    }
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_indices_are_strided_and_complete() {
+        assert_eq!(warmup_indices(0), Vec::<usize>::new());
+        assert_eq!(warmup_indices(5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            warmup_indices(WARMUP_PAIRS),
+            (0..WARMUP_PAIRS).collect::<Vec<_>>()
+        );
+        let w = warmup_indices(1000);
+        assert_eq!(w.len(), WARMUP_PAIRS);
+        assert_eq!(w[0], 0);
+        assert!(w.windows(2).all(|p| p[0] < p[1]), "strictly increasing");
+        assert_eq!(
+            *w.last().unwrap(),
+            (WARMUP_PAIRS - 1) * 1000 / WARMUP_PAIRS,
+            "covers the tail"
+        );
+        // Strides actually spread: no prefix clumping.
+        assert!(w[1] >= 1000 / WARMUP_PAIRS);
+    }
+}

@@ -1,0 +1,373 @@
+//! The declarative description of one uncertain θ-join.
+
+use crate::{JoinError, Result};
+use udf_core::config::{AccuracyRequirement, ModelBudget};
+use udf_core::filtering::Predicate;
+use udf_core::udf::BlackBoxUdf;
+use udf_query::{EvalStrategy, Relation, Schema, Tuple, Value};
+
+/// Which join side an argument or key column is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The left relation.
+    Left,
+    /// The right relation.
+    Right,
+}
+
+/// One UDF argument (or ON operand): a resolved column on one side.
+#[derive(Debug, Clone)]
+pub struct JoinAttr {
+    /// Which side the column lives on.
+    pub side: Side,
+    /// Column index into that side's schema.
+    pub index: usize,
+    /// Column name (unqualified).
+    pub name: String,
+}
+
+/// The pair filter `mean(lhs) < mean(rhs)` over key columns — Q2's
+/// `a.objID < b.objID` self-join deduplication. Means make deterministic
+/// key columns compare exactly; on uncertain columns this compares
+/// expected values (document your keys).
+#[derive(Debug, Clone)]
+pub struct OnCondition {
+    /// Left operand of `<`.
+    pub lhs: JoinAttr,
+    /// Right operand of `<`.
+    pub rhs: JoinAttr,
+}
+
+impl OnCondition {
+    /// Evaluate the filter for the pair `(left_tuple, right_tuple)`.
+    pub fn keep(&self, left: &Tuple, right: &Tuple) -> bool {
+        let value = |attr: &JoinAttr| -> f64 {
+            match attr.side {
+                Side::Left => left.value(attr.index).mean(),
+                Side::Right => right.value(attr.index).mean(),
+            }
+        };
+        value(&self.lhs) < value(&self.rhs)
+    }
+}
+
+/// Everything one uncertain θ-join needs: sides with prefixes, pair
+/// filter, pair UDF with per-side argument bindings, the PR predicate,
+/// and execution knobs. Build with [`JoinSpec::new`] and the chained
+/// setters; [`crate::JoinExecutor::new`] validates cross-field rules
+/// (pruning requires GP + a predicate).
+#[derive(Debug)]
+pub struct JoinSpec<'a> {
+    /// Left relation.
+    pub left: &'a Relation,
+    /// Column prefix for the left side (the UQL alias).
+    pub left_prefix: String,
+    /// Right relation.
+    pub right: &'a Relation,
+    /// Column prefix for the right side.
+    pub right_prefix: String,
+    /// Optional `ON lhs < rhs` pair filter.
+    pub on: Option<OnCondition>,
+    /// The pair UDF.
+    pub udf: BlackBoxUdf,
+    /// Resolved UDF arguments, in call order.
+    pub args: Vec<JoinAttr>,
+    /// `Pr[f ∈ [lo, hi]] ≥ θ` selection; `None` makes the join a pure
+    /// pair projection.
+    pub predicate: Option<Predicate>,
+    /// Evaluation strategy for pair outputs.
+    pub strategy: EvalStrategy,
+    /// Accuracy requirement per pair.
+    pub accuracy: AccuracyRequirement,
+    /// Output-spread estimate (scales Γ and λ on the GP path).
+    pub output_range: f64,
+    /// GP model cap (0 = uncapped), enforced through
+    /// [`udf_query::Executor::with_model_cap`].
+    pub model_cap: usize,
+    /// Per-pair online-tuning budget (`None` = engine default 10). O(n²)
+    /// joins over wide input domains pair a small budget with a model
+    /// cap so the strided warmup *spreads* training points across the
+    /// domain instead of exhausting the cap on its first fresh regions.
+    pub tuning_budget: Option<usize>,
+    /// Enable envelope-based pair pruning (GP + predicate only).
+    pub prune: bool,
+    /// Master RNG seed; pair `k` evaluates under
+    /// [`mix_seed`](udf_core::sched::mix_seed)`(seed, 0, k)`.
+    pub seed: u64,
+}
+
+impl<'a> JoinSpec<'a> {
+    /// Build a spec, resolving `args` as `(side, column_name)` pairs
+    /// against the respective schemas and checking the UDF arity.
+    #[allow(clippy::too_many_arguments)] // a spec constructor names its parts
+    pub fn new(
+        left: &'a Relation,
+        left_prefix: impl Into<String>,
+        right: &'a Relation,
+        right_prefix: impl Into<String>,
+        udf: BlackBoxUdf,
+        args: &[(Side, &str)],
+        accuracy: AccuracyRequirement,
+        output_range: f64,
+    ) -> Result<Self> {
+        let left_prefix = left_prefix.into();
+        let right_prefix = right_prefix.into();
+        if args.len() != udf.dim() {
+            return Err(JoinError::InvalidSpec(format!(
+                "UDF `{}` takes {} argument(s), got {}",
+                udf.name(),
+                udf.dim(),
+                args.len()
+            )));
+        }
+        let args = args
+            .iter()
+            .map(|&(side, name)| resolve(left, right, side, name))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(JoinSpec {
+            left,
+            left_prefix,
+            right,
+            right_prefix,
+            on: None,
+            udf,
+            args,
+            predicate: None,
+            strategy: EvalStrategy::Gp,
+            accuracy,
+            output_range,
+            model_cap: 0,
+            tuning_budget: None,
+            prune: false,
+            seed: 0,
+        })
+    }
+
+    /// Add `ON left.lhs < right.rhs` (left column vs right column — pass a
+    /// full [`OnCondition`] via [`on`](JoinSpec::on) for other pairings).
+    pub fn on_less_than(self, lhs: &str, rhs: &str) -> Result<Self> {
+        let lhs = resolve(self.left, self.right, Side::Left, lhs)?;
+        let rhs = resolve(self.left, self.right, Side::Right, rhs)?;
+        Ok(self.on(OnCondition { lhs, rhs }))
+    }
+
+    /// Attach a pre-resolved pair filter.
+    pub fn on(mut self, on: OnCondition) -> Self {
+        self.on = Some(on);
+        self
+    }
+
+    /// Attach the PR predicate.
+    pub fn predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = Some(predicate);
+        self
+    }
+
+    /// Choose the evaluation strategy (default GP).
+    pub fn strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Toggle envelope pruning (default off).
+    pub fn prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Set the master seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Cap the GP model (0 = uncapped, the default; policy is
+    /// [`ModelBudget::StopGrowing`] like the UQL surface).
+    pub fn model_cap(mut self, cap: usize) -> Self {
+        self.model_cap = cap;
+        self
+    }
+
+    /// Cap the per-pair online-tuning budget (engine default 10).
+    pub fn tuning_budget(mut self, n: usize) -> Self {
+        self.tuning_budget = Some(n);
+        self
+    }
+
+    /// The model budget policy joins run under.
+    pub fn budget(&self) -> ModelBudget {
+        ModelBudget::StopGrowing
+    }
+
+    /// The joined (prefixed) output schema — also validates that the
+    /// prefixes do not collide.
+    pub fn joined_schema(&self) -> Result<Schema> {
+        Ok(self
+            .left
+            .schema()
+            .join(&self.left_prefix, self.right.schema(), &self.right_prefix)?)
+    }
+
+    /// Qualified argument names against [`joined_schema`](JoinSpec::joined_schema),
+    /// e.g. `a.z`, `b.z`.
+    pub fn qualified_args(&self) -> Vec<String> {
+        self.args
+            .iter()
+            .map(|a| match a.side {
+                Side::Left => format!("{}.{}", self.left_prefix, a.name),
+                Side::Right => format!("{}.{}", self.right_prefix, a.name),
+            })
+            .collect()
+    }
+
+    /// Candidate-pair filter for `(i, j)` (the `ON` condition, or
+    /// everything when absent).
+    pub fn keep(&self, i: usize, j: usize) -> bool {
+        match &self.on {
+            None => true,
+            Some(on) => on.keep(&self.left.tuples()[i], &self.right.tuples()[j]),
+        }
+    }
+
+    /// The argument values of pair `(i, j)`, in call order.
+    pub fn arg_values(&self, i: usize, j: usize) -> Vec<&Value> {
+        self.args
+            .iter()
+            .map(|a| match a.side {
+                Side::Left => self.left.tuples()[i].value(a.index),
+                Side::Right => self.right.tuples()[j].value(a.index),
+            })
+            .collect()
+    }
+}
+
+fn resolve(left: &Relation, right: &Relation, side: Side, name: &str) -> Result<JoinAttr> {
+    let schema = match side {
+        Side::Left => left.schema(),
+        Side::Right => right.schema(),
+    };
+    let index = schema.index_of(name)?;
+    Ok(JoinAttr {
+        side,
+        index,
+        name: name.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udf_core::config::Metric;
+    use udf_query::Schema;
+
+    fn rel() -> Relation {
+        let tuples = (0..3)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Det(i as f64),
+                    Value::Gaussian {
+                        mu: i as f64,
+                        sigma: 0.1,
+                    },
+                ])
+            })
+            .collect();
+        Relation::new(Schema::new(&["id", "z"]), tuples).unwrap()
+    }
+
+    fn acc() -> AccuracyRequirement {
+        AccuracyRequirement::new(0.2, 0.05, 0.01, Metric::Discrepancy).unwrap()
+    }
+
+    #[test]
+    fn resolves_args_and_checks_arity() {
+        let r = rel();
+        let udf = BlackBoxUdf::from_fn("d", 2, |x| x[0] - x[1]);
+        let spec = JoinSpec::new(
+            &r,
+            "a",
+            &r,
+            "b",
+            udf.clone(),
+            &[(Side::Left, "z"), (Side::Right, "z")],
+            acc(),
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(spec.qualified_args(), vec!["a.z", "b.z"]);
+        assert_eq!(spec.args[0].index, 1);
+        // Wrong arity.
+        assert!(matches!(
+            JoinSpec::new(
+                &r,
+                "a",
+                &r,
+                "b",
+                udf.clone(),
+                &[(Side::Left, "z")],
+                acc(),
+                1.0
+            ),
+            Err(JoinError::InvalidSpec(_))
+        ));
+        // Unknown column.
+        assert!(matches!(
+            JoinSpec::new(
+                &r,
+                "a",
+                &r,
+                "b",
+                udf,
+                &[(Side::Left, "z"), (Side::Right, "nope")],
+                acc(),
+                1.0
+            ),
+            Err(JoinError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn on_condition_filters_pairs() {
+        let r = rel();
+        let udf = BlackBoxUdf::from_fn("d", 2, |x| x[0] - x[1]);
+        let spec = JoinSpec::new(
+            &r,
+            "a",
+            &r,
+            "b",
+            udf,
+            &[(Side::Left, "z"), (Side::Right, "z")],
+            acc(),
+            1.0,
+        )
+        .unwrap()
+        .on_less_than("id", "id")
+        .unwrap();
+        let kept: Vec<(usize, usize)> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .filter(|&(i, j)| spec.keep(i, j))
+            .collect();
+        assert_eq!(kept, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn joined_schema_rejects_equal_prefixes() {
+        let r = rel();
+        let udf = BlackBoxUdf::from_fn("d", 2, |x| x[0] - x[1]);
+        let spec = JoinSpec::new(
+            &r,
+            "g",
+            &r,
+            "g",
+            udf,
+            &[(Side::Left, "z"), (Side::Right, "z")],
+            acc(),
+            1.0,
+        )
+        .unwrap();
+        assert!(matches!(
+            spec.joined_schema(),
+            Err(JoinError::Query(udf_query::QueryError::DuplicateColumn(_)))
+        ));
+    }
+}

@@ -1,0 +1,304 @@
+//! Join acceptance: the executor must be *indistinguishable* from the
+//! hand-built Q2 construction over the materialized cross product, and
+//! envelope pruning must change no output while provably skipping pairs.
+
+use udf_core::config::{AccuracyRequirement, Metric};
+use udf_core::filtering::Predicate;
+use udf_core::sched::BatchScheduler;
+use udf_join::executor::warmup_indices;
+use udf_join::{JoinError, JoinExecutor, JoinSpec, JoinedPair, Side};
+use udf_prob::InputDistribution;
+use udf_query::{EvalStrategy, Executor, ProjectedTuple, Relation, Schema, Tuple, UdfCall, Value};
+use udf_workloads::UdfCatalog;
+
+/// The galaxy table both sides join: deterministic objID keys (= tuple
+/// index) and Gaussian-uncertain redshifts over the catalog regime.
+fn galaxies(n: usize) -> Relation {
+    let tuples = (0..n)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Det(i as f64),
+                Value::Gaussian {
+                    mu: 0.1 + 1.7 * i as f64 / n as f64,
+                    sigma: 0.02,
+                },
+            ])
+        })
+        .collect();
+    Relation::new(Schema::new(&["objID", "z"]), tuples).unwrap()
+}
+
+fn angdist_spec<'a>(
+    g: &'a Relation,
+    strategy: EvalStrategy,
+    prune: bool,
+    seed: u64,
+) -> (JoinSpec<'a>, Predicate) {
+    let cat = UdfCatalog::standard();
+    let entry = cat.get("AngDist").unwrap();
+    let accuracy =
+        AccuracyRequirement::new(0.2, 0.05, entry.default_lambda(), Metric::Discrepancy).unwrap();
+    let pred = Predicate::new(0.3, 0.36, 0.5).unwrap();
+    let spec = JoinSpec::new(
+        g,
+        "a",
+        g,
+        "b",
+        entry.udf.clone(),
+        &[(Side::Left, "z"), (Side::Right, "z")],
+        accuracy,
+        entry.output_range,
+    )
+    .unwrap()
+    .on_less_than("objID", "objID")
+    .unwrap()
+    .predicate(pred)
+    .strategy(strategy)
+    .prune(prune)
+    .seed(seed);
+    (spec, pred)
+}
+
+/// The hand-built Q2 construction the executor must reproduce exactly:
+/// materialized `cross_join` + the public batch APIs of `udf_query`, with
+/// the GP warmup/main round split documented by [`warmup_indices`].
+fn hand_built(
+    g: &Relation,
+    strategy: EvalStrategy,
+    pred: &Predicate,
+    workers: usize,
+    seed: u64,
+) -> Vec<ProjectedTuple> {
+    let cat = UdfCatalog::standard();
+    let entry = cat.get("AngDist").unwrap();
+    let pairs = g.cross_join("a", g, "b", |i, j| i < j).unwrap();
+    let call = UdfCall::resolve(entry.udf.clone(), pairs.schema(), &["a.z", "b.z"]).unwrap();
+    let accuracy =
+        AccuracyRequirement::new(0.2, 0.05, entry.default_lambda(), Metric::Discrepancy).unwrap();
+    let mut ex = Executor::new(strategy, accuracy, &call, entry.output_range).unwrap();
+    let sched = BatchScheduler::new(workers);
+    let inputs: Vec<(usize, InputDistribution)> = pairs
+        .tuples()
+        .iter()
+        .enumerate()
+        .map(|(k, t)| (k, call.input_distribution(t).unwrap()))
+        .collect();
+    let mut rows = Vec::new();
+    match strategy {
+        EvalStrategy::Mc => {
+            let (r, _) = ex
+                .select_batch_indexed(&inputs, pred, &sched, seed)
+                .unwrap();
+            rows.extend(r);
+        }
+        EvalStrategy::Gp => {
+            // Sequential full-path warmup over the strided subset, then
+            // one two-phase batch over the remainder.
+            let warm = warmup_indices(inputs.len());
+            let (a, b): (Vec<_>, Vec<_>) = inputs
+                .into_iter()
+                .partition(|(k, _)| warm.binary_search(k).is_ok());
+            rows.extend(ex.select_seeded(&a, Some(pred), seed).unwrap());
+            let (r, _) = ex.select_batch_indexed(&b, pred, &sched, seed).unwrap();
+            rows.extend(r);
+        }
+    }
+    rows.sort_by_key(|r| r.source);
+    rows
+}
+
+fn assert_rows_identical(join: &[JoinedPair], hand: &[ProjectedTuple], label: &str) {
+    assert_eq!(join.len(), hand.len(), "{label}: row counts differ");
+    for (a, b) in join.iter().zip(hand) {
+        assert_eq!(a.pair, b.source, "{label}: pair index");
+        assert_eq!(
+            a.tep.to_bits(),
+            b.tep.to_bits(),
+            "{label}: pair {} TEP",
+            a.pair
+        );
+        assert_eq!(
+            a.output.error_bound.to_bits(),
+            b.output.error_bound.to_bits(),
+            "{label}: pair {} error bound",
+            a.pair
+        );
+        assert_eq!(
+            a.output.ecdf, b.output.ecdf,
+            "{label}: pair {} distribution",
+            a.pair
+        );
+    }
+}
+
+/// JoinExecutor ≡ hand-built cross_join + batch executor, MC and GP, for
+/// workers 1/2/8 (the acceptance criterion).
+#[test]
+fn join_matches_hand_built_q2_construction() {
+    let g = galaxies(12); // 66 ordered pairs
+    for strategy in [EvalStrategy::Mc, EvalStrategy::Gp] {
+        for workers in [1usize, 2, 8] {
+            let (spec, pred) = angdist_spec(&g, strategy, false, 7);
+            let sched = BatchScheduler::new(workers);
+            let out = JoinExecutor::new(&spec).unwrap().run(&sched).unwrap();
+            let hand = hand_built(&g, strategy, &pred, workers, 7);
+            let label = format!("{strategy:?}/workers={workers}");
+            assert!(
+                !out.rows.is_empty() && (out.rows.len() as u64) < out.stats.pairs_generated,
+                "{label}: selection should keep some but not all pairs, kept {}",
+                out.rows.len()
+            );
+            assert_rows_identical(&out.rows, &hand, &label);
+            assert_eq!(out.stats.pairs_generated, 66, "{label}");
+            assert_eq!(out.relation.len(), out.rows.len(), "{label}");
+            // The joined relation carries the concatenated source tuples.
+            for (row, tuple) in out.rows.iter().zip(out.relation.tuples()) {
+                assert_eq!(tuple.value(0).mean(), row.left as f64, "{label}: a.objID");
+                assert_eq!(tuple.value(2).mean(), row.right as f64, "{label}: b.objID");
+            }
+        }
+    }
+}
+
+/// Envelope pruning must change no output byte while skipping pairs, for
+/// every worker count.
+#[test]
+fn pruning_changes_no_output_and_prunes_pairs() {
+    let g = galaxies(24); // 276 ordered pairs
+    let mut reference: Option<Vec<JoinedPair>> = None;
+    for workers in [1usize, 2, 8] {
+        let (off_spec, _) = angdist_spec(&g, EvalStrategy::Gp, false, 9);
+        let (on_spec, _) = angdist_spec(&g, EvalStrategy::Gp, true, 9);
+        let sched = BatchScheduler::new(workers);
+        let off = JoinExecutor::new(&off_spec).unwrap().run(&sched).unwrap();
+        let on = JoinExecutor::new(&on_spec).unwrap().run(&sched).unwrap();
+        let label = format!("workers={workers}");
+
+        assert_eq!(off.rows.len(), on.rows.len(), "{label}: kept counts");
+        for (a, b) in off.rows.iter().zip(&on.rows) {
+            assert_eq!(a.pair, b.pair, "{label}");
+            assert_eq!(a.tep.to_bits(), b.tep.to_bits(), "{label}: pair {}", a.pair);
+            assert_eq!(
+                a.output.error_bound.to_bits(),
+                b.output.error_bound.to_bits(),
+                "{label}: pair {}",
+                a.pair
+            );
+            assert_eq!(a.output.ecdf, b.output.ecdf, "{label}: pair {}", a.pair);
+        }
+        assert!(
+            on.stats.pairs_pruned > 0,
+            "{label}: warm model never pruned a pair"
+        );
+        assert!(
+            on.stats.pairs_evaluated() < off.stats.pairs_evaluated(),
+            "{label}: pruning must evaluate fewer pairs"
+        );
+        assert_eq!(
+            off.stats.pairs_pruned, 0,
+            "{label}: prune-off counted prunes"
+        );
+        // Pruned pairs are exactly fast-path filter decisions skipped early.
+        assert_eq!(
+            off.stats.filtered,
+            on.stats.filtered + on.stats.pairs_pruned,
+            "{label}: pruned + filtered must cover the same pairs"
+        );
+        // UDF call accounting unchanged: pruning skips only inference.
+        assert_eq!(off.stats.udf_calls, on.stats.udf_calls, "{label}");
+
+        match &reference {
+            None => reference = Some(on.rows),
+            Some(want) => {
+                assert_eq!(want.len(), on.rows.len(), "{label}: cross-worker");
+                for (a, b) in want.iter().zip(&on.rows) {
+                    assert_eq!(a.output.ecdf, b.output.ecdf, "{label}: cross-worker");
+                }
+            }
+        }
+    }
+}
+
+/// MC joins over the same spec agree with cross_join + select_batch (the
+/// original single-batch construction — MC has no warmup).
+#[test]
+fn mc_join_has_no_warmup_rounds() {
+    let g = galaxies(10);
+    let (spec, pred) = angdist_spec(&g, EvalStrategy::Mc, false, 3);
+    let sched = BatchScheduler::new(2);
+    let out = JoinExecutor::new(&spec).unwrap().run(&sched).unwrap();
+
+    let cat = UdfCatalog::standard();
+    let entry = cat.get("AngDist").unwrap();
+    let pairs = g.cross_join("a", &g, "b", |i, j| i < j).unwrap();
+    let call = UdfCall::resolve(entry.udf.clone(), pairs.schema(), &["a.z", "b.z"]).unwrap();
+    let accuracy =
+        AccuracyRequirement::new(0.2, 0.05, entry.default_lambda(), Metric::Discrepancy).unwrap();
+    let mut ex = Executor::new(EvalStrategy::Mc, accuracy, &call, entry.output_range).unwrap();
+    let hand = ex.select_batch(&pairs, &call, &pred, &sched, 3).unwrap();
+    assert_rows_identical(&out.rows, &hand, "mc single batch");
+}
+
+/// Spec validation: pruning without GP or without a predicate is refused,
+/// oversized joins are refused before any work.
+#[test]
+fn invalid_specs_are_refused() {
+    let g = galaxies(4);
+    let (spec, _) = angdist_spec(&g, EvalStrategy::Mc, true, 1);
+    assert!(matches!(
+        JoinExecutor::new(&spec),
+        Err(JoinError::InvalidSpec(m)) if m.contains("GP")
+    ));
+
+    let cat = UdfCatalog::standard();
+    let entry = cat.get("AngDist").unwrap();
+    let accuracy =
+        AccuracyRequirement::new(0.2, 0.05, entry.default_lambda(), Metric::Discrepancy).unwrap();
+    let no_pred = JoinSpec::new(
+        &g,
+        "a",
+        &g,
+        "b",
+        entry.udf.clone(),
+        &[(Side::Left, "z"), (Side::Right, "z")],
+        accuracy,
+        entry.output_range,
+    )
+    .unwrap()
+    .strategy(EvalStrategy::Gp)
+    .prune(true);
+    assert!(matches!(
+        JoinExecutor::new(&no_pred),
+        Err(JoinError::InvalidSpec(m)) if m.contains("predicate")
+    ));
+}
+
+/// A projection join (no WHERE) emits every candidate pair with TEP 1.
+#[test]
+fn projection_join_keeps_every_pair() {
+    let g = galaxies(6);
+    let cat = UdfCatalog::standard();
+    let entry = cat.get("AngDist").unwrap();
+    let accuracy =
+        AccuracyRequirement::new(0.25, 0.05, entry.default_lambda(), Metric::Discrepancy).unwrap();
+    let spec = JoinSpec::new(
+        &g,
+        "a",
+        &g,
+        "b",
+        entry.udf.clone(),
+        &[(Side::Left, "z"), (Side::Right, "z")],
+        accuracy,
+        entry.output_range,
+    )
+    .unwrap()
+    .on_less_than("objID", "objID")
+    .unwrap()
+    .strategy(EvalStrategy::Gp)
+    .seed(5);
+    let sched = BatchScheduler::new(2);
+    let out = JoinExecutor::new(&spec).unwrap().run(&sched).unwrap();
+    assert_eq!(out.rows.len(), 15);
+    assert!(out.rows.iter().all(|r| r.tep == 1.0));
+    assert_eq!(out.stats.pairs_kept, 15);
+}

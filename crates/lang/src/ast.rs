@@ -33,13 +33,51 @@ pub struct Select {
     pub options: Options,
 }
 
-/// A UDF applied to attribute names, e.g. `ComoveVol(z1, z2)`.
+/// An attribute reference: bare (`z`) or alias-qualified (`a.z`, join
+/// queries only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrRef {
+    /// Join-side alias, when qualified.
+    pub alias: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl AttrRef {
+    /// A bare (unqualified) reference.
+    pub fn bare(name: impl Into<String>) -> Self {
+        AttrRef {
+            alias: None,
+            name: name.into(),
+        }
+    }
+
+    /// An alias-qualified reference.
+    pub fn qualified(alias: impl Into<String>, name: impl Into<String>) -> Self {
+        AttrRef {
+            alias: Some(alias.into()),
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{a}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// A UDF applied to attribute references, e.g. `ComoveVol(z1, z2)` or
+/// `AngDist(a.z, b.z)`.
 #[derive(Debug, Clone)]
 pub struct CallExpr {
     /// UDF name.
     pub name: Spanned<String>,
-    /// Argument attribute names.
-    pub args: Vec<Spanned<String>>,
+    /// Argument attribute references.
+    pub args: Vec<Spanned<AttrRef>>,
     /// Span of the whole call expression.
     pub span: Span,
 }
@@ -80,6 +118,39 @@ impl fmt::Display for MetricName {
     }
 }
 
+/// `FROM rel a JOIN rel b [ON a.key < b.key]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinSource {
+    /// Left relation name.
+    pub left: Spanned<String>,
+    /// Left alias (column prefix).
+    pub left_alias: Spanned<String>,
+    /// Right relation name.
+    pub right: Spanned<String>,
+    /// Right alias (column prefix).
+    pub right_alias: Spanned<String>,
+    /// Optional `ON lhs < rhs` pair filter over key columns.
+    pub on: Option<OnExpr>,
+}
+
+/// `ON lhs < rhs` (the only supported comparison; compares attribute
+/// means, intended for deterministic key columns).
+#[derive(Debug, Clone)]
+pub struct OnExpr {
+    /// Left operand of `<`.
+    pub lhs: Spanned<AttrRef>,
+    /// Right operand of `<`.
+    pub rhs: Spanned<AttrRef>,
+    /// Span of the whole clause.
+    pub span: Span,
+}
+
+impl PartialEq for OnExpr {
+    fn eq(&self, other: &Self) -> bool {
+        self.lhs == other.lhs && self.rhs == other.rhs
+    }
+}
+
 /// What the query reads from.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SourceRef {
@@ -87,13 +158,17 @@ pub enum SourceRef {
     Relation(Spanned<String>),
     /// A registered stream source (`FROM STREAM name`).
     Stream(Spanned<String>),
+    /// A two-relation θ-join (`FROM rel a JOIN rel b …`); boxed to keep
+    /// the enum small next to the plain name variants.
+    Join(Box<JoinSource>),
 }
 
 impl SourceRef {
-    /// The referenced name.
+    /// The (left, for joins) referenced name.
     pub fn name(&self) -> &str {
         match self {
             SourceRef::Relation(n) | SourceRef::Stream(n) => &n.node,
+            SourceRef::Join(j) => &j.left.node,
         }
     }
 
@@ -101,6 +176,7 @@ impl SourceRef {
     pub fn span(&self) -> Span {
         match self {
             SourceRef::Relation(n) | SourceRef::Stream(n) => n.span,
+            SourceRef::Join(j) => j.left.span.to(j.right_alias.span),
         }
     }
 }
@@ -166,6 +242,9 @@ pub struct Options {
     pub limit: Option<Spanned<u64>>,
     /// `MODEL CAP n` — GP model-size budget (0 = uncapped).
     pub model_cap: Option<Spanned<u64>>,
+    /// `PRUNE` — envelope-based pair pruning (GP joins with a WHERE
+    /// clause only).
+    pub prune: Option<Spanned<bool>>,
 }
 
 impl fmt::Display for CallExpr {
@@ -202,6 +281,16 @@ impl fmt::Display for Select {
         match &self.source {
             SourceRef::Relation(n) => write!(f, " FROM {}", n.node)?,
             SourceRef::Stream(n) => write!(f, " FROM STREAM {}", n.node)?,
+            SourceRef::Join(j) => {
+                write!(
+                    f,
+                    " FROM {} {} JOIN {} {}",
+                    j.left.node, j.left_alias.node, j.right.node, j.right_alias.node
+                )?;
+                if let Some(on) = &j.on {
+                    write!(f, " ON {} < {}", on.lhs.node, on.rhs.node)?;
+                }
+            }
         }
         if let Some(p) = &self.predicate {
             write!(
@@ -228,6 +317,9 @@ impl fmt::Display for Select {
         }
         if let Some(c) = &o.model_cap {
             write!(f, " MODEL CAP {}", c.node)?;
+        }
+        if o.prune.is_some() {
+            write!(f, " PRUNE")?;
         }
         Ok(())
     }

@@ -4,18 +4,22 @@
 //! Relation queries run as one batch on a [`BatchScheduler`] worker pool
 //! through
 //! [`Executor::select_batch`] / [`Executor::project_batch`] — byte-identical
-//! results for any `WORKERS` count. `FROM STREAM` queries subscribe a
+//! results for any `WORKERS` count. `JOIN` queries lower onto a
+//! [`udf_join::JoinExecutor`] over the same pool (warmup + main rounds,
+//! optional envelope pair pruning — byte-identical to the hand-built
+//! `cross_join` construction). `FROM STREAM` queries subscribe a
 //! [`QuerySpec`] on a fresh [`Session`] and drive it over the registered
 //! source, so a UQL stream query produces exactly the determinism digest of
 //! the equivalent hand-built subscription.
 
 use crate::error::{LangError, Result};
 use crate::parser::parse;
-use crate::plan::{bind, BoundQuery, PhysicalPlan, RelPlan, StreamPlan};
+use crate::plan::{bind, BoundQuery, JoinPlan, PhysicalPlan, RelPlan, StreamPlan};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 use udf_core::config::ModelBudget;
 use udf_core::sched::BatchScheduler;
+use udf_join::{JoinExecutor, JoinSpec, JoinStats, JoinedPair, OnCondition};
 use udf_query::{Executor, ProjectedTuple, QueryStats, Relation, UdfCall};
 use udf_stream::{EngineConfig, EngineStats, KeptSummary, QuerySpec, Session, Source, StreamStats};
 use udf_workloads::UdfCatalog;
@@ -129,8 +133,27 @@ pub enum QueryOutput {
     Plan(String),
     /// A relation query's result set.
     Rows(RowsOutput),
+    /// A θ-join query's result set.
+    Join(JoinRowsOutput),
     /// A stream query's run summary.
     Stream(StreamOutput),
+}
+
+/// Result of a `JOIN` query.
+#[derive(Debug)]
+pub struct JoinRowsOutput {
+    /// Kept pairs, in pair order.
+    pub rows: Vec<JoinedPair>,
+    /// The joined relation of kept pairs (prefixed schema).
+    pub relation: Relation,
+    /// Join-level counters (incl. `pairs_pruned`).
+    pub stats: JoinStats,
+    /// The inner pair executor's counters.
+    pub query_stats: QueryStats,
+    /// Wall-clock execution time (excluding parse/bind).
+    pub elapsed: Duration,
+    /// The rendered plan that ran.
+    pub plan: String,
 }
 
 /// Result of a one-shot relation query.
@@ -191,6 +214,29 @@ impl QueryOutput {
                 }
                 s
             }
+            QueryOutput::Join(r) => {
+                let mut s = format!(
+                    "{} pair(s) in {:.2?}  [{}]\n",
+                    r.rows.len(),
+                    r.elapsed,
+                    r.stats,
+                );
+                const SHOW: usize = 10;
+                for row in r.rows.iter().take(SHOW) {
+                    s.push_str(&format!(
+                        "  #({:<4},{:<4}) median={:<12.6} err≤{:<8.4} tep={:.3}\n",
+                        row.left,
+                        row.right,
+                        row.output.ecdf.quantile(0.5),
+                        row.output.error_bound,
+                        row.tep,
+                    ));
+                }
+                if r.rows.len() > SHOW {
+                    s.push_str(&format!("  … {} more\n", r.rows.len() - SHOW));
+                }
+                s
+            }
             QueryOutput::Stream(o) => format!(
                 "stream run: {} tuple(s), {} batch(es) in {:.2?}\n  {}\n  digest=0x{:016x}\n",
                 o.engine.tuples, o.engine.batches, o.engine.elapsed, o.stats, o.digest,
@@ -211,6 +257,7 @@ pub fn run_uql(src: &str, ctx: &mut Context) -> Result<QueryOutput> {
     }
     match bound.physical {
         PhysicalPlan::Relation(p) => exec_relation(&p, ctx, plan),
+        PhysicalPlan::Join(p) => exec_join(&p, ctx, plan),
         PhysicalPlan::Stream(p) => exec_stream(&p, ctx, plan),
     }
 }
@@ -242,6 +289,74 @@ fn exec_relation(p: &RelPlan, ctx: &mut Context, plan: String) -> Result<QueryOu
         elapsed: t0.elapsed(),
         plan,
     }))
+}
+
+fn exec_join(p: &JoinPlan, ctx: &mut Context, plan: String) -> Result<QueryOutput> {
+    // Field-level borrows, like exec_relation: relations (shared) and the
+    // scheduler cache (mutable) are disjoint fields.
+    let left = ctx
+        .relations
+        .get(&p.left)
+        .expect("binder checked the left relation");
+    let right = ctx
+        .relations
+        .get(&p.right)
+        .expect("binder checked the right relation");
+    let sched = ctx
+        .schedulers
+        .entry(p.workers)
+        .or_insert_with(|| BatchScheduler::new(p.workers));
+    let args: Vec<(udf_join::Side, &str)> = p.args.iter().map(|(s, c)| (*s, c.as_str())).collect();
+    let mut spec = JoinSpec::new(
+        left,
+        p.left_alias.clone(),
+        right,
+        p.right_alias.clone(),
+        p.udf.clone(),
+        &args,
+        p.accuracy,
+        p.output_range,
+    )
+    .map_err(join_err)?
+    .strategy(p.strategy)
+    .prune(p.prune)
+    .seed(p.seed)
+    .model_cap(p.model_cap);
+    if let Some(pred) = p.predicate {
+        spec = spec.predicate(pred);
+    }
+    if let Some(((ls, lc), (rs, rc))) = &p.on {
+        let resolve = |side: udf_join::Side, col: &str| -> Result<udf_join::JoinAttr> {
+            let rel = match side {
+                udf_join::Side::Left => left,
+                udf_join::Side::Right => right,
+            };
+            Ok(udf_join::JoinAttr {
+                side,
+                index: rel.schema().index_of(col)?,
+                name: col.to_string(),
+            })
+        };
+        spec = spec.on(OnCondition {
+            lhs: resolve(*ls, lc)?,
+            rhs: resolve(*rs, rc)?,
+        });
+    }
+    let t0 = Instant::now();
+    let mut executor = JoinExecutor::new(&spec).map_err(join_err)?;
+    let out = executor.run(sched).map_err(join_err)?;
+    Ok(QueryOutput::Join(JoinRowsOutput {
+        rows: out.rows,
+        relation: out.relation,
+        stats: out.stats,
+        query_stats: out.query_stats,
+        elapsed: t0.elapsed(),
+        plan,
+    }))
+}
+
+fn join_err(e: udf_join::JoinError) -> LangError {
+    LangError::Exec(e.to_string())
 }
 
 fn exec_stream(p: &StreamPlan, ctx: &Context, plan: String) -> Result<QueryOutput> {

@@ -10,12 +10,15 @@
 //! std-only lexer ([`token`]), a recursive-descent parser into a typed AST
 //! ([`ast`], [`parser`]), a logical-plan layer with predicate pushdown and
 //! a binder that validates names/accuracies/predicates against a catalog
-//! ([`plan`]), and two execution backends ([`exec`]):
+//! ([`plan`]), and three execution backends ([`exec`]):
 //!
 //! * finite relations run batch-parallel through
 //!   [`udf_query::Executor::select_batch`] on a
 //!   [`BatchScheduler`](udf_core::sched::BatchScheduler) pool — selections
 //!   ride the GP-envelope filtering fast path (§5.5);
+//! * `FROM rel a JOIN rel b` θ-joins (the paper's Q2 shape) lower to
+//!   [`udf_join::JoinExecutor`], with optional `PRUNE` envelope-based
+//!   pair pruning (§4.2);
 //! * `FROM STREAM` queries lower to [`udf_stream::Session`] subscriptions
 //!   and inherit the stream engine's determinism digests.
 //!
@@ -64,8 +67,10 @@ pub mod parser;
 pub mod plan;
 pub mod token;
 
-pub use ast::{MetricName, Query, Select, SourceRef, StrategyName};
+pub use ast::{AttrRef, JoinSource, MetricName, OnExpr, Query, Select, SourceRef, StrategyName};
 pub use error::{LangError, Result, Span, Spanned, Stage};
-pub use exec::{run_uql, Context, QueryOutput, RowsOutput, SourceFactory, StreamOutput};
+pub use exec::{
+    run_uql, Context, JoinRowsOutput, QueryOutput, RowsOutput, SourceFactory, StreamOutput,
+};
 pub use parser::parse;
-pub use plan::{bind, BoundQuery, LogicalPlan, PhysicalPlan, RelPlan, StreamPlan};
+pub use plan::{bind, BoundQuery, JoinPlan, LogicalPlan, PhysicalPlan, RelPlan, StreamPlan};

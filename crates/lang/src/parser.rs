@@ -5,22 +5,31 @@
 //! ```text
 //! query     := [ "EXPLAIN" ] select ;
 //! select    := "SELECT" call [ accuracy ] "FROM" source [ where ] { option } ;
-//! call      := IDENT "(" IDENT { "," IDENT } ")" ;
+//! call      := IDENT "(" attr { "," attr } ")" ;
+//! attr      := IDENT [ "." IDENT ] ;
 //! accuracy  := "WITH" "ACCURACY" NUMBER NUMBER [ "METRIC" ( "KS" | "DISC" ) ] ;
-//! source    := "STREAM" IDENT | IDENT ;
+//! source    := "STREAM" IDENT
+//!            | IDENT IDENT "JOIN" IDENT IDENT [ "ON" attr "<" attr ]
+//!            | IDENT ;
 //! where     := "WHERE" "PR" "(" call "IN" "[" NUMBER "," NUMBER "]" ")" ">=" NUMBER ;
 //! option    := "USING" ( "MC" | "GP" | "AUTO" )
 //!            | "WORKERS" INT | "BATCH" INT | "SEED" INT | "LIMIT" INT
-//!            | "MODEL" "CAP" INT ;
+//!            | "MODEL" "CAP" INT | "PRUNE" ;
 //! ```
+//!
+//! Qualified attributes (`a.z`) and the `JOIN` source form go together:
+//! the binder rejects qualification outside a join and requires it inside
+//! one. The join form is recognized by two-token lookahead after the
+//! relation name (`IDENT "JOIN"`), so relation names that collide with
+//! keywords in other positions still parse.
 //!
 //! Options may appear in any order but at most once each; the AST
 //! pretty-printer emits them canonically, so pretty-print → reparse is an
 //! identity on the AST.
 
 use crate::ast::{
-    AccuracyClause, CallExpr, MetricName, Options, PrFilterExpr, Query, Select, SourceRef,
-    StrategyName,
+    AccuracyClause, AttrRef, CallExpr, JoinSource, MetricName, OnExpr, Options, PrFilterExpr,
+    Query, Select, SourceRef, StrategyName,
 };
 use crate::error::{LangError, Result, Span, Spanned};
 use crate::token::{lex, Tok, Token};
@@ -52,6 +61,10 @@ struct Parser {
 impl Parser {
     fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + ahead)
     }
 
     fn next(&mut self) -> Option<Token> {
@@ -173,7 +186,43 @@ impl Parser {
         let source = if self.eat_keyword("STREAM").is_some() {
             SourceRef::Stream(self.expect_ident("stream source name")?)
         } else {
-            SourceRef::Relation(self.expect_ident("relation name")?)
+            let rel = self.expect_ident("relation name")?;
+            // Two-token lookahead: `rel alias JOIN …` is the join form;
+            // a bare relation otherwise (aliases exist only for joins).
+            let aliased_join = matches!(
+                self.peek(),
+                Some(Token {
+                    tok: Tok::Ident(_),
+                    ..
+                })
+            ) && matches!(
+                self.peek_at(1),
+                Some(Token { tok: Tok::Ident(k), .. }) if k.eq_ignore_ascii_case("JOIN")
+            );
+            if aliased_join {
+                let left_alias = self.expect_ident("join alias")?;
+                self.expect_keyword("JOIN")?;
+                let right = self.expect_ident("right relation name")?;
+                let right_alias = self.expect_ident("right join alias")?;
+                let on = if self.eat_keyword("ON").is_some() {
+                    let lhs = self.attr_ref()?;
+                    self.expect_tok(Tok::Lt, "`<` between ON key columns")?;
+                    let rhs = self.attr_ref()?;
+                    let span = lhs.span.to(rhs.span);
+                    Some(OnExpr { lhs, rhs, span })
+                } else {
+                    None
+                };
+                SourceRef::Join(Box::new(JoinSource {
+                    left: rel,
+                    left_alias,
+                    right,
+                    right_alias,
+                    on,
+                }))
+            } else {
+                SourceRef::Relation(rel)
+            }
         };
         let predicate = if self.at_keyword("WHERE") {
             Some(self.where_clause()?)
@@ -193,14 +242,31 @@ impl Parser {
     fn call(&mut self) -> Result<CallExpr> {
         let name = self.expect_ident("UDF name")?;
         self.expect_tok(Tok::LParen, "`(` after UDF name")?;
-        let mut args = vec![self.expect_ident("attribute name")?];
+        let mut args = vec![self.attr_ref()?];
         while self.peek().is_some_and(|t| t.tok == Tok::Comma) {
             self.next();
-            args.push(self.expect_ident("attribute name")?);
+            args.push(self.attr_ref()?);
         }
         let close = self.expect_tok(Tok::RParen, "`)` or `,` in argument list")?;
         let span = name.span.to(close);
         Ok(CallExpr { name, args, span })
+    }
+
+    /// `IDENT [ "." IDENT ]` — a bare or alias-qualified attribute.
+    fn attr_ref(&mut self) -> Result<Spanned<AttrRef>> {
+        let first = self.expect_ident("attribute name")?;
+        if self.peek().is_some_and(|t| t.tok == Tok::Dot) {
+            self.next();
+            let name = self.expect_ident("attribute name after `.`")?;
+            let span = first.span.to(name.span);
+            Ok(Spanned::new(
+                AttrRef::qualified(first.node, name.node),
+                span,
+            ))
+        } else {
+            let span = first.span;
+            Ok(Spanned::new(AttrRef::bare(first.node), span))
+        }
     }
 
     fn accuracy_clause(&mut self) -> Result<AccuracyClause> {
@@ -295,6 +361,9 @@ impl Parser {
                 self.expect_keyword("CAP")?;
                 let n = self.expect_uint("MODEL CAP size")?;
                 set_once(&mut o.model_cap, n, kw, "MODEL CAP")?;
+            } else if self.at_keyword("PRUNE") {
+                let kw = self.next().expect("peeked").span;
+                set_once(&mut o.prune, Spanned::new(true, kw), kw, "PRUNE")?;
             } else {
                 return Ok(o);
             }
@@ -378,12 +447,60 @@ mod tests {
     }
 
     #[test]
+    fn parses_join_source_with_qualified_refs() {
+        let q = parse(
+            "SELECT AngDist(a.z, b.z) FROM sky a JOIN sky b ON a.objID < b.objID \
+             WHERE PR(AngDist(a.z, b.z) IN [0.1, 0.3]) >= 0.5 USING gp PRUNE SEED 2",
+        )
+        .unwrap();
+        let SourceRef::Join(j) = &q.select.source else {
+            panic!("join source expected")
+        };
+        assert_eq!(j.left.node, "sky");
+        assert_eq!(j.left_alias.node, "a");
+        assert_eq!(j.right_alias.node, "b");
+        let on = j.on.as_ref().unwrap();
+        assert_eq!(on.lhs.node, AttrRef::qualified("a", "objID"));
+        assert_eq!(on.rhs.node, AttrRef::qualified("b", "objID"));
+        assert_eq!(q.select.call.args[0].node, AttrRef::qualified("a", "z"));
+        assert!(q.select.options.prune.is_some());
+
+        // Join without ON; bare FROM still parses as a plain relation.
+        let q = parse("SELECT AngDist(a.z, b.z) FROM sky a JOIN stars b").unwrap();
+        let SourceRef::Join(j) = &q.select.source else {
+            panic!("join")
+        };
+        assert!(j.on.is_none());
+        assert_eq!(j.right.node, "stars");
+        let q = parse("SELECT GalAge(z) FROM sky USING mc").unwrap();
+        assert!(matches!(q.select.source, SourceRef::Relation(_)));
+    }
+
+    #[test]
+    fn join_parse_errors_have_spans() {
+        let err = parse("SELECT AngDist(a.z, b.z) FROM sky a JOIN sky").unwrap_err();
+        assert!(err.to_string().contains("right join alias"), "{err}");
+        let err = parse("SELECT AngDist(a.z, b.z) FROM sky a JOIN sky b ON a.objID >= b.objID")
+            .unwrap_err();
+        assert!(err.to_string().contains("`<` between ON key"), "{err}");
+        let err = parse("SELECT AngDist(a., b.z) FROM sky a JOIN sky b").unwrap_err();
+        assert!(
+            err.to_string().contains("attribute name after `.`"),
+            "{err}"
+        );
+        let err = parse("SELECT F1(x) FROM sky PRUNE PRUNE").unwrap_err();
+        assert!(err.to_string().contains("duplicate `PRUNE`"), "{err}");
+    }
+
+    #[test]
     fn canonical_display_reparses_identically() {
         let srcs = [
             "SELECT GalAge(z) FROM sky",
             "explain select AngDist(z1, z2) with accuracy 0.2 0.05 metric ks from stream pairs \
              where pr(AngDist(z1, z2) in [0.1, 0.3]) >= 0.5 using gp workers 8 batch 32 seed 9 \
              limit 500 model cap 64",
+            "select AngDist(a.z, b.z) from sky a join sky b on a.objID < b.objID \
+             where pr(AngDist(a.z, b.z) in [0.1, 0.3]) >= 0.5 using gp workers 2 prune",
         ];
         for src in srcs {
             let ast = parse(src).unwrap();

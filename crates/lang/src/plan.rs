@@ -15,14 +15,15 @@
 //!    accuracy and predicate validated into engine types, strategy fixed
 //!    (AUTO resolves by the paper's §6.3 rules), ready to execute.
 
-use crate::ast::{MetricName, Query, SourceRef, StrategyName};
-use crate::error::{LangError, Result, Span};
+use crate::ast::{AttrRef, JoinSource, MetricName, Query, Select, SourceRef, StrategyName};
+use crate::error::{LangError, Result, Span, Spanned};
 use crate::exec::Context;
 use std::fmt;
 use udf_core::config::{AccuracyRequirement, Metric, OlgaproConfig};
 use udf_core::filtering::Predicate;
 use udf_core::hybrid::{rule_based_choice, HybridChoice};
 use udf_core::udf::BlackBoxUdf;
+use udf_join::Side;
 use udf_query::EvalStrategy;
 use udf_stream::StreamStrategy;
 
@@ -69,29 +70,87 @@ pub enum LogicalPlan {
         /// Rendered predicate.
         predicate: String,
     },
+    /// Candidate-pair generation for a θ-join (`FROM rel a JOIN rel b`).
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Rendered `ON` filter, when present.
+        on: Option<String>,
+    },
+    /// The fused join operator produced by pushdown: pair generation, the
+    /// pair UDF, and the PR predicate execute inside `udf_join` — which
+    /// is what enables envelope-based pair pruning (§4.2/§5.5) before any
+    /// per-pair inference.
+    UdfJoin {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Rendered `ON` filter, when present.
+        on: Option<String>,
+        /// Rendered pair call.
+        call: String,
+        /// Rendered predicate, when present.
+        predicate: Option<String>,
+        /// Whether envelope pair pruning is enabled.
+        prune: bool,
+    },
 }
 
 impl LogicalPlan {
     /// Predicate pushdown: `PrFilter(UdfProject(x))` fuses into
     /// `UdfSelect(x)` so the filter is evaluated inside the UDF operator
     /// (envelope bounds / Hoeffding early stop) instead of after full
-    /// materialization.
-    pub fn optimize(self) -> LogicalPlan {
+    /// materialization. Over a [`Join`](LogicalPlan::Join) input the fused
+    /// operator is [`UdfJoin`](LogicalPlan::UdfJoin): the predicate (and
+    /// with `PRUNE`, the §4.2 envelope certificate over candidate pairs)
+    /// executes inside the join instead of over a materialized cross
+    /// product. `prune` marks the produced `UdfJoin` operators.
+    pub fn optimize(self, prune: bool) -> LogicalPlan {
         match self {
-            LogicalPlan::PrFilter { input, predicate } => match input.optimize() {
+            LogicalPlan::PrFilter { input, predicate } => match input.optimize(prune) {
                 LogicalPlan::UdfProject { input, call } => LogicalPlan::UdfSelect {
                     input,
                     call,
                     predicate,
+                },
+                // The project already fused into the join operator; push
+                // the filter into it too.
+                LogicalPlan::UdfJoin {
+                    left,
+                    right,
+                    on,
+                    call,
+                    predicate: None,
+                    prune: p,
+                } => LogicalPlan::UdfJoin {
+                    left,
+                    right,
+                    on,
+                    call,
+                    predicate: Some(predicate),
+                    prune: p,
                 },
                 other => LogicalPlan::PrFilter {
                     input: Box::new(other),
                     predicate,
                 },
             },
-            LogicalPlan::UdfProject { input, call } => LogicalPlan::UdfProject {
-                input: Box::new(input.optimize()),
-                call,
+            LogicalPlan::UdfProject { input, call } => match *input {
+                LogicalPlan::Join { left, right, on } => LogicalPlan::UdfJoin {
+                    left,
+                    right,
+                    on,
+                    call,
+                    predicate: None,
+                    prune,
+                },
+                other => LogicalPlan::UdfProject {
+                    input: Box::new(other.optimize(prune)),
+                    call,
+                },
             },
             leaf => leaf,
         }
@@ -124,6 +183,42 @@ impl LogicalPlan {
                     "{pad}UdfSelect {call} {predicate}   [pushdown: fast-path filtering §5.5]"
                 )?;
                 input.fmt_indented(f, depth + 1)
+            }
+            LogicalPlan::Join { left, right, on } => {
+                match on {
+                    Some(on) => writeln!(f, "{pad}Join ON {on}")?,
+                    None => writeln!(f, "{pad}Join")?,
+                }
+                left.fmt_indented(f, depth + 1)?;
+                right.fmt_indented(f, depth + 1)
+            }
+            LogicalPlan::UdfJoin {
+                left,
+                right,
+                on,
+                call,
+                predicate,
+                prune,
+            } => {
+                write!(f, "{pad}UdfJoin {call}")?;
+                if let Some(on) = on {
+                    write!(f, " ON {on}")?;
+                }
+                if let Some(p) = predicate {
+                    write!(f, " {p}")?;
+                }
+                writeln!(
+                    f,
+                    "   [pushdown: pair {}filtering §5.5{}]",
+                    if *prune { "pruning §4.2 + " } else { "" },
+                    if predicate.is_some() {
+                        ""
+                    } else {
+                        " n/a (projection)"
+                    },
+                )?;
+                left.fmt_indented(f, depth + 1)?;
+                right.fmt_indented(f, depth + 1)
             }
         }
     }
@@ -187,6 +282,41 @@ pub struct StreamPlan {
     pub model_cap: usize,
 }
 
+/// A fully bound, executable θ-join plan.
+#[derive(Debug, Clone)]
+pub struct JoinPlan {
+    /// Left registered relation name.
+    pub left: String,
+    /// Left alias (column prefix).
+    pub left_alias: String,
+    /// Right registered relation name.
+    pub right: String,
+    /// Right alias (column prefix).
+    pub right_alias: String,
+    /// Resolved `ON lhs < rhs` operands, when present.
+    pub on: Option<((Side, String), (Side, String))>,
+    /// The bound pair UDF (cloned from the catalog).
+    pub udf: BlackBoxUdf,
+    /// Resolved pair-UDF arguments `(side, column)`, in call order.
+    pub args: Vec<(Side, String)>,
+    /// Resolved evaluation strategy.
+    pub strategy: EvalStrategy,
+    /// Validated accuracy requirement.
+    pub accuracy: AccuracyRequirement,
+    /// Output-range estimate from the catalog.
+    pub output_range: f64,
+    /// Validated pair predicate, when the query has a WHERE clause.
+    pub predicate: Option<Predicate>,
+    /// Fast-path worker threads.
+    pub workers: usize,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// GP model-size budget (0 = uncapped).
+    pub model_cap: usize,
+    /// Envelope-based pair pruning.
+    pub prune: bool,
+}
+
 /// The bound physical plan.
 #[derive(Debug, Clone)]
 pub enum PhysicalPlan {
@@ -196,6 +326,8 @@ pub enum PhysicalPlan {
     Relation(RelPlan),
     /// A [`udf_stream::Session`] subscription driven over the source.
     Stream(StreamPlan),
+    /// A [`udf_join::JoinExecutor`] run over two registered relations.
+    Join(JoinPlan),
 }
 
 /// Everything compilation produced for one statement.
@@ -250,6 +382,47 @@ impl BoundQuery {
                     None => s.push_str("    predicate: none (pure projection)\n"),
                 }
             }
+            PhysicalPlan::Join(p) => {
+                s.push_str(&format!(
+                    "  JoinExec {} {} JOIN {} {} udf={} strategy={:?} workers={} seed={}{}{}\n",
+                    p.left,
+                    p.left_alias,
+                    p.right,
+                    p.right_alias,
+                    p.udf.name(),
+                    p.strategy,
+                    p.workers,
+                    p.seed,
+                    render_model_cap(p.model_cap),
+                    if p.prune { " prune" } else { "" },
+                ));
+                if let Some(((ls, lc), (rs, rc))) = &p.on {
+                    s.push_str(&format!(
+                        "    on: {}.{lc} < {}.{rc}\n",
+                        side_alias(p, *ls),
+                        side_alias(p, *rs),
+                    ));
+                }
+                s.push_str(&format!(
+                    "    accuracy: eps={} delta={} lambda={:.4} metric={:?}\n",
+                    p.accuracy.eps, p.accuracy.delta, p.accuracy.lambda, p.accuracy.metric,
+                ));
+                match &p.predicate {
+                    Some(pr) => s.push_str(&format!(
+                        "    predicate: Pr[y ∈ [{}, {}]] ≥ {} — {}\n",
+                        pr.lo,
+                        pr.hi,
+                        pr.theta,
+                        match (p.strategy, p.prune) {
+                            (EvalStrategy::Gp, true) =>
+                                "envelope pair pruning (§4.2) + GP fast-path filter (§5.5)",
+                            (EvalStrategy::Gp, false) => "GP fast-path filter (§5.5)",
+                            (EvalStrategy::Mc, _) => "Hoeffding early-stop (Remark 2.1)",
+                        },
+                    )),
+                    None => s.push_str("    predicate: none (pure pair projection)\n"),
+                }
+            }
             PhysicalPlan::Stream(p) => {
                 s.push_str(&format!(
                     "  StreamSubscribe source={} udf={} strategy={:?} workers={} batch={} seed={}{}\n",
@@ -299,6 +472,13 @@ fn reject_cap_on_mc(sel: &crate::ast::Select, model_cap: usize, is_mc: bool) -> 
         "MODEL CAP bounds the GP model, but this query's strategy resolved to MC \
          (explicitly or via AUTO's §6.3 rules); use `USING gp` or drop the cap",
     ))
+}
+
+fn side_alias(p: &JoinPlan, side: Side) -> &str {
+    match side {
+        Side::Left => &p.left_alias,
+        Side::Right => &p.right_alias,
+    }
 }
 
 fn render_model_cap(cap: usize) -> String {
@@ -455,6 +635,14 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
             p.call, p.lo.node, p.hi.node, p.theta.node
         )
     });
+    // PRUNE is a join-operator knob; resolve it here so relation/stream
+    // queries reject it with a span instead of silently ignoring it.
+    if let (Some(p), false) = (&sel.options.prune, matches!(sel.source, SourceRef::Join(_))) {
+        return Err(LangError::semantic(
+            p.span,
+            "PRUNE applies to `JOIN` queries only (it prunes candidate pairs)",
+        ));
+    }
     match &sel.source {
         SourceRef::Relation(name) => {
             if let Some(c) = sel.options.batch.as_ref().or(sel.options.limit.as_ref()) {
@@ -475,28 +663,20 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
             })?;
             // Columns resolve now so typos fail at bind time with spans.
             for arg in &sel.call.args {
-                if rel.schema().index_of(&arg.node).is_err() {
+                reject_alias_outside_join(arg)?;
+                if rel.schema().index_of(&arg.node.name).is_err() {
                     return Err(LangError::semantic(
                         arg.span,
                         format!(
                             "relation `{}` has no column `{}` (columns: {})",
                             name.node,
-                            arg.node,
+                            arg.node.name,
                             rel.schema().columns().join(", "),
                         ),
                     ));
                 }
             }
-            let strategy = match strategy_name {
-                StrategyName::Mc => EvalStrategy::Mc,
-                StrategyName::Gp => EvalStrategy::Gp,
-                StrategyName::Auto => {
-                    match rule_based_choice(udf.dim(), udf.cost_model().per_call()) {
-                        HybridChoice::Mc => EvalStrategy::Mc,
-                        HybridChoice::Gp | HybridChoice::Calibrating => EvalStrategy::Gp,
-                    }
-                }
-            };
+            let strategy = resolve_strategy(strategy_name, &udf);
             // The cap is checked against the *resolved* strategy, so
             // `USING mc MODEL CAP n` and a cap silently dropped by AUTO
             // picking MC fail the same way.
@@ -507,12 +687,12 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
             };
             let logical = build_logical(scan, &call_text, pred_text.as_deref());
             Ok(BoundQuery {
-                optimized: logical.clone().optimize(),
+                optimized: logical.clone().optimize(false),
                 logical,
                 physical: PhysicalPlan::Relation(RelPlan {
                     relation: name.node.clone(),
                     udf,
-                    args: sel.call.args.iter().map(|a| a.node.clone()).collect(),
+                    args: sel.call.args.iter().map(|a| a.node.name.clone()).collect(),
                     strategy,
                     accuracy,
                     output_range,
@@ -523,6 +703,23 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
                 }),
             })
         }
+        SourceRef::Join(join) => bind_join(
+            sel,
+            join,
+            ctx,
+            BoundCommon {
+                udf,
+                accuracy,
+                output_range,
+                predicate,
+                workers,
+                seed,
+                model_cap,
+                strategy_name,
+                call_text,
+                pred_text,
+            },
+        ),
         SourceRef::Stream(name) => {
             let dim = ctx.stream_dim(&name.node).ok_or_else(|| {
                 LangError::semantic(
@@ -534,6 +731,9 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
                     ),
                 )
             })?;
+            for arg in &sel.call.args {
+                reject_alias_outside_join(arg)?;
+            }
             if udf.dim() != dim {
                 return Err(LangError::semantic(
                     sel.call.span,
@@ -580,7 +780,7 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
             };
             let logical = build_logical(scan, &call_text, pred_text.as_deref());
             Ok(BoundQuery {
-                optimized: logical.clone().optimize(),
+                optimized: logical.clone().optimize(false),
                 logical,
                 physical: PhysicalPlan::Stream(StreamPlan {
                     source: name.node.clone(),
@@ -598,6 +798,200 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
             })
         }
     }
+}
+
+/// Everything `bind` resolved before source-specific lowering (bundled so
+/// the join branch stays a function instead of a 200-line match arm).
+struct BoundCommon {
+    udf: BlackBoxUdf,
+    accuracy: AccuracyRequirement,
+    output_range: f64,
+    predicate: Option<Predicate>,
+    workers: usize,
+    seed: u64,
+    model_cap: usize,
+    strategy_name: StrategyName,
+    call_text: String,
+    pred_text: Option<String>,
+}
+
+/// Resolve `USING mc|gp|auto` to a relational strategy; AUTO applies the
+/// paper's §6.3 cost rules. One definition shared by the relation and
+/// join binding arms, so both resolve AUTO identically.
+fn resolve_strategy(name: StrategyName, udf: &BlackBoxUdf) -> EvalStrategy {
+    match name {
+        StrategyName::Mc => EvalStrategy::Mc,
+        StrategyName::Gp => EvalStrategy::Gp,
+        StrategyName::Auto => match rule_based_choice(udf.dim(), udf.cost_model().per_call()) {
+            HybridChoice::Mc => EvalStrategy::Mc,
+            HybridChoice::Gp | HybridChoice::Calibrating => EvalStrategy::Gp,
+        },
+    }
+}
+
+/// A qualified reference (`a.z`) outside a `JOIN` source has no alias to
+/// resolve against.
+fn reject_alias_outside_join(arg: &Spanned<AttrRef>) -> Result<()> {
+    match &arg.node.alias {
+        None => Ok(()),
+        Some(alias) => Err(LangError::semantic(
+            arg.span,
+            format!(
+                "qualified reference `{}.{}` requires a `JOIN` source \
+                 (aliases name join sides)",
+                alias, arg.node.name,
+            ),
+        )),
+    }
+}
+
+/// Bind the `FROM rel a JOIN rel b` source form.
+fn bind_join(
+    sel: &Select,
+    join: &JoinSource,
+    ctx: &Context,
+    common: BoundCommon,
+) -> Result<BoundQuery> {
+    if let Some(c) = sel.options.batch.as_ref().or(sel.options.limit.as_ref()) {
+        return Err(LangError::semantic(
+            c.span,
+            "BATCH and LIMIT apply to `FROM STREAM` queries only",
+        ));
+    }
+    let lookup = |name: &Spanned<String>| {
+        ctx.relation(&name.node).ok_or_else(|| {
+            LangError::semantic(
+                name.span,
+                format!(
+                    "unknown relation `{}` (registered: {})",
+                    name.node,
+                    ctx.relation_names().join(", "),
+                ),
+            )
+        })
+    };
+    let left = lookup(&join.left)?;
+    let right = lookup(&join.right)?;
+    if join.left_alias.node == join.right_alias.node {
+        return Err(LangError::semantic(
+            join.right_alias.span,
+            format!(
+                "join aliases must be distinct, `{}` is used for both sides",
+                join.right_alias.node,
+            ),
+        ));
+    }
+
+    // Resolve a qualified reference to a (side, column) pair with span
+    // diagnostics for unknown aliases and columns.
+    let resolve = |arg: &Spanned<AttrRef>| -> Result<(Side, String)> {
+        let Some(alias) = &arg.node.alias else {
+            return Err(LangError::semantic(
+                arg.span,
+                format!(
+                    "reference `{}` must be qualified in a JOIN query \
+                     (write `{}.{}` or `{}.{}`)",
+                    arg.node.name,
+                    join.left_alias.node,
+                    arg.node.name,
+                    join.right_alias.node,
+                    arg.node.name,
+                ),
+            ));
+        };
+        let (side, rel, rel_name) = if *alias == join.left_alias.node {
+            (Side::Left, left, &join.left.node)
+        } else if *alias == join.right_alias.node {
+            (Side::Right, right, &join.right.node)
+        } else {
+            return Err(LangError::semantic(
+                arg.span,
+                format!(
+                    "unknown alias `{alias}` (this join binds `{}` and `{}`)",
+                    join.left_alias.node, join.right_alias.node,
+                ),
+            ));
+        };
+        if rel.schema().index_of(&arg.node.name).is_err() {
+            return Err(LangError::semantic(
+                arg.span,
+                format!(
+                    "relation `{rel_name}` has no column `{}` (columns: {})",
+                    arg.node.name,
+                    rel.schema().columns().join(", "),
+                ),
+            ));
+        }
+        Ok((side, arg.node.name.clone()))
+    };
+    let args = sel
+        .call
+        .args
+        .iter()
+        .map(resolve)
+        .collect::<Result<Vec<_>>>()?;
+    let on = match &join.on {
+        None => None,
+        Some(on) => Some((resolve(&on.lhs)?, resolve(&on.rhs)?)),
+    };
+
+    let strategy = resolve_strategy(common.strategy_name, &common.udf);
+    reject_cap_on_mc(sel, common.model_cap, strategy == EvalStrategy::Mc)?;
+    let prune = match &sel.options.prune {
+        None => false,
+        Some(p) => {
+            if strategy == EvalStrategy::Mc {
+                return Err(LangError::semantic(
+                    p.span,
+                    "PRUNE certifies pairs from the GP envelope band, but this query's \
+                     strategy resolved to MC (explicitly or via AUTO's §6.3 rules); \
+                     use `USING gp` or drop PRUNE",
+                ));
+            }
+            if common.predicate.is_none() {
+                return Err(LangError::semantic(
+                    p.span,
+                    "PRUNE needs a `WHERE PR(...)` predicate to rule pairs against",
+                ));
+            }
+            true
+        }
+    };
+
+    let scan = |name: &str, rows: usize| LogicalPlan::Scan {
+        relation: name.to_string(),
+        rows,
+    };
+    let join_node = LogicalPlan::Join {
+        left: Box::new(scan(&join.left.node, left.len())),
+        right: Box::new(scan(&join.right.node, right.len())),
+        on: join
+            .on
+            .as_ref()
+            .map(|o| format!("{} < {}", o.lhs.node, o.rhs.node)),
+    };
+    let logical = build_logical(join_node, &common.call_text, common.pred_text.as_deref());
+    Ok(BoundQuery {
+        optimized: logical.clone().optimize(prune),
+        logical,
+        physical: PhysicalPlan::Join(JoinPlan {
+            left: join.left.node.clone(),
+            left_alias: join.left_alias.node.clone(),
+            right: join.right.node.clone(),
+            right_alias: join.right_alias.node.clone(),
+            on,
+            udf: common.udf,
+            args,
+            strategy,
+            accuracy: common.accuracy,
+            output_range: common.output_range,
+            predicate: common.predicate,
+            workers: common.workers,
+            seed: common.seed,
+            model_cap: common.model_cap,
+            prune,
+        }),
+    })
 }
 
 fn build_logical(scan: LogicalPlan, call: &str, pred: Option<&str>) -> LogicalPlan {

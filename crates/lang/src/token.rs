@@ -23,8 +23,12 @@ pub enum Tok {
     RBracket,
     /// `,`
     Comma,
+    /// `.` (qualified attribute references, `a.z`)
+    Dot,
     /// `>=`
     Ge,
+    /// `<` (join `ON` comparisons)
+    Lt,
 }
 
 impl Tok {
@@ -38,7 +42,9 @@ impl Tok {
             Tok::LBracket => "`[`".into(),
             Tok::RBracket => "`]`".into(),
             Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
             Tok::Ge => "`>=`".into(),
+            Tok::Lt => "`<`".into(),
         }
     }
 }
@@ -100,9 +106,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 } else {
                     return Err(LangError::lex(
                         Span::new(i, i + 1),
-                        "expected `>=` (UQL's only comparison operator)",
+                        "expected `>=` (thresholds compare with `>=`; ON joins with `<`)",
                     ));
                 }
+            }
+            '<' => {
+                i += 1;
+                Tok::Lt
+            }
+            // `.` starts a number only when digits follow (`.5`);
+            // otherwise it qualifies an attribute (`a.z`).
+            '.' if !bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) => {
+                i += 1;
+                Tok::Dot
             }
             _ if c.is_ascii_alphabetic() || c == '_' => {
                 while i < bytes.len()
@@ -238,6 +254,26 @@ mod tests {
             let span = err.span().expect("lex errors carry spans");
             assert_eq!(span.start, at, "source {src:?}: {err}");
         }
+    }
+
+    #[test]
+    fn qualified_refs_and_on_comparisons() {
+        assert_eq!(
+            toks("a.z < b.z"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Dot,
+                Tok::Ident("z".into()),
+                Tok::Lt,
+                Tok::Ident("b".into()),
+                Tok::Dot,
+                Tok::Ident("z".into()),
+            ]
+        );
+        // `.5` is still a number; `x.5` is an ident, a dot-number boundary.
+        assert_eq!(toks(".5"), vec![Tok::Number(0.5)]);
+        assert_eq!(toks("x .5"), vec![Tok::Ident("x".into()), Tok::Number(0.5)]);
+        assert_eq!(toks("7."), vec![Tok::Number(7.0)]);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! End-to-end join acceptance: a UQL `JOIN` self-join on `AngDist` must be
+//! *indistinguishable* from the hand-built Q2 pipeline (materialized
+//! `cross_join` + the batch executor), and `PRUNE` must change no output.
+
+use udf_core::config::{AccuracyRequirement, Metric};
+use udf_core::filtering::Predicate;
+use udf_core::sched::BatchScheduler;
+use udf_join::warmup_indices;
+use udf_lang::{run_uql, Context, JoinRowsOutput, QueryOutput};
+use udf_prob::InputDistribution;
+use udf_query::{EvalStrategy, Executor, ProjectedTuple, Relation, Schema, Tuple, UdfCall, Value};
+use udf_workloads::UdfCatalog;
+
+fn galaxies(n: usize) -> Relation {
+    let tuples = (0..n)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Det(i as f64),
+                Value::Gaussian {
+                    mu: 0.1 + 1.7 * i as f64 / n as f64,
+                    sigma: 0.02,
+                },
+            ])
+        })
+        .collect();
+    Relation::new(Schema::new(&["objID", "z"]), tuples).unwrap()
+}
+
+fn ctx_with_sky(n: usize) -> Context {
+    let mut ctx = Context::standard();
+    ctx.register_relation("sky", galaxies(n));
+    ctx
+}
+
+const LO: f64 = 0.3;
+const HI: f64 = 0.36;
+const THETA: f64 = 0.5;
+
+fn uql_join(n: usize, strategy: &str, workers: usize, seed: u64, prune: bool) -> JoinRowsOutput {
+    let mut ctx = ctx_with_sky(n);
+    let q = format!(
+        "SELECT AngDist(a.z, b.z) WITH ACCURACY 0.2 0.05 FROM sky a JOIN sky b \
+         ON a.objID < b.objID WHERE PR(AngDist(a.z, b.z) IN [{LO}, {HI}]) >= {THETA} \
+         USING {strategy} WORKERS {workers} SEED {seed}{}",
+        if prune { " PRUNE" } else { "" },
+    );
+    match run_uql(&q, &mut ctx).unwrap() {
+        QueryOutput::Join(out) => out,
+        other => panic!("join query must return join rows, got {other:?}"),
+    }
+}
+
+/// The hand-built Q2 pipeline: `cross_join` + `Executor` batch calls over
+/// the materialized pair relation, sharing nothing with the UQL path but
+/// the catalog entry it binds (GP runs the documented warmup/main round
+/// split; MC is a single batch).
+fn hand_built(n: usize, strategy: EvalStrategy, workers: usize, seed: u64) -> Vec<ProjectedTuple> {
+    let cat = UdfCatalog::standard();
+    let entry = cat.get("AngDist").unwrap();
+    let g = galaxies(n);
+    let pairs = g.cross_join("a", &g, "b", |i, j| i < j).unwrap();
+    let call = UdfCall::resolve(entry.udf.clone(), pairs.schema(), &["a.z", "b.z"]).unwrap();
+    let accuracy =
+        AccuracyRequirement::new(0.2, 0.05, entry.default_lambda(), Metric::Discrepancy).unwrap();
+    let pred = Predicate::new(LO, HI, THETA).unwrap();
+    let mut ex = Executor::new(strategy, accuracy, &call, entry.output_range).unwrap();
+    let sched = BatchScheduler::new(workers);
+    let inputs: Vec<(usize, InputDistribution)> = pairs
+        .tuples()
+        .iter()
+        .enumerate()
+        .map(|(k, t)| (k, call.input_distribution(t).unwrap()))
+        .collect();
+    let mut rows = Vec::new();
+    match strategy {
+        EvalStrategy::Mc => {
+            rows = ex.select_batch(&pairs, &call, &pred, &sched, seed).unwrap();
+        }
+        EvalStrategy::Gp => {
+            let warm = warmup_indices(inputs.len());
+            let (a, b): (Vec<_>, Vec<_>) = inputs
+                .into_iter()
+                .partition(|(k, _)| warm.binary_search(k).is_ok());
+            rows.extend(ex.select_seeded(&a, Some(&pred), seed).unwrap());
+            let (r, _) = ex.select_batch_indexed(&b, &pred, &sched, seed).unwrap();
+            rows.extend(r);
+            rows.sort_by_key(|r| r.source);
+        }
+    }
+    rows
+}
+
+/// UQL `JOIN` ≡ hand-built Q2 pipeline, MC and GP, workers 1/2/8 (the
+/// acceptance criterion), tuple-for-tuple bit-identical.
+#[test]
+fn uql_join_matches_hand_built_q2_pipeline() {
+    let n = 12; // 66 ordered pairs
+    for (kw, strategy) in [("mc", EvalStrategy::Mc), ("gp", EvalStrategy::Gp)] {
+        for workers in [1usize, 2, 8] {
+            let uql = uql_join(n, kw, workers, 7, false);
+            let hand = hand_built(n, strategy, workers, 7);
+            let label = format!("{kw}/workers={workers}");
+            assert_eq!(uql.rows.len(), hand.len(), "{label}: row counts");
+            assert!(
+                !uql.rows.is_empty() && uql.rows.len() < 66,
+                "{label}: should keep some but not all pairs"
+            );
+            for (a, b) in uql.rows.iter().zip(&hand) {
+                assert_eq!(a.pair, b.source, "{label}: pair index");
+                assert_eq!(a.tep.to_bits(), b.tep.to_bits(), "{label}: pair {}", a.pair);
+                assert_eq!(
+                    a.output.error_bound.to_bits(),
+                    b.output.error_bound.to_bits(),
+                    "{label}: pair {}",
+                    a.pair
+                );
+                assert_eq!(
+                    a.output.ecdf, b.output.ecdf,
+                    "{label}: pair {} distribution",
+                    a.pair
+                );
+            }
+            assert_eq!(uql.stats.pairs_generated, 66, "{label}");
+        }
+    }
+}
+
+/// `PRUNE` changes no output byte at any worker count, and actually
+/// prunes pairs on the warm model.
+#[test]
+fn uql_prune_is_byte_identical_and_prunes() {
+    let n = 24; // 276 ordered pairs
+    for workers in [1usize, 2, 8] {
+        let off = uql_join(n, "gp", workers, 9, false);
+        let on = uql_join(n, "gp", workers, 9, true);
+        let label = format!("workers={workers}");
+        assert_eq!(off.rows.len(), on.rows.len(), "{label}");
+        for (a, b) in off.rows.iter().zip(&on.rows) {
+            assert_eq!(a.pair, b.pair, "{label}");
+            assert_eq!(a.tep.to_bits(), b.tep.to_bits(), "{label}: pair {}", a.pair);
+            assert_eq!(
+                a.output.error_bound.to_bits(),
+                b.output.error_bound.to_bits(),
+                "{label}: pair {}",
+                a.pair
+            );
+            assert_eq!(a.output.ecdf, b.output.ecdf, "{label}: pair {}", a.pair);
+        }
+        assert!(on.stats.pairs_pruned > 0, "{label}: nothing pruned");
+        assert!(
+            on.stats.pairs_evaluated() < off.stats.pairs_evaluated(),
+            "{label}: pruning must evaluate fewer pairs"
+        );
+        // The REPL/CI surface: the stats line carries pairs_pruned=.
+        assert!(
+            on.stats.to_string().contains("pairs_pruned="),
+            "{label}: stats display"
+        );
+    }
+}
+
+/// EXPLAIN renders the join pushdown and the physical JoinExec binding.
+#[test]
+fn explain_renders_join_pushdown() {
+    let mut ctx = ctx_with_sky(8);
+    let QueryOutput::Plan(plan) = run_uql(
+        "EXPLAIN SELECT AngDist(a.z, b.z) FROM sky a JOIN sky b ON a.objID < b.objID \
+         WHERE PR(AngDist(a.z, b.z) IN [0.3, 0.36]) >= 0.5 USING gp PRUNE",
+        &mut ctx,
+    )
+    .unwrap() else {
+        panic!("EXPLAIN returns a plan")
+    };
+    assert!(plan.contains("Join ON a.objID < b.objID"), "naive:\n{plan}");
+    assert!(plan.contains("UdfJoin"), "pushdown:\n{plan}");
+    assert!(plan.contains("pair pruning §4.2"), "prune marker:\n{plan}");
+    assert!(plan.contains("JoinExec"), "physical:\n{plan}");
+    assert!(plan.contains("prune"), "physical prune flag:\n{plan}");
+}
+
+/// The joined output relation carries prefixed columns and the kept pair
+/// tuples.
+#[test]
+fn join_output_relation_is_prefixed() {
+    let out = uql_join(10, "gp", 2, 3, false);
+    let cols = out.relation.schema().columns();
+    assert_eq!(cols, &["a.objID", "a.z", "b.objID", "b.z"]);
+    assert_eq!(out.relation.len(), out.rows.len());
+    for (row, t) in out.rows.iter().zip(out.relation.tuples()) {
+        assert_eq!(t.value(0).mean(), row.left as f64);
+        assert_eq!(t.value(2).mean(), row.right as f64);
+        assert!(row.left < row.right, "ON filter must hold");
+    }
+}

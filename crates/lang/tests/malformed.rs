@@ -242,6 +242,83 @@ fn malformed_queries_fail_with_spans() {
             message: "MODEL CAP must be at most 1000000",
             at: "2000000",
         },
+        // ── joins & qualified references ───────────────────────────────
+        Case {
+            query: "SELECT AngDist(a.z, c.z) FROM sky a JOIN sky b USING gp",
+            stage: Stage::Semantic,
+            message: "unknown alias `c`",
+            at: "c.z",
+        },
+        Case {
+            query: "SELECT AngDist(z, b.z) FROM sky a JOIN sky b USING gp",
+            stage: Stage::Semantic,
+            message: "must be qualified in a JOIN query",
+            at: "z",
+        },
+        Case {
+            query: "SELECT AngDist(g.z, g.z) FROM sky g JOIN sky g USING gp",
+            stage: Stage::Semantic,
+            message: "join aliases must be distinct",
+            at: "g",
+        },
+        Case {
+            query: "SELECT AngDist(a.z, b.redshift) FROM sky a JOIN sky b USING gp",
+            stage: Stage::Semantic,
+            message: "no column `redshift`",
+            at: "b.redshift",
+        },
+        Case {
+            // Arity against the catalog entry's 2-D domain.
+            query: "SELECT AngDist(a.z) FROM sky a JOIN sky b USING gp",
+            stage: Stage::Semantic,
+            message: "takes 2 argument(s), got 1",
+            at: "AngDist(a.z)",
+        },
+        Case {
+            query: "SELECT GalAge(a.z) FROM sky",
+            stage: Stage::Semantic,
+            message: "requires a `JOIN` source",
+            at: "a.z",
+        },
+        Case {
+            query: "SELECT AngDist(a.z, b.z) FROM skyy a JOIN sky b USING gp",
+            stage: Stage::Semantic,
+            message: "unknown relation `skyy`",
+            at: "skyy",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky PRUNE",
+            stage: Stage::Semantic,
+            message: "PRUNE applies to `JOIN` queries only",
+            at: "PRUNE",
+        },
+        Case {
+            // AngDist is expensive → AUTO would pick GP, but explicit mc
+            // conflicts with PRUNE.
+            query: "SELECT AngDist(a.z, b.z) FROM sky a JOIN sky b \
+                    WHERE PR(AngDist(a.z, b.z) IN [0.1, 0.2]) >= 0.5 USING mc PRUNE",
+            stage: Stage::Semantic,
+            message: "strategy resolved to MC",
+            at: "PRUNE",
+        },
+        Case {
+            query: "SELECT AngDist(a.z, b.z) FROM sky a JOIN sky b USING gp PRUNE",
+            stage: Stage::Semantic,
+            message: "PRUNE needs a `WHERE PR(...)` predicate",
+            at: "PRUNE",
+        },
+        Case {
+            query: "SELECT AngDist(a.z, b.z) FROM sky a JOIN sky b USING gp LIMIT 5",
+            stage: Stage::Semantic,
+            message: "apply to `FROM STREAM` queries only",
+            at: "5",
+        },
+        Case {
+            query: "SELECT AngDist(a.z, b.z) FROM sky a JOIN sky b ON a.objID < c.objID USING gp",
+            stage: Stage::Semantic,
+            message: "unknown alias `c`",
+            at: "c.objID",
+        },
     ];
 
     let mut ctx = ctx();

@@ -1,11 +1,12 @@
 //! Parser property tests: pretty-print → reparse is an identity on the
 //! AST (spans aside — `Spanned` equality ignores them) for randomly
-//! generated queries covering every grammar production.
+//! generated queries covering every grammar production, including the
+//! `JOIN` source form and qualified attribute references.
 
 use proptest::prelude::*;
 use udf_lang::ast::{
-    AccuracyClause, CallExpr, MetricName, Options, PrFilterExpr, Query, Select, SourceRef,
-    StrategyName,
+    AccuracyClause, AttrRef, CallExpr, JoinSource, MetricName, OnExpr, Options, PrFilterExpr,
+    Query, Select, SourceRef, StrategyName,
 };
 use udf_lang::error::{Span, Spanned};
 use udf_lang::parse;
@@ -22,6 +23,14 @@ fn ident() -> impl Strategy<Value = String> {
     })
 }
 
+/// A bare or alias-qualified attribute reference.
+fn attr() -> impl Strategy<Value = AttrRef> {
+    (ident(), ident(), 0u8..2).prop_map(|(name, alias, qualified)| AttrRef {
+        alias: (qualified == 1).then_some(alias),
+        name,
+    })
+}
+
 /// Finite positive literal in the shapes users write: small integers,
 /// plain decimals, and scientific-notation magnitudes.
 fn number() -> impl Strategy<Value = f64> {
@@ -35,7 +44,7 @@ fn number() -> impl Strategy<Value = f64> {
 }
 
 fn call(args: usize) -> impl Strategy<Value = CallExpr> {
-    (ident(), prop::collection::vec(ident(), args..args + 1)).prop_map(|(name, args)| CallExpr {
+    (ident(), prop::collection::vec(attr(), args..args + 1)).prop_map(|(name, args)| CallExpr {
         name: sp(name),
         args: args.into_iter().map(sp).collect(),
         span: Span::default(),
@@ -61,7 +70,7 @@ fn options() -> impl Strategy<Value = Options> {
         1u64..4096,
         0u64..1_000_000,
         (1u64..100_000, 0u64..1000),
-        0u8..64,
+        0u8..128,
     )
         .prop_map(|(s, w, b, seed, (l, cap), mask)| Options {
             strategy: (mask & 1 != 0).then(|| {
@@ -76,46 +85,70 @@ fn options() -> impl Strategy<Value = Options> {
             seed: (mask & 8 != 0).then(|| sp(seed)),
             limit: (mask & 16 != 0).then(|| sp(l)),
             model_cap: (mask & 32 != 0).then(|| sp(cap)),
+            prune: (mask & 64 != 0).then(|| sp(true)),
         })
+}
+
+fn join_source() -> impl Strategy<Value = JoinSource> {
+    (
+        (ident(), ident()),
+        (ident(), ident()),
+        (attr(), attr()),
+        0u8..2,
+    )
+        .prop_map(
+            |((left, la), (right, ra), (lhs, rhs), with_on)| JoinSource {
+                left: sp(left),
+                left_alias: sp(la),
+                right: sp(right),
+                right_alias: sp(ra),
+                on: (with_on == 1).then(|| OnExpr {
+                    lhs: sp(lhs),
+                    rhs: sp(rhs),
+                    span: Span::default(),
+                }),
+            },
+        )
 }
 
 fn query() -> impl Strategy<Value = Query> {
     (
-        (1usize..4).prop_flat_map(call),
-        accuracy(),
-        ident(),
+        ((1usize..4).prop_flat_map(call), accuracy()),
+        (ident(), join_source()),
         (number(), number(), 0.0001f64..0.9999),
         options(),
-        0u8..16,
+        0u8..32,
     )
-        .prop_map(|(call, acc, src, (a, b, theta), options, flags)| {
-            let explain = flags & 1 != 0;
-            let with_acc = flags & 2 != 0;
-            let with_pred = flags & 4 != 0;
-            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            let predicate = with_pred.then(|| PrFilterExpr {
-                call: call.clone(),
-                lo: sp(lo),
-                hi: sp(hi + 1.0),
-                theta: sp(theta),
-                span: Span::default(),
-            });
-            let source = if flags & 8 == 0 {
-                SourceRef::Relation(sp(src))
-            } else {
-                SourceRef::Stream(sp(src))
-            };
-            Query {
-                explain,
-                select: Select {
-                    call,
-                    accuracy: with_acc.then_some(acc),
-                    source,
-                    predicate,
-                    options,
-                },
-            }
-        })
+        .prop_map(
+            |((call, acc), (src, join), (a, b, theta), options, flags)| {
+                let explain = flags & 1 != 0;
+                let with_acc = flags & 2 != 0;
+                let with_pred = flags & 4 != 0;
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let predicate = with_pred.then(|| PrFilterExpr {
+                    call: call.clone(),
+                    lo: sp(lo),
+                    hi: sp(hi + 1.0),
+                    theta: sp(theta),
+                    span: Span::default(),
+                });
+                let source = match flags & 24 {
+                    0 | 16 => SourceRef::Relation(sp(src)),
+                    8 => SourceRef::Stream(sp(src)),
+                    _ => SourceRef::Join(Box::new(join)),
+                };
+                Query {
+                    explain,
+                    select: Select {
+                        call,
+                        accuracy: with_acc.then_some(acc),
+                        source,
+                        predicate,
+                        options,
+                    },
+                }
+            },
+        )
 }
 
 proptest! {
@@ -147,5 +180,14 @@ proptest! {
             .collect::<Vec<_>>()
             .join(&" ".repeat(pad));
         prop_assert_eq!(parse(&printed).unwrap(), parse(&spaced).unwrap());
+    }
+
+    #[test]
+    fn qualified_refs_round_trip(alias in ident(), name in ident()) {
+        let src = format!("SELECT f({alias}.{name}) FROM r a JOIN s b");
+        let q = parse(&src).unwrap();
+        let got = &q.select.call.args[0].node;
+        prop_assert_eq!(got.alias.as_deref(), Some(alias.as_str()));
+        prop_assert_eq!(&got.name, &name);
     }
 }

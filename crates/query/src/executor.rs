@@ -25,7 +25,7 @@ use udf_core::config::{AccuracyRequirement, ModelBudget, OlgaproConfig};
 use udf_core::filtering::{gp_filtered, mc_eval_tuple, mc_filtered, FilterDecision, Predicate};
 use udf_core::olgapro::Olgapro;
 use udf_core::output::{GpOutput, OutputDistribution};
-use udf_core::sched::{mix_seed, BatchOps, BatchScheduler, Verdict};
+use udf_core::sched::{mix_seed, BatchOps, BatchScheduler, BatchStats, Verdict};
 use udf_core::McEvaluator;
 use udf_prob::InputDistribution;
 
@@ -68,11 +68,16 @@ pub struct ProjectedTuple {
 /// Executes UDF operators over relations with a chosen strategy.
 ///
 /// The executor owns one OLGAPRO instance per query (the model warms up
-/// across tuples); construct a fresh executor per (query, UDF) pair.
+/// across tuples); construct a fresh executor per (query, UDF) pair. The
+/// UDF is captured at construction and is what every method evaluates —
+/// the `call` passed to the relation-level methods must be the one the
+/// executor was built for (it contributes the argument/column bindings;
+/// its UDF handle is the same shared black box).
 #[derive(Debug)]
 pub struct Executor {
     strategy: EvalStrategy,
     accuracy: AccuracyRequirement,
+    udf: udf_core::udf::BlackBoxUdf,
     olgapro: Option<Olgapro>,
     stats: QueryStats,
 }
@@ -98,6 +103,7 @@ impl Executor {
         Ok(Executor {
             strategy,
             accuracy,
+            udf: call.udf.clone(),
             olgapro,
             stats: QueryStats::default(),
         })
@@ -115,6 +121,19 @@ impl Executor {
     pub fn with_model_cap(mut self, n: usize, budget: ModelBudget) -> Result<Self> {
         if let Some(olga) = &mut self.olgapro {
             olga.set_model_cap(n, budget)?;
+        }
+        Ok(self)
+    }
+
+    /// Cap the GP online-tuning budget at `n` training points per tuple
+    /// (engine default 10; see [`Olgapro::set_tuning_budget`]). Small
+    /// budgets spread model growth evenly across a batch instead of
+    /// letting the first fresh-region tuples exhaust the model cap — the
+    /// knob udf-join's strided warmup uses. Rejects 0; the MC strategy
+    /// ignores it.
+    pub fn with_tuning_budget(mut self, n: usize) -> Result<Self> {
+        if let Some(olga) = &mut self.olgapro {
+            olga.set_tuning_budget(n)?;
         }
         Ok(self)
     }
@@ -211,6 +230,76 @@ impl Executor {
         Ok(out)
     }
 
+    /// Sequential, fully-seeded evaluation of an explicit `(original
+    /// index, input)` list through the complete model-mutating path —
+    /// tuple `idx` runs under [`mix_seed`]`(seed, 0, idx)`, exactly the
+    /// RNG a batch would hand it. Unlike a batch's fast phase (which
+    /// judges every tuple against the frozen batch-start model), each
+    /// tuple here tunes the model *before* the next one is judged, so
+    /// cold-model verdicts never poison downstream decisions. This is
+    /// `udf_join`'s GP warmup round; results are trivially independent of
+    /// worker count (nothing runs concurrently).
+    pub fn select_seeded(
+        &mut self,
+        inputs: &[(usize, InputDistribution)],
+        predicate: Option<&Predicate>,
+        seed: u64,
+    ) -> Result<Vec<ProjectedTuple>> {
+        let mut out = Vec::new();
+        for (idx, input) in inputs {
+            self.stats.tuples_in += 1;
+            let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0, *idx as u64));
+            let decision = match self.strategy {
+                EvalStrategy::Mc => {
+                    mc_eval_tuple(&self.udf, input, &self.accuracy, predicate, &mut rng)?
+                }
+                EvalStrategy::Gp => {
+                    let olga = self.olgapro.as_mut().expect("GP strategy has model");
+                    let cap_before = olga.stats().cap_hits;
+                    let d = match predicate {
+                        Some(pred) => match gp_filtered(olga, input, pred, &mut rng)? {
+                            FilterDecision::Kept { output, tep } => FilterDecision::Kept {
+                                output: output.into_distribution(),
+                                tep,
+                            },
+                            FilterDecision::Filtered {
+                                rho_upper,
+                                udf_calls,
+                            } => FilterDecision::Filtered {
+                                rho_upper,
+                                udf_calls,
+                            },
+                        },
+                        None => {
+                            let o = olga.process(input, &mut rng)?;
+                            FilterDecision::Kept {
+                                output: o.into_distribution(),
+                                tep: 1.0,
+                            }
+                        }
+                    };
+                    self.stats.cap_hits += olga.stats().cap_hits - cap_before;
+                    d
+                }
+            };
+            match decision {
+                FilterDecision::Kept { output, tep } => {
+                    self.stats.udf_calls += output.udf_calls;
+                    self.stats.tuples_out += 1;
+                    out.push(ProjectedTuple {
+                        source: *idx,
+                        output,
+                        tep,
+                    });
+                }
+                FilterDecision::Filtered { udf_calls, .. } => {
+                    self.stats.udf_calls += udf_calls;
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Batch-parallel Q1 projection: like [`project`](Executor::project),
     /// but the whole relation is one batch on `sched`'s worker pool.
     ///
@@ -244,6 +333,38 @@ impl Executor {
         self.run_batch(rel, call, Some(*predicate), sched, seed)
     }
 
+    /// Batch-parallel selection over an *explicit, possibly sparse* list of
+    /// `(original_index, input_distribution)` tuples. Seeds, emitted
+    /// `source` ids, and slow-path fold order all come from the original
+    /// index, so evaluating a subset is bit-identical to the corresponding
+    /// tuples of a full [`select_batch`](Executor::select_batch) run —
+    /// provided the skipped tuples are ones the accept hook would have
+    /// filtered (they mutate nothing and emit nothing). This is the
+    /// contract `udf_join`'s envelope pruning relies on; the returned
+    /// [`BatchStats`] expose the fast/slow/filtered split.
+    pub fn select_batch_indexed(
+        &mut self,
+        inputs: &[(usize, InputDistribution)],
+        predicate: &Predicate,
+        sched: &BatchScheduler,
+        seed: u64,
+    ) -> Result<(Vec<ProjectedTuple>, BatchStats)> {
+        self.run_batch_indexed(inputs, Some(*predicate), sched, seed)
+    }
+
+    /// [`select_batch_indexed`](Executor::select_batch_indexed) without a
+    /// predicate: indexed batch-parallel projection. Multi-round callers
+    /// (udf-join's warmup + main split) use this for Q1-style pair
+    /// projections.
+    pub fn project_batch_indexed(
+        &mut self,
+        inputs: &[(usize, InputDistribution)],
+        sched: &BatchScheduler,
+        seed: u64,
+    ) -> Result<(Vec<ProjectedTuple>, BatchStats)> {
+        self.run_batch_indexed(inputs, None, sched, seed)
+    }
+
     /// Shared batch driver for projection (`predicate = None`) and
     /// selection (`Some`).
     fn run_batch(
@@ -254,39 +375,57 @@ impl Executor {
         sched: &BatchScheduler,
         seed: u64,
     ) -> Result<Vec<ProjectedTuple>> {
-        let inputs: Vec<InputDistribution> = rel
+        let inputs: Vec<(usize, InputDistribution)> = rel
             .tuples()
             .iter()
             .map(|t| call.input_distribution(t))
+            .enumerate()
+            .map(|(i, d)| d.map(|d| (i, d)))
             .collect::<Result<_>>()?;
+        Ok(self.run_batch_indexed(&inputs, predicate, sched, seed)?.0)
+    }
+
+    /// The indexed core behind [`run_batch`](Executor::run_batch) and
+    /// [`select_batch_indexed`](Executor::select_batch_indexed).
+    fn run_batch_indexed(
+        &mut self,
+        inputs: &[(usize, InputDistribution)],
+        predicate: Option<Predicate>,
+        sched: &BatchScheduler,
+        seed: u64,
+    ) -> Result<(Vec<ProjectedTuple>, BatchStats)> {
         let n = inputs.len();
         self.stats.tuples_in += n as u64;
         let mut rows = Vec::with_capacity(n);
+        let mut batch_stats = BatchStats::default();
         match self.strategy {
             EvalStrategy::Mc => {
                 // MC never mutates shared state: the whole batch is one
                 // parallel map (mc_eval_tuple forks the UDF's call counter
                 // so per-tuple accounting stays exact under concurrency).
                 let accuracy = self.accuracy;
-                let udf = &call.udf;
+                let udf = &self.udf;
                 let results: Vec<udf_core::Result<FilterDecision<OutputDistribution>>> = sched
                     .try_map(n, |i| {
-                        let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0, i as u64));
-                        mc_eval_tuple(udf, &inputs[i], &accuracy, predicate.as_ref(), &mut rng)
+                        let (orig, input) = &inputs[i];
+                        let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0, *orig as u64));
+                        mc_eval_tuple(udf, input, &accuracy, predicate.as_ref(), &mut rng)
                     })?;
-                for (i, res) in results.into_iter().enumerate() {
+                for ((orig, _), res) in inputs.iter().zip(results) {
                     match res? {
                         FilterDecision::Kept { output, tep } => {
                             self.stats.udf_calls += output.udf_calls;
                             self.stats.tuples_out += 1;
+                            batch_stats.fast_path += 1;
                             rows.push(ProjectedTuple {
-                                source: i,
+                                source: *orig,
                                 output,
                                 tep,
                             });
                         }
                         FilterDecision::Filtered { udf_calls, .. } => {
                             self.stats.udf_calls += udf_calls;
+                            batch_stats.filtered += 1;
                         }
                     }
                 }
@@ -296,7 +435,7 @@ impl Executor {
                 let eps_gp_budget = olga.config().split().eps_gp;
                 let mut ops = GpRelationOps {
                     olga,
-                    inputs: &inputs,
+                    inputs,
                     predicate,
                     seed,
                     eps_gp_budget,
@@ -304,13 +443,13 @@ impl Executor {
                     udf_calls: 0,
                     cap_hits: 0,
                 };
-                sched.run_two_phase(&mut ops, n)?;
+                batch_stats = sched.run_two_phase(&mut ops, n)?;
                 self.stats.udf_calls += ops.udf_calls;
                 self.stats.cap_hits += ops.cap_hits;
                 self.stats.tuples_out += rows.len() as u64;
             }
         }
-        Ok(rows)
+        Ok((rows, batch_stats))
     }
 
     fn eval_tuple(
@@ -341,10 +480,12 @@ impl Executor {
 /// read-only inference, accept hook = optional §5.5 filter + ε_GP budget,
 /// slow path = full Algorithm 5 (with filtering when a predicate is
 /// attached). Kept rows are pushed in tuple order, so the output relation
-/// preserves source order exactly like the sequential executor.
+/// preserves source order exactly like the sequential executor. Inputs
+/// carry their original tuple index (sparse batches evaluate a subset with
+/// unchanged seeds — see [`Executor::select_batch_indexed`]).
 struct GpRelationOps<'a> {
     olga: &'a mut Olgapro,
-    inputs: &'a [InputDistribution],
+    inputs: &'a [(usize, InputDistribution)],
     predicate: Option<Predicate>,
     seed: u64,
     eps_gp_budget: f64,
@@ -355,7 +496,7 @@ struct GpRelationOps<'a> {
 
 impl BatchOps for GpRelationOps<'_> {
     fn tuple_seed(&self, idx: usize) -> u64 {
-        mix_seed(self.seed, 0, idx as u64)
+        mix_seed(self.seed, 0, self.inputs[idx].0 as u64)
     }
 
     fn needs_bootstrap(&self) -> bool {
@@ -363,7 +504,7 @@ impl BatchOps for GpRelationOps<'_> {
     }
 
     fn fast(&self, idx: usize, rng: &mut StdRng) -> udf_core::Result<GpOutput> {
-        self.olga.infer_only(&self.inputs[idx], rng)
+        self.olga.infer_only(&self.inputs[idx].1, rng)
     }
 
     fn accept(&self, _idx: usize, out: &GpOutput) -> Verdict {
@@ -393,7 +534,7 @@ impl BatchOps for GpRelationOps<'_> {
             .map(|p| out.tep_bounds(p.lo, p.hi).1)
             .unwrap_or(1.0);
         self.rows.push(ProjectedTuple {
-            source: idx,
+            source: self.inputs[idx].0,
             output: out.into_distribution(),
             tep,
         });
@@ -401,14 +542,14 @@ impl BatchOps for GpRelationOps<'_> {
     }
 
     fn slow(&mut self, idx: usize, rng: &mut StdRng) -> udf_core::Result<()> {
-        let input = &self.inputs[idx];
+        let (source, input) = &self.inputs[idx];
         let cap_before = self.olga.stats().cap_hits;
         match self.predicate {
             Some(pred) => match gp_filtered(self.olga, input, &pred, rng)? {
                 FilterDecision::Kept { output, tep } => {
                     self.udf_calls += output.udf_calls;
                     self.rows.push(ProjectedTuple {
-                        source: idx,
+                        source: *source,
                         output: output.into_distribution(),
                         tep,
                     });
@@ -421,7 +562,7 @@ impl BatchOps for GpRelationOps<'_> {
                 let out = self.olga.process(input, rng)?;
                 self.udf_calls += out.udf_calls;
                 self.rows.push(ProjectedTuple {
-                    source: idx,
+                    source: *source,
                     output: out.into_distribution(),
                     tep: 1.0,
                 });

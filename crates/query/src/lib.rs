@@ -28,6 +28,17 @@ use std::fmt;
 pub enum QueryError {
     /// A referenced column does not exist.
     UnknownColumn(String),
+    /// A join would produce two columns with the same qualified name
+    /// (equal prefixes, or a prefix colliding with an existing qualified
+    /// column).
+    DuplicateColumn(String),
+    /// A join's cross product exceeds the supported pair count.
+    JoinTooLarge {
+        /// Left-side row count.
+        left: usize,
+        /// Right-side row count.
+        right: usize,
+    },
     /// Evaluation-framework failure.
     Core(udf_core::CoreError),
     /// Probability-layer failure.
@@ -40,6 +51,17 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            QueryError::DuplicateColumn(c) => {
+                write!(
+                    f,
+                    "join would produce duplicate column {c:?}; use distinct prefixes"
+                )
+            }
+            QueryError::JoinTooLarge { left, right } => write!(
+                f,
+                "join of {left} x {right} rows exceeds the {} supported pairs",
+                u32::MAX
+            ),
             QueryError::Core(e) => write!(f, "evaluation error: {e}"),
             QueryError::Prob(e) => write!(f, "probability error: {e}"),
             QueryError::ArityMismatch { expected, found } => {

@@ -28,8 +28,11 @@ impl Value {
         }
     }
 
-    /// View as a sampling marginal.
-    pub(crate) fn marginal(&self) -> Result<Box<dyn Univariate>> {
+    /// View as a sampling marginal — the exact distribution
+    /// [`UdfCall::input_distribution`] builds per argument, exposed so
+    /// streaming consumers (udf-join's pair pruner) can construct
+    /// bit-identical inputs without materializing a joined tuple.
+    pub fn marginal(&self) -> Result<Box<dyn Univariate>> {
         match self {
             Value::Det(v) => Ok(Box::new(Degenerate::new(*v)?)),
             Value::Gaussian { mu, sigma } => Ok(Box::new(Normal::new(*mu, *sigma)?)),
@@ -71,14 +74,26 @@ impl Schema {
 
     /// Concatenate two schemas with prefixes (for joins):
     /// `g1.redshift`, `g2.redshift`, ...
-    pub fn join(&self, prefix_a: &str, other: &Schema, prefix_b: &str) -> Schema {
+    ///
+    /// Fails with [`QueryError::DuplicateColumn`] when the prefixed names
+    /// collide — equal prefixes over overlapping columns, or a prefix that
+    /// reproduces an already-qualified column of the other side (joining a
+    /// join). The old silent behavior made the duplicate unresolvable by
+    /// name, poisoning every later [`Schema::index_of`].
+    pub fn join(&self, prefix_a: &str, other: &Schema, prefix_b: &str) -> Result<Schema> {
         let mut columns: Vec<String> = self
             .columns
             .iter()
             .map(|c| format!("{prefix_a}.{c}"))
             .collect();
         columns.extend(other.columns.iter().map(|c| format!("{prefix_b}.{c}")));
-        Schema { columns }
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &columns {
+            if !seen.insert(c.as_str()) {
+                return Err(QueryError::DuplicateColumn(c.clone()));
+            }
+        }
+        Ok(Schema { columns })
     }
 }
 
@@ -155,14 +170,27 @@ impl Relation {
 
     /// Cartesian product with prefixed column names (Q2's self-join; an
     /// optional pair filter trims the quadratic blowup, e.g. `i < j`).
+    ///
+    /// Fails with [`QueryError::DuplicateColumn`] on colliding prefixes and
+    /// with [`QueryError::JoinTooLarge`] when the cross product exceeds
+    /// [`u32::MAX`] pairs — materializing (or even enumerating) more would
+    /// OOM long before producing anything useful; `udf_join`'s pruned
+    /// executor streams pair batches instead of calling this.
     pub fn cross_join(
         &self,
         prefix_a: &str,
         other: &Relation,
         prefix_b: &str,
         keep: impl Fn(usize, usize) -> bool,
-    ) -> Relation {
-        let schema = self.schema.join(prefix_a, &other.schema, prefix_b);
+    ) -> Result<Relation> {
+        let schema = self.schema.join(prefix_a, &other.schema, prefix_b)?;
+        let pairs = (self.len() as u64).checked_mul(other.len() as u64);
+        if pairs.is_none_or(|p| p > u32::MAX as u64) {
+            return Err(QueryError::JoinTooLarge {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
         let mut tuples = Vec::new();
         for (i, a) in self.tuples.iter().enumerate() {
             for (j, b) in other.tuples.iter().enumerate() {
@@ -171,7 +199,7 @@ impl Relation {
                 }
             }
         }
-        Relation { schema, tuples }
+        Ok(Relation { schema, tuples })
     }
 }
 
@@ -261,10 +289,52 @@ mod tests {
     #[test]
     fn cross_join_prefixes_and_filters() {
         let r = galaxy();
-        let j = r.cross_join("g1", &r, "g2", |i, jj| i < jj);
+        let j = r.cross_join("g1", &r, "g2", |i, jj| i < jj).unwrap();
         assert_eq!(j.len(), 1); // (0,1) only
         assert_eq!(j.schema().arity(), 4);
         assert_eq!(j.schema().index_of("g2.redshift").unwrap(), 3);
+    }
+
+    #[test]
+    fn cross_join_rejects_colliding_prefixes() {
+        let r = galaxy();
+        // Equal prefixes duplicate every column name.
+        assert!(matches!(
+            r.cross_join("g", &r, "g", |_, _| true),
+            Err(QueryError::DuplicateColumn(c)) if c == "g.objID"
+        ));
+        // A prefix can also reproduce an already-qualified column of the
+        // other side (joining a previous join): "a" + "b.x" ≡ "a.b" + "x".
+        let left = Relation::new(
+            Schema::new(&["b.x"]),
+            vec![Tuple::new(vec![Value::Det(1.0)])],
+        )
+        .unwrap();
+        let right =
+            Relation::new(Schema::new(&["x"]), vec![Tuple::new(vec![Value::Det(2.0)])]).unwrap();
+        assert!(matches!(
+            left.cross_join("a", &right, "a.b", |_, _| true),
+            Err(QueryError::DuplicateColumn(c)) if c == "a.b.x"
+        ));
+        // Distinct prefixes on distinct schemas stay fine.
+        assert!(r.cross_join("g1", &r, "g2", |_, _| true).is_ok());
+    }
+
+    #[test]
+    fn cross_join_rejects_pair_blowup() {
+        // 2^16 × 2^16 candidate pairs exceed u32::MAX by one; the join must
+        // refuse before enumerating anything.
+        let n = 1usize << 16;
+        let schema = Schema::new(&["x"]);
+        let tuples = vec![Tuple::new(vec![Value::Det(0.0)]); n];
+        let big = Relation::new(schema, tuples).unwrap();
+        assert!(matches!(
+            big.cross_join("a", &big, "b", |_, _| false),
+            Err(QueryError::JoinTooLarge {
+                left,
+                right
+            }) if left == n && right == n
+        ));
     }
 
     #[test]

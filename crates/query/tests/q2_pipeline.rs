@@ -36,7 +36,7 @@ fn zdist() -> BlackBoxUdf {
 #[test]
 fn self_join_selection_keeps_expected_pairs() {
     let g = galaxies(6); // redshifts 0.2, 0.45, ..., 1.45
-    let pairs = g.cross_join("g1", &g, "g2", |i, j| i < j);
+    let pairs = g.cross_join("g1", &g, "g2", |i, j| i < j).unwrap();
     assert_eq!(pairs.len(), 15);
     let call = UdfCall::resolve(zdist(), pairs.schema(), &["g1.redshift", "g2.redshift"]).unwrap();
     // Keep pairs with |Δz| ∈ [0.2, 0.3]: exactly the adjacent pairs (Δ=0.25).
@@ -61,7 +61,7 @@ fn self_join_selection_keeps_expected_pairs() {
 #[test]
 fn projection_after_selection_composes() {
     let g = galaxies(5);
-    let pairs = g.cross_join("a", &g, "b", |i, j| i < j);
+    let pairs = g.cross_join("a", &g, "b", |i, j| i < j).unwrap();
     let call = UdfCall::resolve(zdist(), pairs.schema(), &["a.redshift", "b.redshift"]).unwrap();
     let pred = Predicate::new(0.4, 2.0, 0.5).unwrap();
     let mut rng = StdRng::seed_from_u64(2);
@@ -112,7 +112,7 @@ fn deterministic_and_uncertain_columns_mix_in_one_udf() {
 #[test]
 fn gp_strategy_amortizes_across_join_pairs() {
     let g = galaxies(6);
-    let pairs = g.cross_join("a", &g, "b", |i, j| i < j);
+    let pairs = g.cross_join("a", &g, "b", |i, j| i < j).unwrap();
     let call = UdfCall::resolve(zdist(), pairs.schema(), &["a.redshift", "b.redshift"]).unwrap();
     let mut rng = StdRng::seed_from_u64(4);
     let mut ex = Executor::new(EvalStrategy::Gp, acc(), &call, 1.5).unwrap();

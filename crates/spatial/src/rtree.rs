@@ -168,6 +168,32 @@ impl RTree {
         }
         out
     }
+
+    /// The tree's leaf cells: each leaf's bounding box with the ids stored
+    /// in it. Leaves partition the id set, and every member point lies
+    /// inside its leaf's box, so the cells are spatially coherent clusters
+    /// of at most `MAX_ENTRIES` points — what group-level pruning (e.g.
+    /// udf-join's envelope screen) iterates instead of individual points.
+    pub fn leaf_groups(&self) -> Vec<(BoundingBox, Vec<usize>)> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            collect_leaves(root, &mut out);
+        }
+        out
+    }
+}
+
+fn collect_leaves(node: &Node, out: &mut Vec<(BoundingBox, Vec<usize>)>) {
+    match node {
+        Node::Leaf { bbox, entries } => {
+            out.push((bbox.clone(), entries.iter().map(|e| e.id).collect()));
+        }
+        Node::Inner { children, .. } => {
+            for c in children {
+                collect_leaves(c, out);
+            }
+        }
+    }
 }
 
 fn collect_ids(node: &Node, out: &mut Vec<usize>) {
@@ -477,6 +503,30 @@ mod tests {
         }
         let q = BoundingBox::from_point(&[1.0]);
         assert_eq!(t.query_within(&q, 0.0).len(), 20);
+    }
+
+    #[test]
+    fn leaf_groups_partition_and_contain() {
+        for tree in [RTree::bulk_load(2, grid_points(237)), {
+            let mut t = RTree::new(2);
+            for (p, id) in grid_points(100) {
+                t.insert(p, id);
+            }
+            t
+        }] {
+            let pts: Vec<(Vec<f64>, usize)> = grid_points(tree.len());
+            let groups = tree.leaf_groups();
+            let mut seen: Vec<usize> = groups.iter().flat_map(|(_, ids)| ids.clone()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..tree.len()).collect::<Vec<_>>(), "ids partition");
+            for (bbox, ids) in &groups {
+                assert!(ids.len() <= MAX_ENTRIES, "leaf overfull: {}", ids.len());
+                for &id in ids {
+                    assert!(bbox.contains(&pts[id].0), "id {id} outside its leaf box");
+                }
+            }
+        }
+        assert!(RTree::new(3).leaf_groups().is_empty());
     }
 
     #[test]

@@ -71,7 +71,9 @@ fn main() {
     // ------------------------------------------------------------------
     // Q2: self-join + AngDist selection + ComoveVol projection.
     // ------------------------------------------------------------------
-    let pairs = galaxy.cross_join("g1", &galaxy, "g2", |i, j| i < j);
+    let pairs = galaxy
+        .cross_join("g1", &galaxy, "g2", |i, j| i < j)
+        .unwrap();
     println!(
         "Q2: {} candidate pairs after self-join (i < j)",
         pairs.len()

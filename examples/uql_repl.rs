@@ -45,6 +45,25 @@ fn demo_context() -> UqlContext {
         Relation::new(Schema::new(&["objID", "z"]), tuples).unwrap(),
     );
 
+    // A small catalog for JOIN demos: n² pair evaluation is quadratic, so
+    // the self-join playground stays deliberately compact (24 galaxies →
+    // 276 ordered pairs).
+    let tuples = (0..24)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Det(i as f64),
+                Value::Gaussian {
+                    mu: 0.1 + 1.7 * i as f64 / 24.0,
+                    sigma: 0.02,
+                },
+            ])
+        })
+        .collect();
+    ctx.register_relation(
+        "stars",
+        Relation::new(Schema::new(&["objID", "z"]), tuples).unwrap(),
+    );
+
     // A relation on the synthetic functions' domain, for F1–F4 queries.
     let tuples = (0..256)
         .map(|i| {
@@ -117,9 +136,12 @@ fn main() {
             "\\h" | "help" => {
                 println!(
                     "SELECT f(attr, ...) [WITH ACCURACY eps delta [METRIC ks|disc]]\n\
-                     FROM <relation> | STREAM <source>\n\
+                     FROM <relation> | STREAM <source> | <rel> a JOIN <rel> b [ON a.key < b.key]\n\
                      [WHERE PR(f(attr, ...) IN [lo, hi]) >= theta]\n\
                      [USING mc|gp|auto] [WORKERS n] [BATCH n] [SEED n] [LIMIT n] [MODEL CAP n]\n\
+                     [PRUNE]\n\
+                     JOIN queries qualify attributes with their alias (AngDist(a.z, b.z));\n\
+                     PRUNE enables envelope-based pair pruning on GP joins with a WHERE.\n\
                      Prefix with EXPLAIN to print the plan without executing."
                 );
                 continue;

@@ -35,12 +35,13 @@
 //! ```
 //!
 //! See the crate-level docs of [`udf_core`], [`udf_gp`], [`udf_prob`],
-//! [`udf_query`], [`udf_workloads`], [`udf_stream`], and [`udf_lang`] (the
+//! [`udf_query`], [`udf_join`], [`udf_workloads`], [`udf_stream`], and [`udf_lang`] (the
 //! UQL declarative front-end) for the full API, and `EXPERIMENTS.md` for
 //! the paper-reproduction harness.
 
 pub use udf_core as core;
 pub use udf_gp as gp;
+pub use udf_join as join;
 pub use udf_lang as lang;
 pub use udf_linalg as linalg;
 pub use udf_prob as prob;
@@ -60,6 +61,9 @@ pub mod prelude {
     pub use udf_core::parallel::ParallelOlgapro;
     pub use udf_core::sched::{mix_seed, BatchOps, BatchScheduler, BatchStats, Verdict};
     pub use udf_core::udf::{BlackBoxUdf, CostModel, FnUdf, UdfFunction};
+    pub use udf_join::{
+        JoinExecutor, JoinOutput, JoinSpec, JoinStats, JoinedPair, OnCondition, Side,
+    };
     pub use udf_lang::{run_uql, Context as UqlContext, LangError, QueryOutput};
     pub use udf_prob::{Ecdf, InputDistribution, Normal, Univariate};
     pub use udf_query::{EvalStrategy, Executor, Relation, Schema, Tuple, UdfCall, Value};
