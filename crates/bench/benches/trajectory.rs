@@ -1,0 +1,333 @@
+//! `trajectory` — the persisted benchmark trajectory: one self-timed run
+//! over trimmed configurations of the key ROADMAP axes, written as
+//! `BENCH_6.json` at the repository root so successive PRs leave a
+//! machine-readable performance trail next to the code they changed.
+//!
+//! Unlike the criterion benches (statistical, minutes-long), this harness
+//! is a single deterministic pass per configuration — wall-clock numbers
+//! are indicative, the *counters* (rows, pairs pruned, cap hits, model
+//! points) are exact and reproducible.
+//!
+//! ```sh
+//! cargo bench --bench trajectory              # full trajectory
+//! TRAJECTORY_SMOKE=1 cargo bench --bench trajectory   # CI smoke sizes
+//! TRAJECTORY_OUT=/tmp/t.json cargo bench --bench trajectory
+//! ```
+//!
+//! Output schema (one JSON object, validated before writing):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "pr": 6,
+//!   "bench": "trajectory",
+//!   "smoke": false,
+//!   "axes": {
+//!     "stream_throughput": [
+//!       {"workers": 1, "tuples": 4096, "elapsed_ns": 0, "tuples_per_sec": 0.0}
+//!     ],
+//!     "gp_model_cap": [
+//!       {"series": "capped16", "n": 64, "elapsed_ns": 0, "rows": 0,
+//!        "model_points": 16, "cap_hits": 0}
+//!     ],
+//!     "join_pruning": [
+//!       {"series": "pruned", "n": 128, "elapsed_ns": 0, "pairs_generated": 0,
+//!        "pairs_pruned": 0, "pairs_evaluated": 0, "pairs_kept": 0, "cap_hits": 0}
+//!     ],
+//!     "uql_overhead": {
+//!       "n": 512, "reps": 9, "rows": 0,
+//!       "metrics_off_ns": 0, "metrics_on_ns": 0, "overhead_pct": 0.0,
+//!       "registry": {"counters": {}, "gauges": {}, "histograms": {}}
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! `elapsed_ns` / `*_ns` are wall-clock nanoseconds for one pass (medians
+//! over `reps` for the uql axis); `registry` is the instrumented run's
+//! [`udf_obs::Snapshot::to_json`] dump, so the trajectory also records
+//! *what the engine did* (verdicts, phase times, model growth), not just
+//! how long it took.
+
+use std::sync::Arc;
+use std::time::Instant;
+use udf_core::config::{AccuracyRequirement, Metric, ModelBudget};
+use udf_core::filtering::Predicate;
+use udf_core::sched::BatchScheduler;
+use udf_core::udf::{BlackBoxUdf, CostModel};
+use udf_join::{JoinExecutor, JoinSpec, JoinStats, Side};
+use udf_lang::{run_uql, Context, QueryOutput};
+use udf_obs::json::{validate, JsonArr, JsonObj};
+use udf_query::{EvalStrategy, Executor, Relation, Schema, Tuple, UdfCall, Value};
+use udf_stream::prelude::*;
+use udf_workloads::synthetic::{sweep_mean, PaperFunction};
+use udf_workloads::UdfCatalog;
+
+fn acc_ks(eps: f64) -> AccuracyRequirement {
+    AccuracyRequirement::new(eps, 0.05, 0.0, Metric::Ks).unwrap()
+}
+
+/// Median of one timed closure over `reps` passes, in nanoseconds.
+fn median_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> u64 {
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = f();
+            let ns = t0.elapsed().as_nanos() as u64;
+            drop(out);
+            ns
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+// ---------------------------------------------------------------- stream
+
+/// One MC subscription over `tuples` synthetic tuples (the
+/// `stream/workers_cpu` shape, trimmed to a single pass).
+fn stream_axis(smoke: bool) -> String {
+    let tuples: u64 = if smoke { 512 } else { 4096 };
+    let workers: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let udf = BlackBoxUdf::from_fn("free", 1, |x| (x[0] * 0.8).sin());
+    let mut arr = JsonArr::new();
+    for &w in workers {
+        let t0 = Instant::now();
+        let mut session = Session::new(EngineConfig::new().workers(w).batch_size(128).seed(7));
+        session
+            .subscribe(QuerySpec::new(
+                "q0",
+                udf.clone(),
+                acc_ks(0.3),
+                StreamStrategy::Mc,
+            ))
+            .unwrap();
+        let stats = session
+            .run(
+                SyntheticSource::gaussian(1, 0.5, 11).with_limit(tuples),
+                None,
+            )
+            .unwrap();
+        let elapsed = t0.elapsed();
+        assert_eq!(stats.tuples, tuples);
+        let mut o = JsonObj::new();
+        o.u64("workers", w as u64)
+            .u64("tuples", tuples)
+            .u64("elapsed_ns", elapsed.as_nanos() as u64)
+            .f64("tuples_per_sec", tuples as f64 / elapsed.as_secs_f64());
+        arr.raw(&o.finish());
+    }
+    arr.finish()
+}
+
+// -------------------------------------------------------------- model cap
+
+/// One capped-or-uncapped GP `select_batch` over `n` sweeping tuples
+/// (the `gp/model_cap` shape).
+fn model_cap_select(n: usize, cap: usize, sched: &BatchScheduler) -> (usize, usize, u64) {
+    let rel_tuples = (0..n)
+        .map(|i| {
+            Tuple::new(vec![Value::Gaussian {
+                mu: sweep_mean(i),
+                sigma: 0.4,
+            }])
+        })
+        .collect();
+    let rel = Relation::new(Schema::new(&["x"]), rel_tuples).unwrap();
+    let f2 = PaperFunction::F2.instantiate(1);
+    let range = f2.output_range();
+    let udf = BlackBoxUdf::new(Arc::new(f2), CostModel::Free);
+    let call = UdfCall::resolve(udf, rel.schema(), &["x"]).unwrap();
+    let acc = AccuracyRequirement::new(0.1, 0.05, 0.0, Metric::Ks).unwrap();
+    let pred = Predicate::new(-0.5, 2.5, 0.3).unwrap();
+    let mut ex = Executor::new(EvalStrategy::Gp, acc, &call, range)
+        .unwrap()
+        .with_model_cap(cap, ModelBudget::StopGrowing)
+        .unwrap();
+    let rows = ex.select_batch(&rel, &call, &pred, sched, 0xF2CA9).unwrap();
+    let model = ex.olgapro().unwrap().model().len();
+    (rows.len(), model, ex.stats().cap_hits)
+}
+
+fn model_cap_axis(smoke: bool) -> String {
+    let sched = BatchScheduler::new(1);
+    let pair_n = if smoke { 32 } else { 64 };
+    let mut runs: Vec<(&str, usize, usize)> =
+        vec![("capped16", pair_n, 16), ("uncapped", pair_n, 0)];
+    if !smoke {
+        // The capped series alone at length: per-tuple cost must stay flat
+        // once the model is full (pairing it with uncapped would dominate
+        // the trajectory wall-clock — that asymmetry is the result).
+        runs.push(("capped16", 256, 16));
+    }
+    let mut arr = JsonArr::new();
+    for (series, n, cap) in runs {
+        let t0 = Instant::now();
+        let (rows, model, cap_hits) = model_cap_select(n, cap, &sched);
+        let mut o = JsonObj::new();
+        o.str("series", series)
+            .u64("n", n as u64)
+            .u64("elapsed_ns", t0.elapsed().as_nanos() as u64)
+            .u64("rows", rows as u64)
+            .u64("model_points", model as u64)
+            .u64("cap_hits", cap_hits);
+        arr.raw(&o.finish());
+    }
+    arr.finish()
+}
+
+// ----------------------------------------------------------- join pruning
+
+/// One `AngDist` self-join over `n` galaxies (the `join/pruning` shape).
+fn pruning_join(n: usize, prune: bool, sched: &BatchScheduler) -> JoinStats {
+    let tuples = (0..n)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Det(i as f64),
+                Value::Gaussian {
+                    mu: 0.1 + 1.7 * i as f64 / n as f64,
+                    sigma: 0.02,
+                },
+            ])
+        })
+        .collect();
+    let g = Relation::new(Schema::new(&["objID", "z"]), tuples).unwrap();
+    let cat = UdfCatalog::standard();
+    let entry = cat.get("AngDist").unwrap();
+    let accuracy =
+        AccuracyRequirement::new(0.2, 0.05, entry.default_lambda(), Metric::Discrepancy).unwrap();
+    let spec = JoinSpec::new(
+        &g,
+        "a",
+        &g,
+        "b",
+        entry.udf.clone(),
+        &[(Side::Left, "z"), (Side::Right, "z")],
+        accuracy,
+        entry.output_range,
+    )
+    .unwrap()
+    .on_less_than("objID", "objID")
+    .unwrap()
+    .predicate(Predicate::new(0.3, 0.36, 0.5).unwrap())
+    .strategy(EvalStrategy::Gp)
+    .prune(prune)
+    .model_cap(160)
+    .tuning_budget(3)
+    .seed(0x901D);
+    let out = JoinExecutor::new(&spec).unwrap().run(sched).unwrap();
+    out.stats
+}
+
+fn join_axis(smoke: bool) -> String {
+    let sched = BatchScheduler::new(2);
+    let n = if smoke { 48 } else { 128 };
+    let mut arr = JsonArr::new();
+    let mut kept = Vec::new();
+    for prune in [false, true] {
+        let t0 = Instant::now();
+        let stats = pruning_join(n, prune, &sched);
+        kept.push(stats.pairs_kept);
+        let mut o = JsonObj::new();
+        o.str("series", if prune { "pruned" } else { "naive" })
+            .u64("n", n as u64)
+            .u64("elapsed_ns", t0.elapsed().as_nanos() as u64)
+            .u64("pairs_generated", stats.pairs_generated)
+            .u64("pairs_pruned", stats.pairs_pruned)
+            .u64("pairs_evaluated", stats.pairs_evaluated())
+            .u64("pairs_kept", stats.pairs_kept)
+            .u64("cap_hits", stats.cap_hits);
+        arr.raw(&o.finish());
+    }
+    assert_eq!(kept[0], kept[1], "pruned join must match naive output");
+    arr.finish()
+}
+
+// ----------------------------------------------------------- uql overhead
+
+/// `run_uql` with the registry on vs. off (the `uql/overhead` acceptance
+/// axis: the disabled metrics layer must cost ≈ nothing).
+fn uql_axis(smoke: bool) -> String {
+    let n = if smoke { 256 } else { 512 };
+    let reps = if smoke { 5 } else { 9 };
+    let src = "SELECT F1(x) WITH ACCURACY 0.3 0.05 METRIC ks FROM rel \
+               WHERE PR(F1(x) IN [0.2, 1.4]) >= 0.4 USING mc WORKERS 1 SEED 7";
+    let make_ctx = || {
+        let mut ctx = Context::standard();
+        let tuples = (0..n)
+            .map(|i| {
+                Tuple::new(vec![Value::Gaussian {
+                    mu: (i as f64 * 0.37) % 10.0,
+                    sigma: 0.5,
+                }])
+            })
+            .collect();
+        ctx.register_relation("rel", Relation::new(Schema::new(&["x"]), tuples).unwrap());
+        ctx
+    };
+    let rows_of = |ctx: &mut Context| -> usize {
+        let QueryOutput::Rows(out) = run_uql(src, ctx).unwrap() else {
+            unreachable!("a plain SELECT returns rows")
+        };
+        out.rows.len()
+    };
+
+    let mut ctx_off = make_ctx();
+    ctx_off.metrics().set_enabled(false);
+    let mut ctx_on = make_ctx();
+    let rows_off = rows_of(&mut ctx_off);
+    let rows_on = rows_of(&mut ctx_on);
+    assert_eq!(rows_off, rows_on, "metrics must never perturb outputs");
+
+    let off_ns = median_ns(reps, || rows_of(&mut ctx_off));
+    let on_ns = median_ns(reps, || rows_of(&mut ctx_on));
+    let overhead_pct = (on_ns as f64 - off_ns as f64) / off_ns as f64 * 100.0;
+
+    let mut o = JsonObj::new();
+    o.u64("n", n as u64)
+        .u64("reps", reps as u64)
+        .u64("rows", rows_on as u64)
+        .u64("metrics_off_ns", off_ns)
+        .u64("metrics_on_ns", on_ns)
+        .f64("overhead_pct", overhead_pct)
+        .raw("registry", &ctx_on.metrics().to_json());
+    o.finish()
+}
+
+// ------------------------------------------------------------------ main
+
+fn main() {
+    // `cargo bench` passes harness flags (`--bench`); ignore them.
+    let smoke = std::env::var("TRAJECTORY_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let out_path = std::env::var("TRAJECTORY_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json").to_string());
+
+    eprintln!("trajectory: stream_throughput ...");
+    let stream = stream_axis(smoke);
+    eprintln!("trajectory: gp_model_cap ...");
+    let model_cap = model_cap_axis(smoke);
+    eprintln!("trajectory: join_pruning ...");
+    let join = join_axis(smoke);
+    eprintln!("trajectory: uql_overhead ...");
+    let uql = uql_axis(smoke);
+
+    let mut axes = JsonObj::new();
+    axes.raw("stream_throughput", &stream)
+        .raw("gp_model_cap", &model_cap)
+        .raw("join_pruning", &join)
+        .raw("uql_overhead", &uql);
+    let mut root = JsonObj::new();
+    root.u64("schema_version", 1)
+        .u64("pr", 6)
+        .str("bench", "trajectory")
+        .bool("smoke", smoke)
+        .raw("axes", &axes.finish());
+    let json = root.finish();
+    validate(&json).expect("trajectory JSON must be well-formed");
+
+    std::fs::write(&out_path, json + "\n").expect("write BENCH json");
+    println!(
+        "trajectory: wrote {out_path} (axes: stream_throughput, gp_model_cap, \
+         join_pruning, uql_overhead; smoke={smoke})"
+    );
+}

@@ -10,7 +10,12 @@
 //!   `Executor::select_batch` on a small 16-tuple relation: the per-query
 //!   fixed cost including scheduler/executor construction;
 //! * `dispatch_10k` — the same pair over 10 000 tuples: the front-end
-//!   cost amortized to noise (reported per-tuple via throughput).
+//!   cost amortized to noise (reported per-tuple via throughput);
+//! * `metrics_on_10k` / `metrics_off_10k` — the same `run_uql` with the
+//!   session registry recording vs. switched off: the acceptance bar for
+//!   the observability layer is that the disabled mode (one relaxed
+//!   atomic load per would-be record) stays within ~1% of enabled, i.e.
+//!   metrics are cheap enough to leave on.
 //!
 //! ```sh
 //! cargo bench --bench uql_overhead
@@ -98,5 +103,30 @@ fn bench_dispatch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_dispatch);
+fn bench_metrics_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uql/overhead");
+    let n = 10_000usize;
+    let src = uql("rel10000");
+    for enabled in [true, false] {
+        let mut context = ctx(n, "rel10000");
+        context.metrics().set_enabled(enabled);
+        let label = if enabled {
+            "metrics_on_10k"
+        } else {
+            "metrics_off_10k"
+        };
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let QueryOutput::Rows(out) = run_uql(&src, &mut context).unwrap() else {
+                    unreachable!()
+                };
+                out.rows.len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_dispatch, bench_metrics_switch);
 criterion_main!(benches);

@@ -44,9 +44,9 @@ pub use config::{AccuracyRequirement, Metric, ModelBudget, OlgaproConfig, Retrai
 pub use filtering::{FilterDecision, Predicate};
 pub use hybrid::{HybridChoice, HybridEvaluator};
 pub use mc::McEvaluator;
-pub use olgapro::Olgapro;
+pub use olgapro::{Olgapro, OlgaproMetrics};
 pub use output::{GpOutput, OutputDistribution};
-pub use sched::{mix_seed, BatchOps, BatchScheduler, BatchStats, Verdict};
+pub use sched::{mix_seed, BatchOps, BatchScheduler, BatchStats, SchedMetrics, Verdict};
 pub use udf::{BlackBoxUdf, CostModel, FnUdf, UdfFunction};
 
 use std::fmt;

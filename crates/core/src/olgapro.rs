@@ -18,12 +18,60 @@ use crate::error_bound::{envelope_ecdfs, ks_bound, lambda_discrepancy_bound};
 use crate::output::GpOutput;
 use crate::udf::BlackBoxUdf;
 use crate::{CoreError, Result};
+use std::time::Instant;
 use udf_gp::band::simultaneous_z;
 use udf_gp::local::{select_local, LocalPredictor};
 use udf_gp::train::{newton_step_norm, train, TrainConfig};
 use udf_gp::{GpModel, Kernel, SquaredExponential};
+use udf_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use udf_prob::InputDistribution;
 use udf_spatial::BoundingBox;
+
+/// OLGAPRO's observability handles — the paper's cost knobs made visible:
+/// where time goes between online tuning (steps 2–7) and retraining
+/// (steps 8–14), how the training set grows, and how often the model cap
+/// degrades accuracy. Purely observational; un-wired evaluators hold the
+/// [`disabled`](OlgaproMetrics::disabled) set.
+#[derive(Clone, Debug)]
+pub struct OlgaproMetrics {
+    /// Time in the online-tuning loop (inference + point additions), per
+    /// processed input.
+    pub tuning_ns: Histogram,
+    /// Time re-learning hyperparameters (plus the step-12 re-inference),
+    /// per retrain.
+    pub retrain_ns: Histogram,
+    /// Current training-set size.
+    pub model_points: Gauge,
+    /// Training-set size sampled after each processed input — the
+    /// model-growth timeline as a distribution (p50/p95/max).
+    pub model_size: Histogram,
+    /// Degraded-accuracy acceptances forced by the model cap.
+    pub cap_hits: Counter,
+}
+
+impl OlgaproMetrics {
+    /// The no-op handle set.
+    pub fn disabled() -> Self {
+        OlgaproMetrics {
+            tuning_ns: Histogram::disabled(),
+            retrain_ns: Histogram::disabled(),
+            model_points: Gauge::disabled(),
+            model_size: Histogram::disabled(),
+            cap_hits: Counter::disabled(),
+        }
+    }
+
+    /// Handles registered under the shared `olgapro.*` names.
+    pub fn register(reg: &MetricsRegistry) -> Self {
+        OlgaproMetrics {
+            tuning_ns: reg.histogram("olgapro.tuning_ns"),
+            retrain_ns: reg.histogram("olgapro.retrain_ns"),
+            model_points: reg.gauge("olgapro.model_points"),
+            model_size: reg.histogram("olgapro.model_size"),
+            cap_hits: reg.counter("olgapro.cap_hits"),
+        }
+    }
+}
 
 /// How online tuning picks the next training point (Expt 2 compares these).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +114,7 @@ pub struct Olgapro {
     config: OlgaproConfig,
     tuning: TuningHeuristic,
     stats: OlgaproStats,
+    metrics: OlgaproMetrics,
 }
 
 impl Olgapro {
@@ -88,6 +137,7 @@ impl Olgapro {
             config,
             tuning: TuningHeuristic::LargestVariance,
             stats: OlgaproStats::default(),
+            metrics: OlgaproMetrics::disabled(),
         }
     }
 
@@ -95,6 +145,18 @@ impl Olgapro {
     pub fn with_tuning(mut self, tuning: TuningHeuristic) -> Self {
         self.tuning = tuning;
         self
+    }
+
+    /// Wire observability handles (builder form). Timings and counters
+    /// only observe; the evaluation itself is metric-blind.
+    pub fn with_metrics(mut self, metrics: OlgaproMetrics) -> Self {
+        self.set_metrics(metrics);
+        self
+    }
+
+    /// Wire observability handles in place.
+    pub fn set_metrics(&mut self, metrics: OlgaproMetrics) {
+        self.metrics = metrics;
     }
 
     /// Borrow the model (training-set size, hyperparameters, ...).
@@ -164,6 +226,7 @@ impl Olgapro {
     /// [`process`](Olgapro::process) and its own counting).
     pub fn note_cap_hit(&mut self) {
         self.stats.cap_hits += 1;
+        self.metrics.cap_hits.inc();
     }
 
     /// True when the training set is at the cap (either policy).
@@ -243,6 +306,7 @@ impl Olgapro {
         }
 
         // Steps 2–7: inference + error bound + online tuning loop.
+        let t_tuning = self.metrics.tuning_ns.enabled().then(Instant::now);
         let z_alpha = simultaneous_z(self.model.kernel(), &bbox, split.delta_gp);
         let (mut means, mut sds, mut eps_gp) = self.infer_and_bound(&samples, &bbox, z_alpha)?;
         while eps_gp > split.eps_gp && points_added < self.config.max_points_per_input {
@@ -253,6 +317,7 @@ impl Olgapro {
                         // Accept this input at the achieved bound; the
                         // degradation is counted, not silent.
                         self.stats.cap_hits += 1;
+                        self.metrics.cap_hits.inc();
                         break;
                     }
                     ModelBudget::EvictOldest => self.model.remove_oldest()?,
@@ -268,6 +333,9 @@ impl Olgapro {
             sds = r.1;
             eps_gp = r.2;
         }
+        if let Some(t0) = t_tuning {
+            self.metrics.tuning_ns.record_duration(t0.elapsed());
+        }
 
         // Steps 8–14: retraining decision.
         let mut retrained = false;
@@ -281,6 +349,7 @@ impl Olgapro {
                 }
             };
             if do_retrain {
+                let t_retrain = self.metrics.retrain_ns.enabled().then(Instant::now);
                 train(&mut self.model, &TrainConfig::default())?;
                 self.stats.retrains += 1;
                 retrained = true;
@@ -290,11 +359,16 @@ impl Olgapro {
                 means = r.0;
                 sds = r.1;
                 eps_gp = r.2;
+                if let Some(t0) = t_retrain {
+                    self.metrics.retrain_ns.record_duration(t0.elapsed());
+                }
             }
         }
 
         self.stats.inputs += 1;
         self.stats.points_added += points_added as u64;
+        self.metrics.model_points.set(self.model.len() as u64);
+        self.metrics.model_size.record(self.model.len() as u64);
 
         let (y_hat, y_s, y_l) = envelope_ecdfs(&means, &sds, z_alpha)?;
         Ok(GpOutput {

@@ -47,6 +47,61 @@ use rand::SeedableRng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+use udf_obs::{Counter, Histogram, MetricsRegistry};
+
+/// The scheduler's observability handles. Purely observational: nothing
+/// here feeds back into scheduling or evaluation, so outputs are
+/// byte-identical with metrics wired or not. Un-wired schedulers hold the
+/// [`disabled`](SchedMetrics::disabled) set, where every operation is one
+/// relaxed load and a branch.
+#[derive(Clone, Debug)]
+pub struct SchedMetrics {
+    /// Wall time of the concurrent read-only fast phase, per batch.
+    pub fast_phase_ns: Histogram,
+    /// Wall time of the sequential fold (accepts, filters, slow reruns),
+    /// per batch.
+    pub slow_phase_ns: Histogram,
+    /// Time the calling thread spent waiting for pool stragglers after
+    /// finishing its own share of a batch.
+    pub queue_wait_ns: Histogram,
+    /// Steal-able chunks dispatched across all batches.
+    pub chunks: Counter,
+    /// Fast-phase results accepted as-is ([`Verdict::Accept`]).
+    pub accepts: Counter,
+    /// Tuples rerouted through the slow path ([`Verdict::Reroute`]).
+    pub reroutes: Counter,
+    /// Tuples dropped at fast-path cost ([`Verdict::Filter`]).
+    pub filters: Counter,
+}
+
+impl SchedMetrics {
+    /// The no-op handle set (what un-wired schedulers carry).
+    pub fn disabled() -> Self {
+        SchedMetrics {
+            fast_phase_ns: Histogram::disabled(),
+            slow_phase_ns: Histogram::disabled(),
+            queue_wait_ns: Histogram::disabled(),
+            chunks: Counter::disabled(),
+            accepts: Counter::disabled(),
+            reroutes: Counter::disabled(),
+            filters: Counter::disabled(),
+        }
+    }
+
+    /// Handles registered under the shared `sched.*` names.
+    pub fn register(reg: &MetricsRegistry) -> Self {
+        SchedMetrics {
+            fast_phase_ns: reg.histogram("sched.fast_phase_ns"),
+            slow_phase_ns: reg.histogram("sched.slow_phase_ns"),
+            queue_wait_ns: reg.histogram("sched.queue_wait_ns"),
+            chunks: reg.counter("sched.chunks"),
+            accepts: reg.counter("sched.verdict.accept"),
+            reroutes: reg.counter("sched.verdict.reroute"),
+            filters: reg.counter("sched.verdict.filter"),
+        }
+    }
+}
 
 /// SplitMix64-style finalizer over `(seed, stream, idx)` — the per-tuple
 /// seed mixer shared by every batch subsystem.
@@ -201,6 +256,7 @@ impl WorkerPool {
         &self,
         task: &(dyn Fn(usize) + Sync),
         helpers: usize,
+        queue_wait: &Histogram,
     ) -> std::result::Result<(), String> {
         let caller_run =
             || catch_unwind(AssertUnwindSafe(|| task(self.workers - 1))).map_err(panic_message);
@@ -227,6 +283,9 @@ impl WorkerPool {
         // The caller is the last worker; catch its panic too so we never
         // unwind past the wait below while threads still hold the task.
         let mut res = caller_run();
+        // Straggler wait: how long the caller blocks on pool threads after
+        // finishing its own share (load-imbalance signal).
+        let _wait = queue_wait.span();
         for _ in 0..sent {
             match done_rx.recv() {
                 Ok(Ok(())) => {}
@@ -268,6 +327,7 @@ const CHUNKS_PER_WORKER: usize = 4;
 /// two-phase fast/slow driver. See the [module docs](self) for the pattern.
 pub struct BatchScheduler {
     pool: WorkerPool,
+    metrics: SchedMetrics,
 }
 
 impl std::fmt::Debug for BatchScheduler {
@@ -285,7 +345,20 @@ impl BatchScheduler {
     pub fn new(workers: usize) -> Self {
         BatchScheduler {
             pool: WorkerPool::new(workers),
+            metrics: SchedMetrics::disabled(),
         }
+    }
+
+    /// Wire observability handles (builder form). See [`SchedMetrics`];
+    /// timings and counters never affect what the scheduler computes.
+    pub fn with_metrics(mut self, metrics: SchedMetrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Wire observability handles in place.
+    pub fn set_metrics(&mut self, metrics: SchedMetrics) {
+        self.metrics = metrics;
     }
 
     /// Total execution slots (pool threads + the calling thread).
@@ -315,6 +388,7 @@ impl BatchScheduler {
         // (minus the caller's slot): a 2-tuple batch on an 8-worker pool
         // should not pay 7 wake-ups.
         let helpers = n.div_ceil(chunk).saturating_sub(1);
+        self.metrics.chunks.add(n.div_ceil(chunk) as u64);
         let task = |_worker: usize| loop {
             let lo = next.fetch_add(chunk, Ordering::Relaxed);
             if lo >= n {
@@ -328,7 +402,7 @@ impl BatchScheduler {
                 guard[i] = Some(v);
             }
         };
-        match self.pool.run(&task, helpers) {
+        match self.pool.run(&task, helpers, &self.metrics.queue_wait_ns) {
             Ok(()) => Ok(slots
                 .into_inner()
                 .expect("result mutex")
@@ -369,31 +443,42 @@ impl BatchScheduler {
 
         // Phase 1: parallel read-only inference against the frozen model.
         let shared: &O = ops;
+        let t_fast = self.metrics.fast_phase_ns.enabled().then(Instant::now);
         let inferred: Vec<Result<GpOutput>> = self.try_map(n - start, |i| {
             let idx = start + i;
             let mut rng = StdRng::seed_from_u64(shared.tuple_seed(idx));
             shared.fast(idx, &mut rng)
         })?;
+        if let Some(t0) = t_fast {
+            self.metrics.fast_phase_ns.record_duration(t0.elapsed());
+        }
 
         // Phase 2: sequential fold in tuple order.
+        let _slow_span = self.metrics.slow_phase_ns.span();
         for (i, res) in inferred.into_iter().enumerate() {
             let idx = start + i;
             match res {
                 Ok(out) => match ops.accept(idx, &out) {
                     Verdict::Accept => {
+                        self.metrics.accepts.inc();
                         ops.emit_fast(idx, out)?;
                         stats.fast_path += 1;
                     }
                     Verdict::Filter { rho_upper } => {
+                        self.metrics.filters.inc();
                         ops.emit_filtered(idx, rho_upper)?;
                         stats.filtered += 1;
                     }
-                    Verdict::Reroute => slow_tuple(ops, idx, &mut stats)?,
+                    Verdict::Reroute => {
+                        self.metrics.reroutes.inc();
+                        slow_tuple(ops, idx, &mut stats)?;
+                    }
                 },
                 // A racing reader can see the pre-bootstrap empty model only
                 // when there is no bootstrap tuple in this batch; route it
                 // through the slow path like any other miss.
                 Err(CoreError::Gp(udf_gp::GpError::EmptyModel)) => {
+                    self.metrics.reroutes.inc();
                     slow_tuple(ops, idx, &mut stats)?
                 }
                 Err(e) => return Err(e),

@@ -41,11 +41,51 @@ use crate::spec::JoinSpec;
 use crate::{JoinError, Result};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 use udf_core::filtering::EnvelopeDecision;
 use udf_core::output::OutputDistribution;
 use udf_core::sched::{BatchScheduler, BatchStats};
+use udf_obs::{Histogram, MetricsRegistry};
 use udf_prob::InputDistribution;
 use udf_query::{EvalStrategy, Executor, ProjectedTuple, QueryStats, Relation, Schema, UdfCall};
+
+/// The join executor's observability handles. Purely observational:
+/// pruning decisions, RNG streams, and emitted rows are identical whether
+/// or not these record (pinned by the determinism tests).
+#[derive(Clone, Debug)]
+pub struct JoinMetrics {
+    /// Sequential warmup-round wall time (whole round).
+    pub warmup_ns: Histogram,
+    /// Main two-phase batch wall time (whole batch).
+    pub main_ns: Histogram,
+    /// R-tree screen time, per left tuple ([`PairPruner::attempts`]).
+    pub screen_ns: Histogram,
+    /// Exact envelope-certificate time, per attempted pair
+    /// ([`PairPruner::certify_pair`]).
+    pub certify_ns: Histogram,
+}
+
+impl JoinMetrics {
+    /// No-op handles (what an un-wired executor holds).
+    pub fn disabled() -> Self {
+        JoinMetrics {
+            warmup_ns: Histogram::disabled(),
+            main_ns: Histogram::disabled(),
+            screen_ns: Histogram::disabled(),
+            certify_ns: Histogram::disabled(),
+        }
+    }
+
+    /// Register the `join.*` handles in `reg`.
+    pub fn register(reg: &MetricsRegistry) -> Self {
+        JoinMetrics {
+            warmup_ns: reg.histogram("join.warmup_ns"),
+            main_ns: reg.histogram("join.main_ns"),
+            screen_ns: reg.histogram("join.screen_ns"),
+            certify_ns: reg.histogram("join.certify_ns"),
+        }
+    }
+}
 
 /// Warmup-round size for GP joins: enough strided pairs to train the
 /// model across the input space, few enough that the sequential warmup
@@ -109,19 +149,16 @@ impl JoinStats {
 
 impl fmt::Display for JoinStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "pairs_generated={} pairs_pruned={} pairs_kept={} fast={} slow={} filtered={} \
-             cap_hits={} udf_calls={}",
-            self.pairs_generated,
-            self.pairs_pruned,
-            self.pairs_kept,
-            self.fast_path,
-            self.slow_path,
-            self.filtered,
-            self.cap_hits,
-            self.udf_calls,
-        )
+        let line = udf_obs::fmt::KvLine::new()
+            .field("pairs_generated", self.pairs_generated)
+            .field("pairs_pruned", self.pairs_pruned)
+            .field("pairs_kept", self.pairs_kept)
+            .field("fast", self.fast_path)
+            .field("slow", self.slow_path)
+            .field("filtered", self.filtered)
+            .field("cap_hits", self.cap_hits)
+            .field("udf_calls", self.udf_calls);
+        f.write_str(&line.finish())
     }
 }
 
@@ -174,6 +211,7 @@ pub struct JoinExecutor<'s, 'a> {
     schema: Schema,
     call: UdfCall,
     executor: Executor,
+    metrics: JoinMetrics,
 }
 
 impl<'s, 'a> JoinExecutor<'s, 'a> {
@@ -206,7 +244,17 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
             schema,
             call,
             executor,
+            metrics: JoinMetrics::disabled(),
         })
+    }
+
+    /// Wire observability: the `join.*` phase timers plus the inner
+    /// executor's model handles (`olgapro.*`) register in `reg`.
+    #[must_use]
+    pub fn with_metrics(mut self, reg: &MetricsRegistry) -> Self {
+        self.metrics = JoinMetrics::register(reg);
+        self.executor = self.executor.with_metrics(reg);
+        self
     }
 
     /// The inner executor's counters so far.
@@ -307,6 +355,7 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
             }
         };
         if !main.is_empty() {
+            let _main_span = self.metrics.main_ns.span();
             let (r, b) = match &spec.predicate {
                 Some(pred) => self
                     .executor
@@ -361,6 +410,7 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
         // parallel on the same pool, everything read-only against the
         // frozen post-warmup model.
         let pruner = PairPruner::new(spec);
+        let metrics = &self.metrics;
         let olga = self.executor.olgapro().expect("pruning requires GP");
         let coverage = coverage_radius(olga);
         let mut survivors: Vec<(usize, InputDistribution)> = Vec::new();
@@ -369,7 +419,11 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
             #[allow(clippy::needless_range_loop)] // j drives keep() and attempt[] in lockstep
             let decisions = sched.try_map(block_len, |b| -> Result<_> {
                 let i = block_start + b;
+                let t_screen = metrics.screen_ns.enabled().then(Instant::now);
                 let attempt = pruner.attempts(spec, i, olga, &pred, coverage);
+                if let Some(t0) = t_screen {
+                    metrics.screen_ns.record_duration(t0.elapsed());
+                }
                 let mut out = Vec::new();
                 let mut idx = offsets[i];
                 for j in 0..nr {
@@ -382,8 +436,12 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
                         continue;
                     }
                     if attempt[j] {
+                        let t_cert = metrics.certify_ns.enabled().then(Instant::now);
                         let (decision, input) =
                             pruner.certify_pair(spec, olga, &pred, i, j, this)?;
+                        if let Some(t0) = t_cert {
+                            metrics.certify_ns.record_duration(t0.elapsed());
+                        }
                         out.push((this, j, true, decision, Some(input)));
                     } else {
                         out.push((this, j, false, EnvelopeDecision::Undecided, None));
@@ -416,6 +474,7 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
         }
 
         if !survivors.is_empty() {
+            let _main_span = self.metrics.main_ns.span();
             let (r, b) = self
                 .executor
                 .select_batch_indexed(&survivors, &pred, sched, spec.seed)?;
@@ -435,6 +494,7 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
         stats: &mut JoinStats,
     ) -> Result<Vec<ProjectedTuple>> {
         let spec = self.spec;
+        let _warmup_span = self.metrics.warmup_ns.span();
         let rows = self
             .executor
             .select_seeded(warm, spec.predicate.as_ref(), spec.seed)?;

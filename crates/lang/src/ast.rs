@@ -9,11 +9,24 @@
 use crate::error::{Span, Spanned};
 use std::fmt;
 
+/// The `EXPLAIN` prefix, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplainMode {
+    /// No prefix: execute and return results.
+    #[default]
+    None,
+    /// `EXPLAIN`: plan only, nothing executed.
+    Plan,
+    /// `EXPLAIN ANALYZE`: execute, then render the plan annotated with
+    /// per-operator elapsed time and counters.
+    Analyze,
+}
+
 /// A full UQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
-    /// `EXPLAIN` prefix: plan only, no execution.
-    pub explain: bool,
+    /// `EXPLAIN` / `EXPLAIN ANALYZE` prefix.
+    pub explain: ExplainMode,
     /// The SELECT body.
     pub select: Select,
 }
@@ -262,8 +275,10 @@ impl fmt::Display for CallExpr {
 
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.explain {
-            write!(f, "EXPLAIN ")?;
+        match self.explain {
+            ExplainMode::None => {}
+            ExplainMode::Plan => write!(f, "EXPLAIN ")?,
+            ExplainMode::Analyze => write!(f, "EXPLAIN ANALYZE ")?,
         }
         write!(f, "{}", self.select)
     }

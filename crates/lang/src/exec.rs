@@ -12,14 +12,16 @@
 //! source, so a UQL stream query produces exactly the determinism digest of
 //! the equivalent hand-built subscription.
 
+use crate::ast::ExplainMode;
 use crate::error::{LangError, Result};
 use crate::parser::parse;
 use crate::plan::{bind, BoundQuery, JoinPlan, PhysicalPlan, RelPlan, StreamPlan};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 use udf_core::config::ModelBudget;
-use udf_core::sched::BatchScheduler;
+use udf_core::sched::{BatchScheduler, SchedMetrics};
 use udf_join::{JoinExecutor, JoinSpec, JoinStats, JoinedPair, OnCondition};
+use udf_obs::{MetricsRegistry, Snapshot};
 use udf_query::{Executor, ProjectedTuple, QueryStats, Relation, UdfCall};
 use udf_stream::{EngineConfig, EngineStats, KeptSummary, QuerySpec, Session, Source, StreamStats};
 use udf_workloads::UdfCatalog;
@@ -39,16 +41,21 @@ pub struct Context {
     relations: BTreeMap<String, Relation>,
     streams: BTreeMap<String, (usize, SourceFactory)>,
     schedulers: BTreeMap<usize, BatchScheduler>,
+    metrics: MetricsRegistry,
 }
 
 impl Context {
-    /// An empty context (no UDFs, relations, or streams).
+    /// An empty context (no UDFs, relations, or streams). Metrics are on
+    /// by default — the handles are cheap enough to leave enabled (see
+    /// `udf_obs`), and [`Context::metrics`]`.set_enabled(false)` turns
+    /// every one of them into a no-op.
     pub fn new() -> Self {
         Context {
             udfs: UdfCatalog::new(),
             relations: BTreeMap::new(),
             streams: BTreeMap::new(),
             schedulers: BTreeMap::new(),
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -106,6 +113,15 @@ impl Context {
     /// Registered stream-source names, sorted.
     pub fn stream_names(&self) -> Vec<&str> {
         self.streams.keys().map(String::as_str).collect()
+    }
+
+    /// The context's metrics registry. Every statement run through this
+    /// context records into it: `uql.*` phase timers, `sched.*` scheduler
+    /// counters, `olgapro.*` model handles, `stream.*` engine timers, and
+    /// `join.*` phase timers. Metrics never perturb results — digests are
+    /// byte-identical with the registry enabled or disabled.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Parse, bind, and (unless `EXPLAIN`) execute one UQL statement.
@@ -190,14 +206,18 @@ impl QueryOutput {
         match self {
             QueryOutput::Plan(p) => p.clone(),
             QueryOutput::Rows(r) => {
+                let counters = udf_obs::fmt::KvLine::new()
+                    .field("in", r.stats.tuples_in)
+                    .field("out", r.stats.tuples_out)
+                    .field("fast", r.stats.fast_path)
+                    .field("slow", r.stats.slow_path)
+                    .field("udf_calls", r.stats.udf_calls)
+                    .field("cap_hits", r.stats.cap_hits)
+                    .finish();
                 let mut s = format!(
-                    "{} row(s) in {:.2?}  [in={} out={} udf_calls={} cap_hits={}]\n",
+                    "{} row(s) in {:.2?}  [{counters}]\n",
                     r.rows.len(),
-                    r.elapsed,
-                    r.stats.tuples_in,
-                    r.stats.tuples_out,
-                    r.stats.udf_calls,
-                    r.stats.cap_hits,
+                    r.elapsed
                 );
                 const SHOW: usize = 10;
                 for row in r.rows.iter().take(SHOW) {
@@ -247,19 +267,97 @@ impl QueryOutput {
 
 /// The one-shot facade: parse, bind, and execute `src` against `ctx`.
 ///
-/// `EXPLAIN`-prefixed statements stop after binding and return the plan.
+/// `EXPLAIN`-prefixed statements stop after binding and return the plan;
+/// `EXPLAIN ANALYZE` executes and returns the plan annotated with
+/// per-operator elapsed time and counters. Each phase records into the
+/// context's registry (`uql.parse_ns` / `uql.bind_ns` / `uql.exec_ns`).
 pub fn run_uql(src: &str, ctx: &mut Context) -> Result<QueryOutput> {
-    let query = parse(src)?;
-    let bound = bind(&query, ctx)?;
+    let reg = ctx.metrics.clone();
+    let query = reg.histogram("uql.parse_ns").time(|| parse(src))?;
+    let bound = reg.histogram("uql.bind_ns").time(|| bind(&query, ctx))?;
     let plan = bound.explain();
-    if query.explain {
+    if query.explain == ExplainMode::Plan {
         return Ok(QueryOutput::Plan(plan));
     }
-    match bound.physical {
-        PhysicalPlan::Relation(p) => exec_relation(&p, ctx, plan),
-        PhysicalPlan::Join(p) => exec_join(&p, ctx, plan),
-        PhysicalPlan::Stream(p) => exec_stream(&p, ctx, plan),
+    // For ANALYZE, attribute this statement's metrics via a snapshot
+    // window around execution.
+    let before = (query.explain == ExplainMode::Analyze).then(|| reg.snapshot());
+    let exec_ns = reg.histogram("uql.exec_ns");
+    let out = {
+        let _exec_span = exec_ns.span();
+        match bound.physical {
+            PhysicalPlan::Relation(p) => exec_relation(&p, ctx, plan)?,
+            PhysicalPlan::Join(p) => exec_join(&p, ctx, plan)?,
+            PhysicalPlan::Stream(p) => exec_stream(&p, ctx, plan)?,
+        }
+    };
+    match before {
+        Some(before) => {
+            let delta = reg.snapshot().delta(&before);
+            Ok(QueryOutput::Plan(annotate_analyze(&out, &delta)))
+        }
+        None => Ok(out),
     }
+}
+
+/// The `EXPLAIN ANALYZE` rendering: the executed plan, a per-operator
+/// line with elapsed time and routing counters, and the statement's
+/// metrics-registry delta.
+fn annotate_analyze(out: &QueryOutput, delta: &Snapshot) -> String {
+    use udf_obs::fmt::KvLine;
+    let mut s = String::new();
+    let op = match out {
+        QueryOutput::Plan(p) => {
+            // Unreachable in practice (ANALYZE always executes), but
+            // degrade to the plain plan rather than panicking.
+            return p.clone();
+        }
+        QueryOutput::Rows(r) => {
+            s.push_str(&r.plan);
+            KvLine::new()
+                .raw(&format!("  BatchExec: time={:.2?}", r.elapsed))
+                .field("rows", r.rows.len())
+                .field("in", r.stats.tuples_in)
+                .field("out", r.stats.tuples_out)
+                .field("fast", r.stats.fast_path)
+                .field("slow", r.stats.slow_path)
+                .field("udf_calls", r.stats.udf_calls)
+                .field("cap_hits", r.stats.cap_hits)
+                .finish()
+        }
+        QueryOutput::Join(r) => {
+            s.push_str(&r.plan);
+            KvLine::new()
+                .raw(&format!("  JoinExec: time={:.2?}", r.elapsed))
+                .raw(&r.stats.to_string())
+                .field("prune_attempts", r.stats.prune_attempts)
+                .finish()
+        }
+        QueryOutput::Stream(o) => {
+            s.push_str(&o.plan);
+            KvLine::new()
+                .raw(&format!("  StreamExec: time={:.2?}", o.engine.elapsed))
+                .field("tuples", o.engine.tuples)
+                .field("batches", o.engine.batches)
+                .field("kept", o.stats.kept)
+                .field("filtered", o.stats.filtered)
+                .field("fast", o.stats.fast_path)
+                .field("slow", o.stats.slow_path)
+                .field("cap_hits", o.stats.cap_hits)
+                .raw(&format!("digest=0x{:016x}", o.digest))
+                .finish()
+        }
+    };
+    s.push_str("Execution (ANALYZE):\n");
+    s.push_str(&op);
+    s.push('\n');
+    s.push_str("Metrics delta for this statement:\n");
+    for line in delta.render().lines() {
+        s.push_str("  ");
+        s.push_str(line);
+        s.push('\n');
+    }
+    s
 }
 
 fn exec_relation(p: &RelPlan, ctx: &mut Context, plan: String) -> Result<QueryOutput> {
@@ -270,14 +368,15 @@ fn exec_relation(p: &RelPlan, ctx: &mut Context, plan: String) -> Result<QueryOu
         .relations
         .get(&p.relation)
         .expect("binder checked the relation");
-    let sched = ctx
-        .schedulers
-        .entry(p.workers)
-        .or_insert_with(|| BatchScheduler::new(p.workers));
+    let reg = &ctx.metrics;
+    let sched = ctx.schedulers.entry(p.workers).or_insert_with(|| {
+        BatchScheduler::new(p.workers).with_metrics(SchedMetrics::register(reg))
+    });
     let args: Vec<&str> = p.args.iter().map(String::as_str).collect();
     let call = UdfCall::resolve(p.udf.clone(), rel.schema(), &args)?;
     let mut executor = Executor::new(p.strategy, p.accuracy, &call, p.output_range)?
-        .with_model_cap(p.model_cap, ModelBudget::StopGrowing)?;
+        .with_model_cap(p.model_cap, ModelBudget::StopGrowing)?
+        .with_metrics(reg);
     let t0 = Instant::now();
     let rows = match &p.predicate {
         Some(pred) => executor.select_batch(rel, &call, pred, sched, p.seed)?,
@@ -302,10 +401,10 @@ fn exec_join(p: &JoinPlan, ctx: &mut Context, plan: String) -> Result<QueryOutpu
         .relations
         .get(&p.right)
         .expect("binder checked the right relation");
-    let sched = ctx
-        .schedulers
-        .entry(p.workers)
-        .or_insert_with(|| BatchScheduler::new(p.workers));
+    let reg = &ctx.metrics;
+    let sched = ctx.schedulers.entry(p.workers).or_insert_with(|| {
+        BatchScheduler::new(p.workers).with_metrics(SchedMetrics::register(reg))
+    });
     let args: Vec<(udf_join::Side, &str)> = p.args.iter().map(|(s, c)| (*s, c.as_str())).collect();
     let mut spec = JoinSpec::new(
         left,
@@ -343,7 +442,9 @@ fn exec_join(p: &JoinPlan, ctx: &mut Context, plan: String) -> Result<QueryOutpu
         });
     }
     let t0 = Instant::now();
-    let mut executor = JoinExecutor::new(&spec).map_err(join_err)?;
+    let mut executor = JoinExecutor::new(&spec)
+        .map_err(join_err)?
+        .with_metrics(reg);
     let out = executor.run(sched).map_err(join_err)?;
     Ok(QueryOutput::Join(JoinRowsOutput {
         rows: out.rows,
@@ -377,7 +478,8 @@ fn exec_stream(p: &StreamPlan, ctx: &Context, plan: String) -> Result<QueryOutpu
             .workers(p.workers)
             .batch_size(p.batch)
             .seed(p.seed),
-    );
+    )
+    .with_metrics(&ctx.metrics);
     let mut spec = QuerySpec::new(
         format!("uql:{}@{}", p.udf.name(), p.source),
         p.udf.clone(),

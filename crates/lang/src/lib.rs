@@ -67,7 +67,9 @@ pub mod parser;
 pub mod plan;
 pub mod token;
 
-pub use ast::{AttrRef, JoinSource, MetricName, OnExpr, Query, Select, SourceRef, StrategyName};
+pub use ast::{
+    AttrRef, ExplainMode, JoinSource, MetricName, OnExpr, Query, Select, SourceRef, StrategyName,
+};
 pub use error::{LangError, Result, Span, Spanned, Stage};
 pub use exec::{
     run_uql, Context, JoinRowsOutput, QueryOutput, RowsOutput, SourceFactory, StreamOutput,

@@ -3,7 +3,7 @@
 //! Grammar (EBNF; keywords are case-insensitive):
 //!
 //! ```text
-//! query     := [ "EXPLAIN" ] select ;
+//! query     := [ "EXPLAIN" [ "ANALYZE" ] ] select ;
 //! select    := "SELECT" call [ accuracy ] "FROM" source [ where ] { option } ;
 //! call      := IDENT "(" attr { "," attr } ")" ;
 //! attr      := IDENT [ "." IDENT ] ;
@@ -28,8 +28,8 @@
 //! identity on the AST.
 
 use crate::ast::{
-    AccuracyClause, AttrRef, CallExpr, JoinSource, MetricName, OnExpr, Options, PrFilterExpr,
-    Query, Select, SourceRef, StrategyName,
+    AccuracyClause, AttrRef, CallExpr, ExplainMode, JoinSource, MetricName, OnExpr, Options,
+    PrFilterExpr, Query, Select, SourceRef, StrategyName,
 };
 use crate::error::{LangError, Result, Span, Spanned};
 use crate::token::{lex, Tok, Token};
@@ -169,7 +169,15 @@ impl Parser {
     }
 
     fn query(&mut self) -> Result<Query> {
-        let explain = self.eat_keyword("EXPLAIN").is_some();
+        let explain = if self.eat_keyword("EXPLAIN").is_some() {
+            if self.eat_keyword("ANALYZE").is_some() {
+                ExplainMode::Analyze
+            } else {
+                ExplainMode::Plan
+            }
+        } else {
+            ExplainMode::None
+        };
         let select = self.select()?;
         Ok(Query { explain, select })
     }
@@ -393,7 +401,7 @@ mod tests {
              WHERE PR(ComoveVol(z, z2) IN [0.1, 0.4]) >= 0.8 USING gp WORKERS 4 SEED 7",
         )
         .unwrap();
-        assert!(!q.explain);
+        assert_eq!(q.explain, ExplainMode::None);
         assert_eq!(q.select.call.name.node, "GalAge");
         assert_eq!(q.select.call.args.len(), 1);
         let acc = q.select.accuracy.as_ref().unwrap();
@@ -411,10 +419,12 @@ mod tests {
     #[test]
     fn parses_stream_and_explain() {
         let q = parse("EXPLAIN SELECT F3(x) FROM STREAM synth LIMIT 1000 BATCH 64").unwrap();
-        assert!(q.explain);
+        assert_eq!(q.explain, ExplainMode::Plan);
         assert!(matches!(q.select.source, SourceRef::Stream(_)));
         assert_eq!(q.select.options.limit.as_ref().unwrap().node, 1000);
         assert_eq!(q.select.options.batch.as_ref().unwrap().node, 64);
+        let q = parse("EXPLAIN ANALYZE SELECT F3(x) FROM STREAM synth LIMIT 1000").unwrap();
+        assert_eq!(q.explain, ExplainMode::Analyze);
     }
 
     #[test]
@@ -496,6 +506,7 @@ mod tests {
     fn canonical_display_reparses_identically() {
         let srcs = [
             "SELECT GalAge(z) FROM sky",
+            "explain analyze select GalAge(z) from sky using gp seed 4",
             "explain select AngDist(z1, z2) with accuracy 0.2 0.05 metric ks from stream pairs \
              where pr(AngDist(z1, z2) in [0.1, 0.3]) >= 0.5 using gp workers 8 batch 32 seed 9 \
              limit 500 model cap 64",

@@ -232,6 +232,130 @@ fn explain_renders_pushdown_plan() {
     );
 }
 
+/// EXPLAIN ANALYZE executes and annotates the physical plan with
+/// per-operator wall-clock and routing counters, plus the statement's
+/// metrics-registry delta.
+#[test]
+fn explain_analyze_reports_operator_timings() {
+    let mut ctx = ctx_with_sky();
+    let QueryOutput::Plan(report) = run_uql(
+        "EXPLAIN ANALYZE SELECT GalAge(z) FROM sky \
+         WHERE PR(GalAge(z) IN [0.5, 0.9]) >= 0.6 USING gp WORKERS 2 SEED 7",
+        &mut ctx,
+    )
+    .unwrap() else {
+        panic!("ANALYZE returns the annotated plan")
+    };
+    assert!(report.contains("UdfSelect"), "plan shown:\n{report}");
+    assert!(
+        report.contains("BatchExec: time="),
+        "operator timing:\n{report}"
+    );
+    for key in ["rows=", "fast=", "slow=", "udf_calls=", "cap_hits="] {
+        assert!(report.contains(key), "{key} counter:\n{report}");
+    }
+    assert!(
+        report.contains("Metrics delta for this statement:"),
+        "delta section:\n{report}"
+    );
+    assert!(report.contains("uql.exec_ns"), "phase timer:\n{report}");
+    assert!(
+        report.contains("sched.chunks"),
+        "scheduler metrics:\n{report}"
+    );
+
+    // The stream shape carries the determinism digest in its line.
+    let mut ctx = Context::standard();
+    ctx.register_stream("synth", 1, || {
+        Box::new(SyntheticSource::gaussian(1, 0.5, 3))
+    });
+    let QueryOutput::Plan(report) = run_uql(
+        "EXPLAIN ANALYZE SELECT F3(x) WITH ACCURACY 0.25 0.05 FROM STREAM synth \
+         USING gp BATCH 32 SEED 4 LIMIT 96",
+        &mut ctx,
+    )
+    .unwrap() else {
+        panic!("stream ANALYZE returns the annotated plan")
+    };
+    assert!(
+        report.contains("StreamExec: time="),
+        "stream timing:\n{report}"
+    );
+    assert!(report.contains("digest=0x"), "digest line:\n{report}");
+    assert!(report.contains("stream.batch_ns"), "engine hist:\n{report}");
+}
+
+/// ANALYZE must not change what a subsequent identical query computes:
+/// the digest in the annotated report equals the plain query's digest.
+#[test]
+fn explain_analyze_is_execution_faithful() {
+    let q = "SELECT F3(x) WITH ACCURACY 0.25 0.05 FROM STREAM synth \
+             USING gp BATCH 32 SEED 4 LIMIT 96";
+    let mut ctx = Context::standard();
+    ctx.register_stream("synth", 1, || {
+        Box::new(SyntheticSource::gaussian(1, 0.5, 3))
+    });
+    let QueryOutput::Stream(plain) = run_uql(q, &mut ctx).unwrap() else {
+        panic!("stream")
+    };
+    let QueryOutput::Plan(report) = run_uql(&format!("EXPLAIN ANALYZE {q}"), &mut ctx).unwrap()
+    else {
+        panic!("plan")
+    };
+    assert!(
+        report.contains(&format!("digest=0x{:016x}", plain.digest)),
+        "ANALYZE ran a different computation:\n{report}"
+    );
+}
+
+/// The observability layer must be output-blind: rows and digests are
+/// byte-identical with the session registry recording vs. switched off,
+/// at workers 1/2/8.
+#[test]
+fn metrics_switch_never_perturbs_outputs() {
+    for workers in [1usize, 2, 8] {
+        let rows = |enabled: bool| {
+            let mut ctx = ctx_with_sky();
+            ctx.metrics().set_enabled(enabled);
+            let q = format!(
+                "SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [0.5, 0.9]) >= 0.6 \
+                 USING gp WORKERS {workers} SEED 11"
+            );
+            let QueryOutput::Rows(out) = run_uql(&q, &mut ctx).unwrap() else {
+                panic!("rows")
+            };
+            out.rows
+        };
+        assert_rows_identical(
+            &rows(true),
+            &rows(false),
+            &format!("metrics-blind/w{workers}"),
+        );
+
+        let digest = |enabled: bool| {
+            let mut ctx = Context::standard();
+            ctx.register_stream("synth", 1, || {
+                Box::new(SyntheticSource::gaussian(1, 0.5, 11))
+            });
+            ctx.metrics().set_enabled(enabled);
+            let q = format!(
+                "SELECT F3(x) WITH ACCURACY 0.2 0.05 METRIC disc FROM STREAM synth \
+                 WHERE PR(F3(x) IN [0.4, 1.5]) >= 0.3 \
+                 USING gp WORKERS {workers} BATCH 64 SEED 9 LIMIT 192"
+            );
+            let QueryOutput::Stream(out) = run_uql(&q, &mut ctx).unwrap() else {
+                panic!("stream")
+            };
+            out.digest
+        };
+        assert_eq!(
+            digest(true),
+            digest(false),
+            "metrics-blind stream digest, workers={workers}"
+        );
+    }
+}
+
 /// AUTO strategy resolves by the §6.3 cost rules: the expensive GalAge
 /// (0.29 ms simulated) goes GP; the free synthetic F1 goes MC.
 #[test]

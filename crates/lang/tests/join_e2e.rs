@@ -159,6 +159,63 @@ fn uql_prune_is_byte_identical_and_prunes() {
     }
 }
 
+/// A pruned GP join is output-blind to the metrics switch: recording vs.
+/// disabled registries keep every kept pair bit-identical (and the same
+/// number pruned — pruning decisions are metric-free).
+#[test]
+fn metrics_switch_never_perturbs_join_outputs() {
+    let run = |enabled: bool| {
+        let mut ctx = ctx_with_sky(24);
+        ctx.metrics().set_enabled(enabled);
+        let q = format!(
+            "SELECT AngDist(a.z, b.z) WITH ACCURACY 0.2 0.05 FROM sky a JOIN sky b \
+             ON a.objID < b.objID WHERE PR(AngDist(a.z, b.z) IN [{LO}, {HI}]) >= {THETA} \
+             USING gp WORKERS 2 SEED 9 PRUNE"
+        );
+        match run_uql(&q, &mut ctx).unwrap() {
+            QueryOutput::Join(out) => out,
+            other => panic!("join rows expected, got {other:?}"),
+        }
+    };
+    let on = run(true);
+    let off = run(false);
+    assert_eq!(on.rows.len(), off.rows.len());
+    for (a, b) in on.rows.iter().zip(&off.rows) {
+        assert_eq!(a.pair, b.pair);
+        assert_eq!(a.tep.to_bits(), b.tep.to_bits(), "pair {}", a.pair);
+        assert_eq!(a.output.ecdf, b.output.ecdf, "pair {}", a.pair);
+    }
+    assert_eq!(on.stats.pairs_pruned, off.stats.pairs_pruned);
+    assert!(on.stats.pairs_pruned > 0, "workload must actually prune");
+}
+
+/// EXPLAIN ANALYZE on a pruned join reports the JoinExec timing line with
+/// the pruning counters and the join-phase histograms.
+#[test]
+fn explain_analyze_reports_join_counters() {
+    let mut ctx = ctx_with_sky(24);
+    let QueryOutput::Plan(report) = run_uql(
+        "EXPLAIN ANALYZE SELECT AngDist(a.z, b.z) WITH ACCURACY 0.2 0.05 \
+         FROM sky a JOIN sky b ON a.objID < b.objID \
+         WHERE PR(AngDist(a.z, b.z) IN [0.3, 0.36]) >= 0.5 \
+         USING gp WORKERS 2 SEED 9 PRUNE",
+        &mut ctx,
+    )
+    .unwrap() else {
+        panic!("ANALYZE returns the annotated plan")
+    };
+    assert!(report.contains("UdfJoin"), "plan shown:\n{report}");
+    assert!(
+        report.contains("JoinExec: time="),
+        "operator timing:\n{report}"
+    );
+    for key in ["pairs_pruned=", "prune_attempts=", "cap_hits="] {
+        assert!(report.contains(key), "{key} counter:\n{report}");
+    }
+    assert!(report.contains("join.screen_ns"), "phase hist:\n{report}");
+    assert!(report.contains("join.certify_ns"), "phase hist:\n{report}");
+}
+
 /// EXPLAIN renders the join pushdown and the physical JoinExec binding.
 #[test]
 fn explain_renders_join_pushdown() {

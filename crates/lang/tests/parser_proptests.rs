@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use udf_lang::ast::{
-    AccuracyClause, AttrRef, CallExpr, JoinSource, MetricName, OnExpr, Options, PrFilterExpr,
-    Query, Select, SourceRef, StrategyName,
+    AccuracyClause, AttrRef, CallExpr, ExplainMode, JoinSource, MetricName, OnExpr, Options,
+    PrFilterExpr, Query, Select, SourceRef, StrategyName,
 };
 use udf_lang::error::{Span, Spanned};
 use udf_lang::parse;
@@ -117,11 +117,17 @@ fn query() -> impl Strategy<Value = Query> {
         (ident(), join_source()),
         (number(), number(), 0.0001f64..0.9999),
         options(),
-        0u8..32,
+        0u8..64,
     )
         .prop_map(
             |((call, acc), (src, join), (a, b, theta), options, flags)| {
-                let explain = flags & 1 != 0;
+                let explain = if flags & 1 == 0 {
+                    ExplainMode::None
+                } else if flags & 32 != 0 {
+                    ExplainMode::Analyze
+                } else {
+                    ExplainMode::Plan
+                };
                 let with_acc = flags & 2 != 0;
                 let with_pred = flags & 4 != 0;
                 let (lo, hi) = if a <= b { (a, b) } else { (b, a) };

@@ -1,0 +1,355 @@
+//! A hand-rolled JSON writer (and a validator for tests). The workspace
+//! has no crates.io access, so there is no serde; everything that emits
+//! JSON — [`crate::Snapshot::to_json`], the `trajectory` bench that
+//! writes `BENCH_*.json` — goes through these builders.
+
+use std::fmt::Write as _;
+
+/// Append `s` to `buf` as a JSON string literal (with quotes).
+pub fn escape_into(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// A float as a JSON number token (`null` for NaN/±∞, which JSON cannot
+/// represent).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` omits the decimal point for integral floats; keep it
+        // so consumers see a float-typed field consistently.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An object builder. Push fields with the typed methods, then
+/// [`finish`](JsonObj::finish):
+///
+/// ```
+/// use udf_obs::json::JsonObj;
+/// let mut o = JsonObj::new();
+/// o.str("name", "stream/throughput").u64("tuples", 4096);
+/// assert_eq!(o.finish(), r#"{"name": "stream/throughput", "tuples": 4096}"#);
+/// ```
+#[derive(Debug)]
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push_str(", ");
+        }
+        self.first = false;
+        escape_into(&mut self.buf, k);
+        self.buf.push_str(": ");
+    }
+
+    /// Add a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        escape_into(&mut self.buf, v);
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add a float field (`null` when non-finite).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a pre-serialized JSON value (nested object or array).
+    pub fn raw(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Close the object and return the serialized text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        JsonObj::new()
+    }
+}
+
+/// An array builder, mirroring [`JsonObj`].
+#[derive(Debug)]
+pub struct JsonArr {
+    buf: String,
+    first: bool,
+}
+
+impl JsonArr {
+    /// Start an empty array.
+    pub fn new() -> Self {
+        JsonArr {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if !self.first {
+            self.buf.push_str(", ");
+        }
+        self.first = false;
+    }
+
+    /// Append a pre-serialized JSON value.
+    pub fn raw(&mut self, v: &str) -> &mut Self {
+        self.sep();
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Append a string element.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.sep();
+        escape_into(&mut self.buf, v);
+        self
+    }
+
+    /// Append an unsigned integer element.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.sep();
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Append a float element (`null` when non-finite).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    /// Close the array and return the serialized text.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+impl Default for JsonArr {
+    fn default() -> Self {
+        JsonArr::new()
+    }
+}
+
+/// Validate that `s` is one well-formed JSON value (recursive descent;
+/// no value materialization). Tests use this to keep the writers honest
+/// without a JSON dependency.
+pub fn validate(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => num(b, pos),
+        other => Err(format!("unexpected {other:?} at byte {pos}")),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, word: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn num(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        Err(format!("empty number at byte {start}"))
+    } else {
+        Ok(())
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening quote
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => *pos += 2,
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // {
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // [
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or ']', got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_emit_valid_json() {
+        let mut inner = JsonObj::new();
+        inner.str("k", "v\"with\\quotes\n").f64("x", 1.5);
+        let mut arr = JsonArr::new();
+        arr.u64(1).f64(2.5).str("three").raw(&inner.finish());
+        let mut root = JsonObj::new();
+        root.raw("items", &arr.finish())
+            .bool("ok", true)
+            .f64("nan", f64::NAN)
+            .f64("whole", 3.0);
+        let s = root.finish();
+        validate(&s).unwrap();
+        assert!(s.contains("\"nan\": null"));
+        assert!(
+            s.contains("\"whole\": 3.0"),
+            "integral floats keep a dot: {s}"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate("{").is_err());
+        assert!(validate("{\"a\":}").is_err());
+        assert!(validate("[1,]").is_err());
+        assert!(validate("{} trailing").is_err());
+        assert!(validate("").is_err());
+        assert!(validate("{\"a\": [1, {\"b\": null}]}").is_ok());
+    }
+
+    #[test]
+    fn escape_handles_control_chars() {
+        let mut buf = String::new();
+        escape_into(&mut buf, "a\u{1}b");
+        assert_eq!(buf, "\"a\\u0001b\"");
+    }
+}

@@ -1,0 +1,354 @@
+//! The [`MetricsRegistry`]: named handles plus snapshot/export.
+
+use crate::json::JsonObj;
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[derive(Debug)]
+struct Inner {
+    enabled: Arc<AtomicBool>,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// The process-local metrics namespace. Cloning is cheap (shared `Arc`);
+/// every clone sees the same handles and the same enabled switch.
+///
+/// Registration (`counter` / `gauge` / `histogram`) takes a short-lived
+/// lock and returns a cloneable handle; all subsequent recording through
+/// the handle is lock-free. Handles registered under one name share one
+/// cell, so independently-wired components accumulate into the same
+/// metric.
+#[derive(Clone, Debug)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl MetricsRegistry {
+    /// A registry with recording enabled.
+    pub fn new() -> Self {
+        Self::with_enabled(true)
+    }
+
+    /// A registry whose handles are all no-ops until
+    /// [`set_enabled`](MetricsRegistry::set_enabled)`(true)`.
+    pub fn disabled() -> Self {
+        Self::with_enabled(false)
+    }
+
+    fn with_enabled(enabled: bool) -> Self {
+        MetricsRegistry {
+            inner: Arc::new(Inner {
+                enabled: Arc::new(AtomicBool::new(enabled)),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Flip recording for every handle this registry ever issued.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether handles currently record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The counter registered under `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().expect("counter registry");
+        map.entry(name.to_string())
+            .or_insert_with(|| Counter::with_switch(self.inner.enabled.clone()))
+            .clone()
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("gauge registry");
+        map.entry(name.to_string())
+            .or_insert_with(|| Gauge::with_switch(self.inner.enabled.clone()))
+            .clone()
+    }
+
+    /// The histogram registered under `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.histograms.lock().expect("histogram registry");
+        map.entry(name.to_string())
+            .or_insert_with(|| Histogram::with_switch(self.inner.enabled.clone()))
+            .clone()
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("counter registry")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("gauge registry")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram registry")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Serialize the current snapshot — see [`Snapshot::to_json`].
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+
+    /// Render the current snapshot — see [`Snapshot::render`].
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+/// A point-in-time copy of a registry, used for rendering, JSON export,
+/// and per-query attribution via [`delta`](Snapshot::delta).
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// True when nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.values().all(|&v| v == 0)
+            && self.gauges.values().all(|&v| v == 0)
+            && self.histograms.values().all(|h| h.count == 0)
+    }
+
+    /// What happened between `earlier` and `self`: counters and histogram
+    /// counts/sums are differenced; gauges keep the later value (they are
+    /// levels, not totals); histogram maxima keep the later value (maxima
+    /// are not invertible). Metrics that only exist in `self` pass
+    /// through unchanged.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                (
+                    k.clone(),
+                    v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let d = match earlier.histograms.get(k) {
+                    Some(e) => h.delta(e),
+                    None => h.clone(),
+                };
+                (k.clone(), d)
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Hand-rolled JSON export (no serde in this workspace):
+    ///
+    /// ```json
+    /// {"counters": {"name": 1},
+    ///  "gauges": {"name": 2},
+    ///  "histograms": {"name": {"count": 3, "sum": 30, "max": 20,
+    ///                           "mean": 10.0, "p50": 15, "p95": 20,
+    ///                           "p99": 20}}}
+    /// ```
+    ///
+    /// Bucket arrays are omitted: consumers scrape the derived
+    /// statistics, and the full resolution stays available in-process.
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonObj::new();
+        for (k, &v) in &self.counters {
+            counters.u64(k, v);
+        }
+        let mut gauges = JsonObj::new();
+        for (k, &v) in &self.gauges {
+            gauges.u64(k, v);
+        }
+        let mut histograms = JsonObj::new();
+        for (k, h) in &self.histograms {
+            let mut o = JsonObj::new();
+            o.u64("count", h.count)
+                .u64("sum", h.sum)
+                .u64("max", h.max)
+                .f64("mean", h.mean())
+                .u64("p50", h.quantile(0.5))
+                .u64("p95", h.quantile(0.95))
+                .u64("p99", h.quantile(0.99));
+            histograms.raw(k, &o.finish());
+        }
+        let mut root = JsonObj::new();
+        root.raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &histograms.finish());
+        root.finish()
+    }
+
+    /// Human-readable dump (what the REPL `\metrics` command prints).
+    /// Histograms whose name ends in `_ns` render as durations.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        if !self.counters.is_empty() {
+            s.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                s.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            s.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                s.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            s.push_str("histograms:\n");
+            for (k, h) in &self.histograms {
+                let fmt_v = |v: u64| -> String {
+                    if k.ends_with("_ns") {
+                        format!("{:.2?}", Duration::from_nanos(v))
+                    } else {
+                        v.to_string()
+                    }
+                };
+                let mean = if k.ends_with("_ns") {
+                    format!("{:.2?}", Duration::from_nanos(h.mean() as u64))
+                } else {
+                    format!("{:.2}", h.mean())
+                };
+                s.push_str(&format!(
+                    "  {k}: count={} mean={} p50={} p95={} p99={} max={}\n",
+                    h.count,
+                    mean,
+                    fmt_v(h.quantile(0.5)),
+                    fmt_v(h.quantile(0.95)),
+                    fmt_v(h.quantile(0.99)),
+                    fmt_v(h.max),
+                ));
+            }
+        }
+        if s.is_empty() {
+            s.push_str("(no metrics recorded)\n");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+
+    #[test]
+    fn handles_share_cells_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.counter("x").get(), 2);
+        assert_eq!(reg.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn disable_switch_gates_every_handle() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        let h = reg.histogram("h");
+        c.inc();
+        h.record(7);
+        reg.set_enabled(false);
+        c.inc();
+        h.record(7);
+        reg.set_enabled(true);
+        c.inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["c"], 2);
+        assert_eq!(snap.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn snapshot_delta_attributes_a_window() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("events");
+        c.add(5);
+        let before = reg.snapshot();
+        c.add(3);
+        reg.gauge("level").set(9);
+        let d = reg.snapshot().delta(&before);
+        assert_eq!(d.counters["events"], 3);
+        assert_eq!(d.gauges["level"], 9);
+    }
+
+    #[test]
+    fn to_json_is_valid_and_greppable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("sched.verdict.accept").add(4);
+        reg.gauge("olgapro.model_points").set(17);
+        reg.histogram("uql.exec_ns").record(1_500);
+        let json = reg.to_json();
+        validate(&json).expect("registry JSON must parse");
+        assert!(json.contains("\"sched.verdict.accept\": 4"));
+        assert!(json.contains("\"olgapro.model_points\": 17"));
+        assert!(json.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn render_is_stable_and_humane() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.render().contains("no metrics"));
+        reg.counter("a.b").inc();
+        reg.histogram("lat_ns").record(2_000_000);
+        let text = reg.render();
+        assert!(text.contains("a.b = 1"));
+        assert!(text.contains("lat_ns: count=1"));
+        assert!(
+            text.contains("ms"),
+            "ns-suffixed histograms render as durations: {text}"
+        );
+    }
+}

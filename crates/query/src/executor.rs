@@ -23,7 +23,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use udf_core::config::{AccuracyRequirement, ModelBudget, OlgaproConfig};
 use udf_core::filtering::{gp_filtered, mc_eval_tuple, mc_filtered, FilterDecision, Predicate};
-use udf_core::olgapro::Olgapro;
+use udf_core::olgapro::{Olgapro, OlgaproMetrics};
 use udf_core::output::{GpOutput, OutputDistribution};
 use udf_core::sched::{mix_seed, BatchOps, BatchScheduler, BatchStats, Verdict};
 use udf_core::McEvaluator;
@@ -52,6 +52,14 @@ pub struct QueryStats {
     /// GP model cap blocked further online tuning — nonzero only when a
     /// cap is set via [`Executor::with_model_cap`].
     pub cap_hits: u64,
+    /// Tuples fully served by the parallel read-only fast path (batch
+    /// modes; fed from [`BatchStats`]).
+    pub fast_path: u64,
+    /// Tuples that took the sequential model-mutating slow path —
+    /// rerouted batch tuples plus every tuple of the tuple-at-a-time
+    /// modes ([`Executor::project`] / [`Executor::select`] /
+    /// [`Executor::select_seeded`], which always run the full path).
+    pub slow_path: u64,
 }
 
 /// One output row of a UDF projection.
@@ -138,6 +146,17 @@ impl Executor {
         Ok(self)
     }
 
+    /// Wire observability: the executor's OLGAPRO instance (if any)
+    /// registers its `olgapro.*` handles in `reg`. Purely observational —
+    /// results are byte-identical wired or not. The MC strategy has no
+    /// per-executor timers and ignores this.
+    pub fn with_metrics(mut self, reg: &udf_obs::MetricsRegistry) -> Self {
+        if let Some(olga) = &mut self.olgapro {
+            olga.set_metrics(OlgaproMetrics::register(reg));
+        }
+        self
+    }
+
     /// The GP evaluator, when the strategy is [`EvalStrategy::Gp`] —
     /// exposes model size and core statistics for observability.
     pub fn olgapro(&self) -> Option<&Olgapro> {
@@ -160,6 +179,7 @@ impl Executor {
         let mut out = Vec::with_capacity(rel.len());
         for (i, t) in rel.tuples().iter().enumerate() {
             self.stats.tuples_in += 1;
+            self.stats.slow_path += 1;
             let output = self.eval_tuple(t, call, rng)?;
             self.stats.udf_calls += output.udf_calls;
             self.stats.tuples_out += 1;
@@ -185,6 +205,7 @@ impl Executor {
         let mut out = Vec::new();
         for (i, t) in rel.tuples().iter().enumerate() {
             self.stats.tuples_in += 1;
+            self.stats.slow_path += 1;
             let input = call.input_distribution(t)?;
             match self.strategy {
                 EvalStrategy::Mc => {
@@ -248,6 +269,7 @@ impl Executor {
         let mut out = Vec::new();
         for (idx, input) in inputs {
             self.stats.tuples_in += 1;
+            self.stats.slow_path += 1;
             let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0, *idx as u64));
             let decision = match self.strategy {
                 EvalStrategy::Mc => {
@@ -449,6 +471,8 @@ impl Executor {
                 self.stats.tuples_out += rows.len() as u64;
             }
         }
+        self.stats.fast_path += batch_stats.fast_path as u64;
+        self.stats.slow_path += batch_stats.slow_path as u64;
         Ok((rows, batch_stats))
     }
 

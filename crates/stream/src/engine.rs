@@ -41,11 +41,38 @@ use std::time::Instant;
 use udf_core::config::{AccuracyRequirement, ModelBudget, OlgaproConfig};
 use udf_core::filtering::{gp_filtered, mc_eval_tuple, FilterDecision, Predicate};
 use udf_core::hybrid::{rule_based_choice, HybridChoice};
-use udf_core::olgapro::Olgapro;
+use udf_core::olgapro::{Olgapro, OlgaproMetrics};
 use udf_core::output::GpOutput;
-use udf_core::sched::{mix_seed, BatchOps, BatchScheduler, Verdict};
+use udf_core::sched::{mix_seed, BatchOps, BatchScheduler, SchedMetrics, Verdict};
 use udf_core::udf::BlackBoxUdf;
+use udf_obs::{Histogram, MetricsRegistry};
 use udf_prob::{Ecdf, InputDistribution};
+
+/// The engine's own observability handles (the layers below wire their
+/// own: the scheduler's `sched.*`, each GP model's `olgapro.*`).
+struct EngineMetrics {
+    /// Per-(query, micro-batch) evaluation latency.
+    batch_ns: Histogram,
+    /// Backpressure stalls: time the ingest thread spent blocked pushing
+    /// a batch into the bounded channel.
+    ingest_wait_ns: Histogram,
+}
+
+impl EngineMetrics {
+    fn disabled() -> Self {
+        EngineMetrics {
+            batch_ns: Histogram::disabled(),
+            ingest_wait_ns: Histogram::disabled(),
+        }
+    }
+
+    fn register(reg: &MetricsRegistry) -> Self {
+        EngineMetrics {
+            batch_ns: reg.histogram("stream.batch_ns"),
+            ingest_wait_ns: reg.histogram("stream.ingest_wait_ns"),
+        }
+    }
+}
 
 /// How a subscription evaluates its UDF.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,6 +208,9 @@ pub struct StreamEngine {
     sched: BatchScheduler,
     tuples_seen: u64,
     last_run: EngineStats,
+    metrics: EngineMetrics,
+    /// Set when metrics are wired; later subscriptions register here too.
+    registry: Option<MetricsRegistry>,
 }
 
 impl StreamEngine {
@@ -192,7 +222,24 @@ impl StreamEngine {
             queries: Vec::new(),
             tuples_seen: 0,
             last_run: EngineStats::default(),
+            metrics: EngineMetrics::disabled(),
+            registry: None,
         }
+    }
+
+    /// Wire observability: the engine's batch/backpressure timers, the
+    /// scheduler's `sched.*` handles, and every (current and future)
+    /// GP subscription's `olgapro.*` handles register in `reg`. Purely
+    /// observational — digests are byte-identical wired or not.
+    pub(crate) fn set_metrics(&mut self, reg: &MetricsRegistry) {
+        self.sched.set_metrics(SchedMetrics::register(reg));
+        for q in &mut self.queries {
+            if let Evaluator::Gp(olga, _) = &mut q.eval {
+                olga.set_metrics(OlgaproMetrics::register(reg));
+            }
+        }
+        self.metrics = EngineMetrics::register(reg);
+        self.registry = Some(reg.clone());
     }
 
     pub(crate) fn config(&self) -> &EngineConfig {
@@ -238,7 +285,11 @@ impl StreamEngine {
                 let cfg = OlgaproConfig::new(params.accuracy, params.output_range)?
                     .with_model_cap(params.max_model_points, ModelBudget::StopGrowing)?;
                 let budget = cfg.split().eps_gp;
-                Evaluator::Gp(Box::new(Olgapro::new(params.udf.clone(), cfg)), budget)
+                let mut olga = Olgapro::new(params.udf.clone(), cfg);
+                if let Some(reg) = &self.registry {
+                    olga.set_metrics(OlgaproMetrics::register(reg));
+                }
+                Evaluator::Gp(Box::new(olga), budget)
             }
         };
         let stats = StreamStats {
@@ -284,13 +335,15 @@ impl StreamEngine {
 
         let batch_size = self.config.batch_size;
         let (tx, rx) = mpsc::sync_channel::<Vec<InputDistribution>>(self.config.queue_depth);
+        let ingest_wait = self.metrics.ingest_wait_ns.clone();
         let t0 = Instant::now();
         let mut tuples = 0u64;
         let mut batches = 0u64;
 
         let run_result: Result<()> = std::thread::scope(|scope| {
             // Ingest thread: source → bounded channel. Blocks when the
-            // scheduler lags `queue_depth` batches behind (backpressure).
+            // scheduler lags `queue_depth` batches behind (backpressure);
+            // that stall time is what `stream.ingest_wait_ns` measures.
             let producer = scope.spawn(move || {
                 let mut remaining = limit;
                 loop {
@@ -309,7 +362,12 @@ impl StreamEngine {
                     if let Some(r) = &mut remaining {
                         *r -= n as u64;
                     }
-                    if tx.send(buf).is_err() {
+                    let t_send = ingest_wait.enabled().then(Instant::now);
+                    let sent = tx.send(buf).is_ok();
+                    if let Some(ts) = t_send {
+                        ingest_wait.record_duration(ts.elapsed());
+                    }
+                    if !sent {
                         break; // scheduler bailed; stop producing
                     }
                 }
@@ -348,6 +406,7 @@ impl StreamEngine {
         self.tuples_seen += batch.len() as u64;
         let seed = self.config.seed;
         let sched = &self.sched;
+        let batch_ns = &self.metrics.batch_ns;
         for (qid, q) in self.queries.iter_mut().enumerate() {
             let t0 = Instant::now();
             match &q.eval {
@@ -355,7 +414,9 @@ impl StreamEngine {
                 Evaluator::Gp(..) => gp_batch(q, batch, base, sched, seed, qid as u64)?,
             }
             q.stats.batches += 1;
-            q.stats.busy += t0.elapsed();
+            let dt = t0.elapsed();
+            q.stats.busy += dt;
+            batch_ns.record_duration(dt);
         }
         Ok(())
     }

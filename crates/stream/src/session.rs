@@ -135,6 +135,21 @@ impl Session {
         }
     }
 
+    /// Wire observability into the session: scheduler, engine, and every
+    /// GP subscription (current and future) register their handles in
+    /// `reg`. Metrics are purely observational — run digests are
+    /// byte-identical whether or not a registry is attached.
+    pub fn set_metrics(&mut self, reg: &udf_obs::MetricsRegistry) {
+        self.engine.set_metrics(reg);
+    }
+
+    /// Builder-style variant of [`set_metrics`](Session::set_metrics).
+    #[must_use]
+    pub fn with_metrics(mut self, reg: &udf_obs::MetricsRegistry) -> Self {
+        self.set_metrics(reg);
+        self
+    }
+
     /// The engine configuration in force.
     pub fn config(&self) -> &EngineConfig {
         self.engine.config()

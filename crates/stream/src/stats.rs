@@ -60,20 +60,21 @@ impl StreamStats {
 
 impl fmt::Display for StreamStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{:<16} in={:<8} kept={:<8} filtered={:<7} fast={:<8} slow={:<5} calls={:<9} cap_hits={:<5} {:>9.0} tup/s  {:>8.1} µs/tup",
-            self.query,
-            self.tuples_in,
-            self.kept,
-            self.filtered,
-            self.fast_path,
-            self.slow_path,
-            self.udf_calls,
-            self.cap_hits,
-            self.throughput().unwrap_or(0.0),
-            self.mean_latency().unwrap_or(Duration::ZERO).as_secs_f64() * 1e6,
-        )
+        let line = udf_obs::fmt::KvLine::new()
+            .label(&self.query, 16)
+            .field_pad("in", self.tuples_in, 8)
+            .field_pad("kept", self.kept, 8)
+            .field_pad("filtered", self.filtered, 7)
+            .field_pad("fast", self.fast_path, 8)
+            .field_pad("slow", self.slow_path, 5)
+            .field_pad("calls", self.udf_calls, 9)
+            .field_pad("cap_hits", self.cap_hits, 5)
+            .raw(&format!(
+                "{:>9.0} tup/s  {:>8.1} µs/tup",
+                self.throughput().unwrap_or(0.0),
+                self.mean_latency().unwrap_or(Duration::ZERO).as_secs_f64() * 1e6,
+            ));
+        f.write_str(&line.finish())
     }
 }
 

@@ -17,6 +17,12 @@ fn acc() -> AccuracyRequirement {
 /// Build the same 4-subscription session at a given worker count and run it
 /// over the same 384-tuple stream; return every query's digest.
 fn run_with_workers(workers: usize) -> Vec<u64> {
+    run_with_workers_metrics(workers, None)
+}
+
+/// Same, optionally with a metrics registry attached (`Some(true)` =
+/// recording, `Some(false)` = registered but switched off).
+fn run_with_workers_metrics(workers: usize, metrics: Option<bool>) -> Vec<u64> {
     let f1 = PaperFunction::F1.instantiate(1);
     let f3 = PaperFunction::F3.instantiate(1);
     let udf1 = BlackBoxUdf::new(Arc::new(f1.clone()), udf_core::udf::CostModel::Free);
@@ -28,6 +34,11 @@ fn run_with_workers(workers: usize) -> Vec<u64> {
             .batch_size(64)
             .seed(0xD5EED),
     );
+    if let Some(enabled) = metrics {
+        let reg = udf_obs::MetricsRegistry::new();
+        reg.set_enabled(enabled);
+        session.set_metrics(&reg);
+    }
     let ids = vec![
         session
             .subscribe(
@@ -83,6 +94,20 @@ fn digests_identical_for_workers_1_2_8() {
     let d8 = run_with_workers(8);
     assert_eq!(d1, d2, "1 vs 2 workers");
     assert_eq!(d1, d8, "1 vs 8 workers");
+}
+
+/// The observability layer must be invisible in the outputs: digests with
+/// a recording registry, a switched-off registry, and no registry at all
+/// are byte-identical at every worker count.
+#[test]
+fn metrics_do_not_perturb_digests() {
+    for workers in [1usize, 2, 8] {
+        let bare = run_with_workers_metrics(workers, None);
+        let off = run_with_workers_metrics(workers, Some(false));
+        let on = run_with_workers_metrics(workers, Some(true));
+        assert_eq!(bare, off, "workers={workers}: disabled registry");
+        assert_eq!(bare, on, "workers={workers}: recording registry");
+    }
 }
 
 #[test]

@@ -97,36 +97,10 @@ fn main() {
     let source = SyntheticSource::gaussian(1, 0.5, 7).with_limit(tuples);
     let run = session.run(source, None).unwrap();
 
-    println!(
-        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>7} {:>10} {:>8} {:>12} {:>11}",
-        "query",
-        "tuples",
-        "kept",
-        "filtered",
-        "fast",
-        "slow",
-        "udf calls",
-        "select.",
-        "tuples/sec",
-        "µs/tuple"
-    );
+    // One line per subscription via the shared `StreamStats` display (the
+    // same KvLine-backed rendering the REPL and CI smoke greps consume).
     for id in [q1, q2, q3, q4, q5] {
-        let s = session.stats(id).unwrap();
-        println!(
-            "{:<16} {:>9} {:>9} {:>9} {:>9} {:>7} {:>10} {:>8} {:>12.0} {:>11.1}",
-            s.query,
-            s.tuples_in,
-            s.kept,
-            s.filtered,
-            s.fast_path,
-            s.slow_path,
-            s.udf_calls,
-            s.selectivity()
-                .map(|x| format!("{x:.3}"))
-                .unwrap_or_default(),
-            s.throughput().unwrap_or(0.0),
-            s.mean_latency().unwrap_or_default().as_secs_f64() * 1e6,
-        );
+        println!("{}", session.stats(id).unwrap());
     }
 
     println!(

@@ -111,7 +111,7 @@ fn print_catalog(ctx: &UqlContext) {
 
 fn main() {
     let mut ctx = demo_context();
-    println!("UQL shell — `\\d` lists the catalog, `\\h` shows the grammar, `\\q` quits.");
+    println!("UQL shell — `\\d` lists the catalog, `\\h` shows the grammar, `\\metrics` dumps counters, `\\q` quits.");
     println!("Example: SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [0.5, 0.9]) >= 0.6 USING gp WORKERS 2 SEED 7");
 
     let stdin = io::stdin();
@@ -133,6 +133,10 @@ fn main() {
                 print_catalog(&ctx);
                 continue;
             }
+            "\\metrics" => {
+                print!("{}", ctx.metrics().render());
+                continue;
+            }
             "\\h" | "help" => {
                 println!(
                     "SELECT f(attr, ...) [WITH ACCURACY eps delta [METRIC ks|disc]]\n\
@@ -142,7 +146,9 @@ fn main() {
                      [PRUNE]\n\
                      JOIN queries qualify attributes with their alias (AngDist(a.z, b.z));\n\
                      PRUNE enables envelope-based pair pruning on GP joins with a WHERE.\n\
-                     Prefix with EXPLAIN to print the plan without executing."
+                     Prefix with EXPLAIN to print the plan without executing, or\n\
+                     EXPLAIN ANALYZE to execute and print per-operator timings;\n\
+                     `\\metrics` dumps the session's metrics registry."
                 );
                 continue;
             }

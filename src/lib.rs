@@ -44,6 +44,7 @@ pub use udf_gp as gp;
 pub use udf_join as join;
 pub use udf_lang as lang;
 pub use udf_linalg as linalg;
+pub use udf_obs as obs;
 pub use udf_prob as prob;
 pub use udf_query as query;
 pub use udf_spatial as spatial;
@@ -65,6 +66,7 @@ pub mod prelude {
         JoinExecutor, JoinOutput, JoinSpec, JoinStats, JoinedPair, OnCondition, Side,
     };
     pub use udf_lang::{run_uql, Context as UqlContext, LangError, QueryOutput};
+    pub use udf_obs::{MetricsRegistry, Snapshot};
     pub use udf_prob::{Ecdf, InputDistribution, Normal, Univariate};
     pub use udf_query::{EvalStrategy, Executor, Relation, Schema, Tuple, UdfCall, Value};
     pub use udf_stream::{
