@@ -1,6 +1,6 @@
 //! `trajectory` — the persisted benchmark trajectory: one self-timed run
 //! over trimmed configurations of the key ROADMAP axes, written as
-//! `BENCH_6.json` at the repository root so successive PRs leave a
+//! `BENCH_7.json` at the repository root so successive PRs leave a
 //! machine-readable performance trail next to the code they changed.
 //!
 //! Unlike the criterion benches (statistical, minutes-long), this harness
@@ -30,6 +30,12 @@
 //!       {"series": "capped16", "n": 64, "elapsed_ns": 0, "rows": 0,
 //!        "model_points": 16, "cap_hits": 0}
 //!     ],
+//!     "gp_fastpath": [
+//!       {"m": 64, "tuples": 32, "samples": 2048, "scalar_ns": 0,
+//!        "blocked_ns": 0, "scalar_samples_per_sec": 0.0,
+//!        "blocked_samples_per_sec": 0.0, "speedup": 0.0,
+//!        "cache_hits": 0, "cache_misses": 0}
+//!     ],
 //!     "join_pruning": [
 //!       {"series": "pruned", "n": 128, "elapsed_ns": 0, "pairs_generated": 0,
 //!        "pairs_pruned": 0, "pairs_evaluated": 0, "pairs_kept": 0, "cap_hits": 0}
@@ -49,16 +55,22 @@
 //! *what the engine did* (verdicts, phase times, model growth), not just
 //! how long it took.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Instant;
 use udf_core::config::{AccuracyRequirement, Metric, ModelBudget};
 use udf_core::filtering::Predicate;
 use udf_core::sched::BatchScheduler;
 use udf_core::udf::{BlackBoxUdf, CostModel};
+use udf_gp::local::{select_local, select_local_with, LocalPredictor};
+use udf_gp::{GpModel, LocalPredictorCache, PredictScratch, SelectScratch, SquaredExponential};
 use udf_join::{JoinExecutor, JoinSpec, JoinStats, Side};
 use udf_lang::{run_uql, Context, QueryOutput};
 use udf_obs::json::{validate, JsonArr, JsonObj};
+use udf_prob::InputDistribution;
 use udf_query::{EvalStrategy, Executor, Relation, Schema, Tuple, UdfCall, Value};
+use udf_spatial::BoundingBox;
 use udf_stream::prelude::*;
 use udf_workloads::synthetic::{sweep_mean, PaperFunction};
 use udf_workloads::UdfCatalog;
@@ -243,6 +255,174 @@ fn join_axis(smoke: bool) -> String {
     arr.finish()
 }
 
+// ------------------------------------------------------------ gp fastpath
+
+/// The pre-blocking local selection, reconstructed verbatim as the scalar
+/// baseline: every radius-expansion iteration re-walks the kernel per
+/// excluded point per sub-box (per-entry `eval_dist`, fresh mask and
+/// sub-box allocations). Returns the sorted selected indices — asserted
+/// equal to the current fast path's before timing, so the measured gap is
+/// pure mechanics, not a different selection.
+fn reference_select(model: &GpModel, sample_box: &BoundingBox, gamma_threshold: f64) -> Vec<usize> {
+    let kernel = model.kernel();
+    let alpha = model.alpha();
+    let xs = model.inputs();
+    let n = model.len();
+    let step = model.half_value_distance().expect("isotropic");
+    let mut radius = step;
+    loop {
+        let mut selected = model.spatial_index().query_within(sample_box, radius);
+        selected.sort_unstable();
+        let mut gamma = 0.0f64;
+        if selected.len() < n {
+            let mut is_selected = vec![false; n];
+            for &i in &selected {
+                is_selected[i] = true;
+            }
+            for sb in &sample_box.bisect(sample_box.dim().min(3)) {
+                let (mut lo_sum, mut hi_sum) = (0.0f64, 0.0f64);
+                for l in 0..n {
+                    if is_selected[l] {
+                        continue;
+                    }
+                    let k_near = kernel.eval_dist(sb.min_dist(&xs[l])).expect("isotropic");
+                    let k_far = kernel.eval_dist(sb.max_dist(&xs[l])).expect("isotropic");
+                    let a = alpha[l];
+                    if a >= 0.0 {
+                        hi_sum += k_near * a;
+                        lo_sum += k_far * a;
+                    } else {
+                        hi_sum += k_far * a;
+                        lo_sum += k_near * a;
+                    }
+                }
+                gamma = gamma.max(hi_sum.abs()).max(lo_sum.abs());
+            }
+        }
+        if gamma <= gamma_threshold || selected.len() == n {
+            return selected;
+        }
+        radius += step;
+    }
+}
+
+/// Warm read-only inference, scalar vs blocked (the `gp/fastpath` shape):
+/// one converged model, a stream of tuple sample-batches. The scalar series
+/// is the pre-blocking fast phase end to end ([`reference_select`], a fresh
+/// subset factorization per tuple, per-sample `predict`); the blocked
+/// series is the current one (scratch-backed selection with hoisted γ
+/// brackets, the one-entry predictor cache, `predict_batch_with`). Each
+/// local neighborhood appears twice in a row — the clustered-workload case
+/// the cache is built for — and the two series are asserted bit-identical
+/// (selection and predictions) before any timing.
+fn fastpath_axis(smoke: bool) -> String {
+    let n_train = if smoke { 96 } else { 256 };
+    let tuples = if smoke { 8 } else { 32 };
+    let ms: &[usize] = if smoke { &[64] } else { &[64, 256] };
+    let reps = if smoke { 3 } else { 7 };
+    let gamma = 1e-4;
+
+    let mut model = GpModel::new(Box::new(SquaredExponential::new(1.0, 0.6)), 1);
+    let xs: Vec<Vec<f64>> = (0..n_train).map(|i| vec![i as f64 * 0.31]).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 0.8).sin()).collect();
+    model.fit(xs, ys).unwrap();
+
+    let mut arr = JsonArr::new();
+    for &m in ms {
+        let batches: Vec<Vec<Vec<f64>>> = (0..tuples)
+            .map(|t| {
+                let mu = 2.0 + ((t / 2) as f64 * 2.3) % 8.0;
+                let input = InputDistribution::diagonal_gaussian(&[(mu, 0.25)]).unwrap();
+                let mut rng = StdRng::seed_from_u64(1000 + (t / 2) as u64);
+                input.sample_n(&mut rng, m)
+            })
+            .collect();
+        let boxes: Vec<BoundingBox> = batches
+            .iter()
+            .map(|b| BoundingBox::from_points(b.iter().map(|s| s.as_slice())))
+            .collect();
+
+        let scalar_pass = || -> Vec<udf_gp::model::Prediction> {
+            let mut out = Vec::new();
+            for (samples, bbox) in batches.iter().zip(&boxes) {
+                let indices = reference_select(&model, bbox, gamma);
+                assert!(!indices.is_empty(), "bench selection must be local");
+                let lp = LocalPredictor::new(&model, indices).unwrap();
+                for s in samples {
+                    out.push(lp.predict(s).unwrap());
+                }
+            }
+            out
+        };
+        let mut select = SelectScratch::default();
+        let mut scratch = PredictScratch::default();
+        let mut cache = LocalPredictorCache::new();
+        let mut preds = Vec::new();
+        let mut blocked_pass = |sink: Option<&mut Vec<udf_gp::model::Prediction>>| {
+            let mut acc = 0.0f64;
+            let mut sink = sink;
+            for (samples, bbox) in batches.iter().zip(&boxes) {
+                select_local_with(&model, bbox, gamma, &mut select).unwrap();
+                let (lp, _) = cache.get_or_build(&model, &select.selected).unwrap();
+                lp.predict_batch_with(samples, &mut scratch, &mut preds)
+                    .unwrap();
+                if let Some(sink) = sink.as_deref_mut() {
+                    sink.extend_from_slice(&preds);
+                } else {
+                    for p in &preds {
+                        acc += p.mean + p.var;
+                    }
+                }
+            }
+            acc
+        };
+
+        // Bit-identity gate: the blocked series must be invisible — same
+        // selection, same predictions, to the last bit.
+        for bbox in &boxes {
+            assert_eq!(
+                reference_select(&model, bbox, gamma),
+                select_local(&model, bbox, gamma).unwrap().indices,
+                "fast-path selection drifted from the reference"
+            );
+        }
+        let scalar_out = scalar_pass();
+        let mut blocked_out = Vec::new();
+        blocked_pass(Some(&mut blocked_out));
+        assert_eq!(scalar_out.len(), blocked_out.len());
+        for (s, b) in scalar_out.iter().zip(&blocked_out) {
+            assert_eq!(s.mean.to_bits(), b.mean.to_bits(), "blocked mean drifted");
+            assert_eq!(s.var.to_bits(), b.var.to_bits(), "blocked var drifted");
+        }
+
+        let scalar_ns = median_ns(reps, || {
+            scalar_pass().iter().map(|p| p.mean + p.var).sum::<f64>()
+        });
+        let blocked_ns = median_ns(reps, || blocked_pass(None));
+        let (hits, misses) = cache.stats();
+        let samples_total = (tuples * m) as u64;
+        let mut o = JsonObj::new();
+        o.u64("m", m as u64)
+            .u64("tuples", tuples as u64)
+            .u64("samples", samples_total)
+            .u64("scalar_ns", scalar_ns)
+            .u64("blocked_ns", blocked_ns)
+            .f64(
+                "scalar_samples_per_sec",
+                samples_total as f64 / (scalar_ns as f64 / 1e9),
+            )
+            .f64(
+                "blocked_samples_per_sec",
+                samples_total as f64 / (blocked_ns as f64 / 1e9),
+            )
+            .f64("speedup", scalar_ns as f64 / blocked_ns as f64)
+            .u64("cache_hits", hits)
+            .u64("cache_misses", misses);
+        arr.raw(&o.finish());
+    }
+    arr.finish()
+}
+
 // ----------------------------------------------------------- uql overhead
 
 /// `run_uql` with the registry on vs. off (the `uql/overhead` acceptance
@@ -300,12 +480,14 @@ fn main() {
     // `cargo bench` passes harness flags (`--bench`); ignore them.
     let smoke = std::env::var("TRAJECTORY_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let out_path = std::env::var("TRAJECTORY_OUT")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json").to_string());
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json").to_string());
 
     eprintln!("trajectory: stream_throughput ...");
     let stream = stream_axis(smoke);
     eprintln!("trajectory: gp_model_cap ...");
     let model_cap = model_cap_axis(smoke);
+    eprintln!("trajectory: gp_fastpath ...");
+    let fastpath = fastpath_axis(smoke);
     eprintln!("trajectory: join_pruning ...");
     let join = join_axis(smoke);
     eprintln!("trajectory: uql_overhead ...");
@@ -314,11 +496,12 @@ fn main() {
     let mut axes = JsonObj::new();
     axes.raw("stream_throughput", &stream)
         .raw("gp_model_cap", &model_cap)
+        .raw("gp_fastpath", &fastpath)
         .raw("join_pruning", &join)
         .raw("uql_overhead", &uql);
     let mut root = JsonObj::new();
     root.u64("schema_version", 1)
-        .u64("pr", 6)
+        .u64("pr", 7)
         .str("bench", "trajectory")
         .bool("smoke", smoke)
         .raw("axes", &axes.finish());
@@ -328,6 +511,6 @@ fn main() {
     std::fs::write(&out_path, json + "\n").expect("write BENCH json");
     println!(
         "trajectory: wrote {out_path} (axes: stream_throughput, gp_model_cap, \
-         join_pruning, uql_overhead; smoke={smoke})"
+         gp_fastpath, join_pruning, uql_overhead; smoke={smoke})"
     );
 }

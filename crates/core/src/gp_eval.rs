@@ -86,10 +86,12 @@ impl OfflineGpEvaluator {
         let bbox = BoundingBox::from_points(samples.iter().map(|s| s.as_slice()));
         let z_alpha = simultaneous_z(self.model.kernel(), &bbox, split.delta_gp);
 
+        // One blocked multi-RHS inference over all m samples (bit-identical
+        // to the per-sample `predict` loop this replaced).
+        let preds = self.model.predict_batch(&samples)?;
         let mut means = Vec::with_capacity(m);
         let mut sds = Vec::with_capacity(m);
-        for s in &samples {
-            let p = self.model.predict(s)?;
+        for p in &preds {
             means.push(p.mean);
             sds.push(p.var.sqrt());
         }

@@ -44,7 +44,7 @@ pub use config::{AccuracyRequirement, Metric, ModelBudget, OlgaproConfig, Retrai
 pub use filtering::{FilterDecision, Predicate};
 pub use hybrid::{HybridChoice, HybridEvaluator};
 pub use mc::McEvaluator;
-pub use olgapro::{Olgapro, OlgaproMetrics};
+pub use olgapro::{InferScratch, Olgapro, OlgaproMetrics};
 pub use output::{GpOutput, OutputDistribution};
 pub use sched::{mix_seed, BatchOps, BatchScheduler, BatchStats, SchedMetrics, Verdict};
 pub use udf::{BlackBoxUdf, CostModel, FnUdf, UdfFunction};

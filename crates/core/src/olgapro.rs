@@ -20,9 +20,12 @@ use crate::udf::BlackBoxUdf;
 use crate::{CoreError, Result};
 use std::time::Instant;
 use udf_gp::band::simultaneous_z;
-use udf_gp::local::{select_local, LocalPredictor};
+use udf_gp::local::select_local_with;
+use udf_gp::model::Prediction;
 use udf_gp::train::{newton_step_norm, train, TrainConfig};
-use udf_gp::{GpModel, Kernel, SquaredExponential};
+use udf_gp::{
+    GpModel, Kernel, LocalPredictorCache, PredictScratch, SelectScratch, SquaredExponential,
+};
 use udf_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use udf_prob::InputDistribution;
 use udf_spatial::BoundingBox;
@@ -47,6 +50,14 @@ pub struct OlgaproMetrics {
     pub model_size: Histogram,
     /// Degraded-accuracy acceptances forced by the model cap.
     pub cap_hits: Counter,
+    /// Time per read-only fast-path evaluation
+    /// ([`Olgapro::infer_only_with`]) — the blocked warm inference loop.
+    pub fastpath_ns: Histogram,
+    /// Local-predictor cache hits: tuples that reused the previous subset
+    /// Cholesky factor instead of re-running the O(l³) build.
+    pub lp_cache_hits: Counter,
+    /// Local-predictor cache misses (fresh subset factorizations).
+    pub lp_cache_misses: Counter,
 }
 
 impl OlgaproMetrics {
@@ -58,6 +69,9 @@ impl OlgaproMetrics {
             model_points: Gauge::disabled(),
             model_size: Histogram::disabled(),
             cap_hits: Counter::disabled(),
+            fastpath_ns: Histogram::disabled(),
+            lp_cache_hits: Counter::disabled(),
+            lp_cache_misses: Counter::disabled(),
         }
     }
 
@@ -69,8 +83,36 @@ impl OlgaproMetrics {
             model_points: reg.gauge("olgapro.model_points"),
             model_size: reg.histogram("olgapro.model_size"),
             cap_hits: reg.counter("olgapro.cap_hits"),
+            fastpath_ns: reg.histogram("olgapro.fastpath_ns"),
+            lp_cache_hits: reg.counter("olgapro.lp_cache.hits"),
+            lp_cache_misses: reg.counter("olgapro.lp_cache.misses"),
         }
     }
+}
+
+/// Reusable buffers for one evaluation lane: the Monte Carlo sample block,
+/// the local-selection scratch, the blocked-prediction scratch, and the
+/// one-entry [`LocalPredictorCache`]. Each [`crate::sched::BatchScheduler`]
+/// worker owns one, so the warm fast path allocates nothing per tuple in
+/// steady state; sequential callers ([`Olgapro::process`]) reuse the one
+/// embedded in the evaluator.
+#[derive(Debug, Default, Clone)]
+pub struct InferScratch {
+    /// The m drawn samples of the current tuple.
+    samples: Vec<Vec<f64>>,
+    /// Everything downstream of sampling (split so `samples` can be
+    /// borrowed immutably while the rest is borrowed mutably).
+    buf: InferBuffers,
+}
+
+#[derive(Debug, Default, Clone)]
+struct InferBuffers {
+    select: SelectScratch,
+    predict: PredictScratch,
+    cache: LocalPredictorCache,
+    preds: Vec<Prediction>,
+    means: Vec<f64>,
+    sds: Vec<f64>,
 }
 
 /// How online tuning picks the next training point (Expt 2 compares these).
@@ -115,6 +157,8 @@ pub struct Olgapro {
     tuning: TuningHeuristic,
     stats: OlgaproStats,
     metrics: OlgaproMetrics,
+    /// Buffers reused across sequential [`Olgapro::process`] calls.
+    scratch: InferScratch,
 }
 
 impl Olgapro {
@@ -138,6 +182,7 @@ impl Olgapro {
             tuning: TuningHeuristic::LargestVariance,
             stats: OlgaproStats::default(),
             metrics: OlgaproMetrics::disabled(),
+            scratch: InferScratch::default(),
         }
     }
 
@@ -247,6 +292,20 @@ impl Olgapro {
         input: &InputDistribution,
         rng: &mut dyn rand::RngCore,
     ) -> Result<GpOutput> {
+        let mut scratch = InferScratch::default();
+        self.infer_only_with(input, rng, &mut scratch)
+    }
+
+    /// [`Olgapro::infer_only`] with caller-provided scratch buffers — the
+    /// allocation-free form the scheduler's fast phase runs with per-worker
+    /// scratch. Identical outputs for identical RNG state; only the
+    /// allocations (and the subset-factor cache warmth) differ.
+    pub fn infer_only_with(
+        &self,
+        input: &InputDistribution,
+        rng: &mut dyn rand::RngCore,
+        scratch: &mut InferScratch,
+    ) -> Result<GpOutput> {
         if input.dim() != self.udf.dim() {
             return Err(CoreError::DimensionMismatch {
                 expected: self.udf.dim(),
@@ -256,13 +315,17 @@ impl Olgapro {
         if self.model.is_empty() {
             return Err(CoreError::Gp(udf_gp::GpError::EmptyModel));
         }
+        let t_fast = self.metrics.fastpath_ns.enabled().then(Instant::now);
         let split = self.config.split();
         let m = self.config.samples_per_input();
-        let samples = input.sample_n(rng, m);
-        let bbox = BoundingBox::from_points(samples.iter().map(|s| s.as_slice()));
+        input.sample_n_into(rng, m, &mut scratch.samples);
+        let bbox = BoundingBox::from_points(scratch.samples.iter().map(|s| s.as_slice()));
         let z_alpha = simultaneous_z(self.model.kernel(), &bbox, split.delta_gp);
-        let (means, sds, eps_gp) = self.infer_and_bound(&samples, &bbox, z_alpha)?;
-        let (y_hat, y_s, y_l) = envelope_ecdfs(&means, &sds, z_alpha)?;
+        let eps_gp = self.infer_and_bound(&scratch.samples, &bbox, z_alpha, &mut scratch.buf)?;
+        let (y_hat, y_s, y_l) = envelope_ecdfs(&scratch.buf.means, &scratch.buf.sds, z_alpha)?;
+        if let Some(t0) = t_fast {
+            self.metrics.fastpath_ns.record_duration(t0.elapsed());
+        }
         Ok(GpOutput {
             y_hat,
             y_s,
@@ -282,6 +345,21 @@ impl Olgapro {
         input: &InputDistribution,
         rng: &mut dyn rand::RngCore,
     ) -> Result<GpOutput> {
+        // The scratch is a field (reused across calls) but the evaluation
+        // borrows `&self` while mutating it, so temporarily move it out.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.process_with(input, rng, &mut scratch);
+        self.scratch = scratch;
+        out
+    }
+
+    /// [`Olgapro::process`] with caller-provided scratch buffers.
+    fn process_with(
+        &mut self,
+        input: &InputDistribution,
+        rng: &mut dyn rand::RngCore,
+        scratch: &mut InferScratch,
+    ) -> Result<GpOutput> {
         if input.dim() != self.udf.dim() {
             return Err(CoreError::DimensionMismatch {
                 expected: self.udf.dim(),
@@ -292,7 +370,8 @@ impl Olgapro {
         let split = self.config.split();
         // Step 1: draw m samples (m from ε_MC, δ_MC).
         let m = self.config.samples_per_input();
-        let samples = input.sample_n(rng, m);
+        input.sample_n_into(rng, m, &mut scratch.samples);
+        let samples = &scratch.samples;
         let bbox = BoundingBox::from_points(samples.iter().map(|s| s.as_slice()));
 
         // Bootstrap when the model is (nearly) empty: spread-out samples.
@@ -305,10 +384,12 @@ impl Olgapro {
             points_added += 1;
         }
 
-        // Steps 2–7: inference + error bound + online tuning loop.
+        // Steps 2–7: inference + error bound + online tuning loop. The
+        // latest means/sds live in `scratch.buf` across iterations.
         let t_tuning = self.metrics.tuning_ns.enabled().then(Instant::now);
         let z_alpha = simultaneous_z(self.model.kernel(), &bbox, split.delta_gp);
-        let (mut means, mut sds, mut eps_gp) = self.infer_and_bound(&samples, &bbox, z_alpha)?;
+        let mut eps_gp =
+            self.infer_and_bound(&scratch.samples, &bbox, z_alpha, &mut scratch.buf)?;
         while eps_gp > split.eps_gp && points_added < self.config.max_points_per_input {
             // Model-size budget: bounded per-tuple cost on long runs.
             if self.at_capacity() {
@@ -323,15 +404,13 @@ impl Olgapro {
                     ModelBudget::EvictOldest => self.model.remove_oldest()?,
                 }
             }
-            let pick = self.pick_training_sample(&samples, &sds, &bbox, z_alpha, rng)?;
-            let x = samples[pick].clone();
+            let pick =
+                self.pick_training_sample(&scratch.samples, &scratch.buf.sds, &bbox, z_alpha, rng)?;
+            let x = scratch.samples[pick].clone();
             let y = self.eval_udf(&x)?;
             self.model.add_point(x, y)?;
             points_added += 1;
-            let r = self.infer_and_bound(&samples, &bbox, z_alpha)?;
-            means = r.0;
-            sds = r.1;
-            eps_gp = r.2;
+            eps_gp = self.infer_and_bound(&scratch.samples, &bbox, z_alpha, &mut scratch.buf)?;
         }
         if let Some(t0) = t_tuning {
             self.metrics.tuning_ns.record_duration(t0.elapsed());
@@ -355,10 +434,7 @@ impl Olgapro {
                 retrained = true;
                 // Re-run inference with the new hyperparameters (step 12).
                 let z2 = simultaneous_z(self.model.kernel(), &bbox, split.delta_gp);
-                let r = self.infer_and_bound(&samples, &bbox, z2)?;
-                means = r.0;
-                sds = r.1;
-                eps_gp = r.2;
+                eps_gp = self.infer_and_bound(&scratch.samples, &bbox, z2, &mut scratch.buf)?;
                 if let Some(t0) = t_retrain {
                     self.metrics.retrain_ns.record_duration(t0.elapsed());
                 }
@@ -370,7 +446,7 @@ impl Olgapro {
         self.metrics.model_points.set(self.model.len() as u64);
         self.metrics.model_size.record(self.model.len() as u64);
 
-        let (y_hat, y_s, y_l) = envelope_ecdfs(&means, &sds, z_alpha)?;
+        let (y_hat, y_s, y_l) = envelope_ecdfs(&scratch.buf.means, &scratch.buf.sds, z_alpha)?;
         Ok(GpOutput {
             y_hat,
             y_s,
@@ -397,46 +473,56 @@ impl Olgapro {
         }
     }
 
-    /// One inference pass: local (or global) prediction at every sample plus
-    /// the Algorithm-3 / Prop-4.2 error bound.
+    /// One inference pass: blocked local (or global) prediction at every
+    /// sample plus the Algorithm-3 / Prop-4.2 error bound. The per-sample
+    /// means/sds are left in `buf.means` / `buf.sds`; the returned value is
+    /// the error bound.
+    ///
+    /// All m samples are evaluated as one kernel-matrix build + one
+    /// multi-RHS solve ([`udf_gp::batch`]), bit-identical to the former
+    /// per-sample loop, and the subset factorization is reused via
+    /// `buf.cache` when consecutive tuples select the same neighborhood.
     fn infer_and_bound(
         &self,
         samples: &[Vec<f64>],
         bbox: &BoundingBox,
         z_alpha: f64,
-    ) -> Result<(Vec<f64>, Vec<f64>, f64)> {
-        let m = samples.len();
-        let mut means = Vec::with_capacity(m);
-        let mut sds = Vec::with_capacity(m);
-
+        buf: &mut InferBuffers,
+    ) -> Result<f64> {
         // Local inference when the kernel is isotropic; global otherwise.
         // An *empty* selection is legitimate (every training point is far
         // enough that its weight is below Γ) but the local predictor needs
         // at least one point — fall back to global inference there too.
-        let local = match select_local(&self.model, bbox, self.config.gamma) {
-            Ok(sel) if !sel.indices.is_empty() => {
-                Some(LocalPredictor::new(&self.model, sel.indices)?)
-            }
-            Ok(_) => None,
-            Err(udf_gp::GpError::InvalidParameter { .. }) => None,
-            Err(e) => return Err(e.into()),
-        };
-        for s in samples {
-            let p = match &local {
-                Some(lp) => lp.predict(s)?,
-                None => self.model.predict(s)?,
+        let use_local =
+            match select_local_with(&self.model, bbox, self.config.gamma, &mut buf.select) {
+                Ok(_) => !buf.select.selected.is_empty(),
+                Err(udf_gp::GpError::InvalidParameter { .. }) => false,
+                Err(e) => return Err(e.into()),
             };
-            means.push(p.mean);
-            sds.push(p.var.sqrt());
+        if use_local {
+            let (lp, hit) = buf.cache.get_or_build(&self.model, &buf.select.selected)?;
+            if hit {
+                self.metrics.lp_cache_hits.inc();
+            } else {
+                self.metrics.lp_cache_misses.inc();
+            }
+            lp.predict_batch_with(samples, &mut buf.predict, &mut buf.preds)?;
+        } else {
+            self.model
+                .predict_batch_with(samples, &mut buf.predict, &mut buf.preds)?;
         }
-        let (y_hat, y_s, y_l) = envelope_ecdfs(&means, &sds, z_alpha)?;
+        buf.means.clear();
+        buf.sds.clear();
+        buf.means.extend(buf.preds.iter().map(|p| p.mean));
+        buf.sds.extend(buf.preds.iter().map(|p| p.var.sqrt()));
+        let (y_hat, y_s, y_l) = envelope_ecdfs(&buf.means, &buf.sds, z_alpha)?;
         let eps_gp = match self.config.accuracy.metric {
             Metric::Discrepancy => {
                 lambda_discrepancy_bound(&y_hat, &y_s, &y_l, self.config.accuracy.lambda)
             }
             Metric::Ks => ks_bound(&y_hat, &y_s, &y_l),
         };
-        Ok((means, sds, eps_gp))
+        Ok(eps_gp)
     }
 
     /// Online tuning (§5.2): choose the sample to evaluate next.
@@ -719,6 +805,37 @@ mod tests {
         assert_eq!(a.eps_gp, b.eps_gp);
         assert_eq!(b.points_added, 0);
         assert!(!b.retrained);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch_bitwise() {
+        // One InferScratch carried across many tuples (what a scheduler
+        // worker does) must be invisible: every output byte-identical to a
+        // fresh-scratch call, including local-predictor cache hits.
+        let mut olga = Olgapro::new(smooth_udf(), config(0.2));
+        let mut rng = StdRng::seed_from_u64(21);
+        for i in 0..8 {
+            let input = InputDistribution::diagonal_gaussian(&[(0.8 * i as f64, 0.4)]).unwrap();
+            olga.process(&input, &mut rng).unwrap();
+        }
+        let mut reused = InferScratch::default();
+        // Repeat inputs so the second pass over each hits the predictor
+        // cache inside the reused scratch.
+        let mus = [1.0, 1.0, 4.5, 4.5, 1.0, 6.2];
+        for (i, mu) in mus.into_iter().enumerate() {
+            let input = InputDistribution::diagonal_gaussian(&[(mu, 0.3)]).unwrap();
+            let a = olga
+                .infer_only_with(&input, &mut StdRng::seed_from_u64(i as u64), &mut reused)
+                .unwrap();
+            let b = olga
+                .infer_only(&input, &mut StdRng::seed_from_u64(i as u64))
+                .unwrap();
+            assert_eq!(a.y_hat.values(), b.y_hat.values(), "tuple {i} mean CDF");
+            assert_eq!(a.y_s.values(), b.y_s.values(), "tuple {i} lower");
+            assert_eq!(a.y_l.values(), b.y_l.values(), "tuple {i} upper");
+            assert_eq!(a.eps_gp.to_bits(), b.eps_gp.to_bits(), "tuple {i} eps_gp");
+            assert_eq!(a.z_alpha.to_bits(), b.z_alpha.to_bits(), "tuple {i} z");
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! worker count; on a cold model the behaviour (and output) degrades
 //! gracefully to the sequential algorithm.
 
-use crate::olgapro::Olgapro;
+use crate::olgapro::{InferScratch, Olgapro};
 use crate::output::GpOutput;
 use crate::sched::{mix_seed, BatchOps, BatchScheduler, Verdict};
 use crate::Result;
@@ -51,8 +51,8 @@ impl BatchOps for OlgaproBatch<'_> {
         self.olga.model().is_empty()
     }
 
-    fn fast(&self, idx: usize, rng: &mut StdRng) -> Result<GpOutput> {
-        self.olga.infer_only(&self.inputs[idx], rng)
+    fn fast(&self, idx: usize, rng: &mut StdRng, scratch: &mut InferScratch) -> Result<GpOutput> {
+        self.olga.infer_only_with(&self.inputs[idx], rng, scratch)
     }
 
     fn accept(&self, _idx: usize, out: &GpOutput) -> Verdict {

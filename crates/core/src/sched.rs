@@ -31,6 +31,10 @@
 //! fixed shard. At stream micro-batch sizes this beats spawning a fresh
 //! `std::thread::scope` per batch by a wide margin — see the
 //! `stream/dispatch` axis of `crates/bench/benches/stream_throughput.rs`.
+//! Each execution slot additionally owns a persistent
+//! [`InferScratch`] handed to [`BatchOps::fast`],
+//! so warm fast passes reuse sample buffers, kernel-matrix scratch, and the
+//! per-slot local-predictor cache instead of allocating per tuple.
 //!
 //! ## Determinism
 //!
@@ -40,6 +44,7 @@
 //! worker count. Chunk stealing moves *where* fast work runs, never *what*
 //! it computes.
 
+use crate::olgapro::InferScratch;
 use crate::output::GpOutput;
 use crate::{CoreError, Result};
 use rand::rngs::StdRng;
@@ -162,7 +167,14 @@ pub trait BatchOps {
     }
 
     /// Read-only fast-path evaluation of tuple `idx`; runs concurrently.
-    fn fast(&self, idx: usize, rng: &mut StdRng) -> Result<GpOutput>;
+    ///
+    /// `scratch` is the executing worker's private reusable buffer set,
+    /// owned by the scheduler and handed to whichever worker steals the
+    /// tuple — in steady state the fast phase allocates nothing per tuple.
+    /// Implementations must not let the scratch contents affect results
+    /// (it is a cache, keyed to stay coherent), since chunk stealing makes
+    /// the tuple→worker assignment nondeterministic.
+    fn fast(&self, idx: usize, rng: &mut StdRng, scratch: &mut InferScratch) -> Result<GpOutput>;
 
     /// Rule on a fast-path result. Called in tuple order; `&self` already
     /// reflects every slow-path mutation of earlier tuples.
@@ -327,6 +339,12 @@ const CHUNKS_PER_WORKER: usize = 4;
 /// two-phase fast/slow driver. See the [module docs](self) for the pattern.
 pub struct BatchScheduler {
     pool: WorkerPool,
+    /// One [`InferScratch`] per execution slot. A worker locks its own slot
+    /// for each stolen chunk (never another worker's, so the mutexes are
+    /// uncontended); buffers and the per-slot `LocalPredictorCache` persist
+    /// across batches, which is what makes the warm fast phase
+    /// allocation-free.
+    scratch: Vec<Mutex<InferScratch>>,
     metrics: SchedMetrics,
 }
 
@@ -343,8 +361,13 @@ impl BatchScheduler {
     /// ≥ 1). `workers - 1` pool threads are spawned now and reused for every
     /// subsequent batch; the calling thread fills the last slot.
     pub fn new(workers: usize) -> Self {
+        let pool = WorkerPool::new(workers);
+        let scratch = (0..pool.workers)
+            .map(|_| Mutex::new(InferScratch::default()))
+            .collect();
         BatchScheduler {
-            pool: WorkerPool::new(workers),
+            pool,
+            scratch,
             metrics: SchedMetrics::disabled(),
         }
     }
@@ -377,6 +400,19 @@ impl BatchScheduler {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.try_map_indexed(n, |_worker, i| f(i))
+    }
+
+    /// [`try_map`](Self::try_map) variant whose closure also receives the
+    /// executing worker's slot id (`0..workers`) — the key into per-worker
+    /// state such as the scheduler-owned [`InferScratch`] pool. Placement is
+    /// still dynamic (chunk stealing), so the worker id must only select
+    /// *which cache* to use, never affect the computed value.
+    fn try_map_indexed<T, F>(&self, n: usize, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+    {
         if n == 0 {
             return Ok(Vec::new());
         }
@@ -389,14 +425,14 @@ impl BatchScheduler {
         // should not pay 7 wake-ups.
         let helpers = n.div_ceil(chunk).saturating_sub(1);
         self.metrics.chunks.add(n.div_ceil(chunk) as u64);
-        let task = |_worker: usize| loop {
+        let task = |worker: usize| loop {
             let lo = next.fetch_add(chunk, Ordering::Relaxed);
             if lo >= n {
                 break;
             }
             let hi = (lo + chunk).min(n);
             // Evaluate outside the lock; only the moves happen under it.
-            let vals: Vec<(usize, T)> = (lo..hi).map(|i| (i, f(i))).collect();
+            let vals: Vec<(usize, T)> = (lo..hi).map(|i| (i, f(worker, i))).collect();
             let mut guard = slots.lock().expect("result mutex");
             for (i, v) in vals {
                 guard[i] = Some(v);
@@ -444,10 +480,17 @@ impl BatchScheduler {
         // Phase 1: parallel read-only inference against the frozen model.
         let shared: &O = ops;
         let t_fast = self.metrics.fast_phase_ns.enabled().then(Instant::now);
-        let inferred: Vec<Result<GpOutput>> = self.try_map(n - start, |i| {
+        let inferred: Vec<Result<GpOutput>> = self.try_map_indexed(n - start, |worker, i| {
             let idx = start + i;
             let mut rng = StdRng::seed_from_u64(shared.tuple_seed(idx));
-            shared.fast(idx, &mut rng)
+            // Each worker locks only its own slot, so this never contends.
+            // A contained panic (see `try_map`) may poison the slot; the
+            // scratch is only caches and buffers whose reuse is keyed for
+            // coherence, so recovering the inner value is always safe.
+            let mut scratch = self.scratch[worker]
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            shared.fast(idx, &mut rng, &mut scratch)
         })?;
         if let Some(t0) = t_fast {
             self.metrics.fast_phase_ns.record_duration(t0.elapsed());

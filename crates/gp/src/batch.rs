@@ -1,0 +1,309 @@
+//! Blocked batch inference (the warm fast path, §5.1).
+//!
+//! Per-tuple inference evaluates all `m` Monte Carlo samples against the
+//! same (local or global) model. Doing that one sample at a time costs one
+//! kernel-vector build and one `O(l²)` triangular solve *per sample*, plus a
+//! handful of allocations per call. This module evaluates the whole tuple as
+//! one blocked operation:
+//!
+//! 1. build the `l x m` kernel matrix `K` once (row `r` = selected training
+//!    point `r` against every sample);
+//! 2. accumulate all `m` posterior means as `Kᵀ α` via lane-unrolled axpy
+//!    over rows;
+//! 3. run one column-blocked multi-RHS forward substitution `V = L⁻¹ K`
+//!    ([`Cholesky::solve_lower_in_place`]) and accumulate all `m` squared
+//!    norms `‖v_c‖²` row-wise for the variances.
+//!
+//! **Bit-identity contract.** Every per-sample reduction preserves the
+//! scalar path's order exactly: means and squared norms accumulate over
+//! training rows in ascending order (the same order `dot` walks them), and
+//! the multi-RHS solve performs the scalar `solve_lower` op sequence per
+//! column (`k` ascending, true division by the diagonal). SIMD-style
+//! unrolling happens only *across* samples, which are independent outputs.
+//! So `predict_batch(xs)[c] == predict(xs[c])` bit for bit — the property
+//! the digest-pinning test suites rely on.
+//!
+//! [`LocalPredictorCache`] additionally skips the `O(l³)` subset
+//! refactorization when consecutive tuples select the same training subset
+//! from the same model state — common under clustered workloads where
+//! neighboring tuples share a local neighborhood.
+
+use crate::kernel::Kernel;
+use crate::local::LocalPredictor;
+use crate::model::{GpModel, Prediction};
+use crate::Result;
+use std::sync::Arc;
+use udf_linalg::{lanes, Cholesky};
+
+/// Reusable buffers for blocked batch prediction. One instance per worker
+/// (or per sequential caller) makes steady-state inference allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct PredictScratch {
+    /// Row-major `l x m` kernel matrix, overwritten in place by `V = L⁻¹ K`.
+    kv: Vec<f64>,
+    /// Per-sample mean accumulators (`m`).
+    means: Vec<f64>,
+    /// Per-sample squared-norm accumulators (`m`).
+    sq: Vec<f64>,
+}
+
+/// Shared core of [`GpModel::predict_batch_with`] and
+/// [`LocalPredictor::predict_batch_with`].
+///
+/// `indices: None` selects every training row (global inference);
+/// `Some(idx)` restricts rows and weights to the subset, in subset order —
+/// exactly the rows/weights the scalar paths walk. `chol` must be the
+/// factor over the chosen rows. Dimension checks are the caller's job.
+#[allow(clippy::too_many_arguments)] // internal seam shared by two thin wrappers
+pub(crate) fn batch_predict_core(
+    kernel: &dyn Kernel,
+    xs: &[Vec<f64>],
+    indices: Option<&[usize]>,
+    alpha: &[f64],
+    chol: &Cholesky,
+    queries: &[Vec<f64>],
+    scratch: &mut PredictScratch,
+    out: &mut Vec<Prediction>,
+) -> Result<()> {
+    let l = chol.dim();
+    let m = queries.len();
+    out.clear();
+    if m == 0 {
+        return Ok(());
+    }
+
+    // 1. Kernel matrix K (l x m): row r = training point r vs every sample.
+    scratch.kv.clear();
+    scratch.kv.resize(l * m, 0.0);
+    for r in 0..l {
+        let xi = match indices {
+            Some(idx) => &xs[idx[r]],
+            None => &xs[r],
+        };
+        // One virtual call per row; `eval_row` is bit-identical to the
+        // per-entry `eval` loop it replaces (trait contract).
+        kernel.eval_row(xi, queries, &mut scratch.kv[r * m..(r + 1) * m]);
+    }
+
+    // 2. Means: Kᵀ α accumulated row-by-row (training index ascending — the
+    //    same reduction order as the scalar `dot(k, α)`). Accumulators start
+    //    at -0.0, the additive identity `Iterator::sum` folds floats from:
+    //    a far query whose kernel row underflows to zero against a negative
+    //    weight sums to -0.0 on the scalar path, and +0.0 + -0.0 = +0.0
+    //    would break bit-identity exactly there.
+    scratch.means.clear();
+    scratch.means.resize(m, -0.0);
+    for r in 0..l {
+        let a = match indices {
+            Some(idx) => alpha[idx[r]],
+            None => alpha[r],
+        };
+        lanes::axpy(a, &scratch.kv[r * m..(r + 1) * m], &mut scratch.means);
+    }
+
+    // 3. Variances: V = L⁻¹ K in place, then ‖v_c‖² accumulated row-by-row.
+    chol.solve_lower_in_place(&mut scratch.kv, m)?;
+    scratch.sq.clear();
+    scratch.sq.resize(m, -0.0); // same fold identity as `dot(v, v)`
+    for r in 0..l {
+        lanes::sq_accum(&scratch.kv[r * m..(r + 1) * m], &mut scratch.sq);
+    }
+
+    out.reserve(m);
+    for (c, q) in queries.iter().enumerate() {
+        let var = (kernel.eval(q, q) - scratch.sq[c]).max(0.0);
+        out.push(Prediction {
+            mean: scratch.means[c],
+            var,
+        });
+    }
+    Ok(())
+}
+
+/// One-entry cache of the last subset factorization, keyed by
+/// `(model_id, epoch, indices)`.
+///
+/// Consecutive tuples whose sample boxes select the same training subset —
+/// the common case on clustered or slowly-drifting inputs once the model
+/// stops growing — reuse the `O(l³)` Cholesky factor instead of rebuilding
+/// it. The `(model_id, epoch)` fingerprint makes a stale hit impossible:
+/// any model mutation bumps the epoch, and distinct models never share an
+/// id, so cross-model or post-update reuse misses by construction.
+#[derive(Debug, Default, Clone)]
+pub struct LocalPredictorCache {
+    model_id: u64,
+    epoch: u64,
+    indices: Vec<usize>,
+    chol: Option<Arc<Cholesky>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LocalPredictorCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return a predictor for `indices` on `model`, reusing the cached
+    /// factor when the selection and model state match. The boolean is
+    /// `true` on a cache hit.
+    pub fn get_or_build<'m>(
+        &mut self,
+        model: &'m GpModel,
+        indices: &[usize],
+    ) -> Result<(LocalPredictor<'m>, bool)> {
+        if let Some(chol) = &self.chol {
+            if self.model_id == model.model_id()
+                && self.epoch == model.epoch()
+                && self.indices == indices
+            {
+                self.hits += 1;
+                return Ok((
+                    LocalPredictor::from_cached(model, indices.to_vec(), Arc::clone(chol)),
+                    true,
+                ));
+            }
+        }
+        self.misses += 1;
+        let lp = LocalPredictor::new(model, indices.to_vec())?;
+        self.model_id = model.model_id();
+        self.epoch = model.epoch();
+        self.indices.clear();
+        self.indices.extend_from_slice(indices);
+        self.chol = Some(Arc::clone(lp.factor_arc()));
+        Ok((lp, false))
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SquaredExponential;
+    use crate::local::select_local;
+    use udf_spatial::BoundingBox;
+
+    fn model(n: usize) -> GpModel {
+        let mut m = GpModel::new(Box::new(SquaredExponential::new(1.0, 0.6)), 1);
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 0.31]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 1.3).sin()).collect();
+        m.fit(xs, ys).unwrap();
+        m
+    }
+
+    #[test]
+    fn global_batch_bit_identical_to_scalar() {
+        let m = model(40);
+        let queries: Vec<Vec<f64>> = (0..97).map(|i| vec![i as f64 * 0.13 - 1.0]).collect();
+        let batch = m.predict_batch(&queries).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batch) {
+            let s = m.predict(q).unwrap();
+            assert_eq!(s.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(s.var.to_bits(), b.var.to_bits());
+        }
+    }
+
+    #[test]
+    fn local_batch_bit_identical_to_scalar() {
+        let m = model(60);
+        let qbox = BoundingBox::new(vec![2.0], vec![4.0]);
+        let sel = select_local(&m, &qbox, 1e-5).unwrap();
+        let lp = LocalPredictor::new(&m, sel.indices).unwrap();
+        let queries: Vec<Vec<f64>> = (0..64).map(|i| vec![2.0 + i as f64 * 2.0 / 63.0]).collect();
+        let batch = lp.predict_batch(&queries).unwrap();
+        for (q, b) in queries.iter().zip(&batch) {
+            let s = lp.predict(q).unwrap();
+            assert_eq!(s.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(s.var.to_bits(), b.var.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_query_batch_is_empty() {
+        let m = model(8);
+        assert!(m.predict_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_invalidates_on_mutation() {
+        let m0 = model(30);
+        let indices: Vec<usize> = (5..20).collect();
+        let other: Vec<usize> = (0..12).collect();
+        let mut cache = LocalPredictorCache::new();
+
+        let (_, hit) = cache.get_or_build(&m0, &indices).unwrap();
+        assert!(!hit);
+        let (lp, hit) = cache.get_or_build(&m0, &indices).unwrap();
+        assert!(hit, "same model+selection must hit");
+        // A hit must produce the same factor bit-for-bit.
+        let fresh = LocalPredictor::new(&m0, indices.clone()).unwrap();
+        for (a, b) in lp
+            .factor_arc()
+            .lower()
+            .as_slice()
+            .iter()
+            .zip(fresh.factor_arc().lower().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Different selection misses.
+        let (_, hit) = cache.get_or_build(&m0, &other).unwrap();
+        assert!(!hit);
+
+        // Model mutation bumps the epoch and invalidates.
+        let mut m1 = model(30);
+        let (_, hit) = cache.get_or_build(&m1, &other).unwrap();
+        assert!(!hit, "different model id must miss");
+        let (_, hit) = cache.get_or_build(&m1, &other).unwrap();
+        assert!(hit);
+        m1.add_point(vec![50.0], 0.3).unwrap();
+        let (_, hit) = cache.get_or_build(&m1, &other).unwrap();
+        assert!(!hit, "mutated model must miss");
+        assert_eq!(cache.stats(), (2, 4));
+    }
+
+    #[test]
+    fn epoch_tracks_all_mutations() {
+        let mut m = model(10);
+        let e0 = m.epoch();
+        m.add_point(vec![9.9], 0.1).unwrap();
+        let e1 = m.epoch();
+        assert!(e1 > e0);
+        m.remove_oldest().unwrap();
+        let e2 = m.epoch();
+        assert!(e2 > e1);
+        let theta = m.kernel().params();
+        m.set_hyperparams(&theta).unwrap();
+        assert!(m.epoch() > e2);
+        // Distinct models never share an id.
+        assert_ne!(model(3).model_id(), model(3).model_id());
+    }
+
+    #[test]
+    fn half_value_distance_cached_and_invalidated() {
+        let mut m = model(10);
+        let d0 = m.half_value_distance().expect("isotropic");
+        assert_eq!(
+            d0.to_bits(),
+            m.half_value_distance().unwrap().to_bits(),
+            "cached value must be stable"
+        );
+        // Doubling the lengthscale doubles the half-value distance.
+        let mut theta = m.kernel().params();
+        theta[1] += std::f64::consts::LN_2; // params are log-scale
+        m.set_hyperparams(&theta).unwrap();
+        let d1 = m.half_value_distance().unwrap();
+        assert!(
+            (d1 / d0 - 2.0).abs() < 1e-9,
+            "expected ~2x after doubling lengthscale, got {}",
+            d1 / d0
+        );
+    }
+}

@@ -32,10 +32,44 @@ pub trait Kernel: Send + Sync + std::fmt::Debug {
     /// needed by the Newton retraining heuristic (§5.3).
     fn second_deriv(&self, a: &[f64], b: &[f64]) -> Vec<f64>;
 
+    /// Evaluate `k(x, q)` for every `q` in `qs` into `out` (same length).
+    ///
+    /// Bitwise identical to calling [`Kernel::eval`] per point — overrides
+    /// may hoist hyperparameter transforms out of the loop (`exp` of the
+    /// same input is deterministic) but must keep the per-entry arithmetic
+    /// exactly the scalar expression. One virtual call per row instead of
+    /// per entry is what makes blocked kernel-matrix builds cheap.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != qs.len()` (caller bug).
+    fn eval_row(&self, x: &[f64], qs: &[Vec<f64>], out: &mut [f64]) {
+        assert_eq!(out.len(), qs.len(), "eval_row: wrong output length");
+        for (o, q) in out.iter_mut().zip(qs) {
+            *o = self.eval(x, q);
+        }
+    }
+
     /// For isotropic kernels: `k` as a function of Euclidean distance `r`.
     /// `None` for non-isotropic kernels (e.g. ARD); local inference's
     /// near/far-corner bound requires isotropy.
     fn eval_dist(&self, r: f64) -> Option<f64>;
+
+    /// Bulk [`Kernel::eval_dist`]: `out[i] = eval_dist(rs[i])` for every
+    /// `i`, bitwise identical to the scalar calls. Returns `false` (with
+    /// `out` unspecified) for non-isotropic kernels.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != rs.len()` (caller bug).
+    fn eval_dist_many(&self, rs: &[f64], out: &mut [f64]) -> bool {
+        assert_eq!(out.len(), rs.len(), "eval_dist_many: wrong output length");
+        for (o, &r) in out.iter_mut().zip(rs) {
+            match self.eval_dist(r) {
+                Some(v) => *o = v,
+                None => return false,
+            }
+        }
+        true
+    }
 
     /// Second spectral moment `λ₂` per input dimension of the associated
     /// stationary field (`λ₂ = −k''(0)/k(0)` for isotropic kernels),
@@ -104,6 +138,18 @@ impl Kernel for SquaredExponential {
         (2.0 * self.log_sigma_f).exp() * (-0.5 * sq_dist(a, b) / l2).exp()
     }
 
+    fn eval_row(&self, x: &[f64], qs: &[Vec<f64>], out: &mut [f64]) {
+        assert_eq!(out.len(), qs.len(), "eval_row: wrong output length");
+        // `eval` with the hyperparameter transforms hoisted: `exp` of the
+        // same input is deterministic, and the per-entry expression is the
+        // scalar one verbatim, so each entry is bit-identical to `eval`.
+        let l2 = (2.0 * self.log_len).exp();
+        let sf2 = (2.0 * self.log_sigma_f).exp();
+        for (o, q) in out.iter_mut().zip(qs) {
+            *o = sf2 * (-0.5 * sq_dist(x, q) / l2).exp();
+        }
+    }
+
     fn n_params(&self) -> usize {
         2
     }
@@ -136,6 +182,17 @@ impl Kernel for SquaredExponential {
     fn eval_dist(&self, r: f64) -> Option<f64> {
         let l2 = (2.0 * self.log_len).exp();
         Some((2.0 * self.log_sigma_f).exp() * (-0.5 * r * r / l2).exp())
+    }
+
+    fn eval_dist_many(&self, rs: &[f64], out: &mut [f64]) -> bool {
+        assert_eq!(out.len(), rs.len(), "eval_dist_many: wrong output length");
+        // `eval_dist` with the transforms hoisted; bit-identical per entry.
+        let l2 = (2.0 * self.log_len).exp();
+        let sf2 = (2.0 * self.log_sigma_f).exp();
+        for (o, &r) in out.iter_mut().zip(rs) {
+            *o = sf2 * (-0.5 * r * r / l2).exp();
+        }
+        true
     }
 
     fn spectral_moment(&self) -> Vec<f64> {
@@ -320,6 +377,18 @@ impl Kernel for Matern32 {
         Some((2.0 * self.log_sigma_f).exp() * (1.0 + s) * (-s).exp())
     }
 
+    fn eval_dist_many(&self, rs: &[f64], out: &mut [f64]) -> bool {
+        assert_eq!(out.len(), rs.len(), "eval_dist_many: wrong output length");
+        // `eval_dist` with the transforms hoisted; bit-identical per entry.
+        let len = self.log_len.exp();
+        let sf2 = (2.0 * self.log_sigma_f).exp();
+        for (o, &r) in out.iter_mut().zip(rs) {
+            let s = 3.0f64.sqrt() * r / len;
+            *o = sf2 * (1.0 + s) * (-s).exp();
+        }
+        true
+    }
+
     fn spectral_moment(&self) -> Vec<f64> {
         // λ₂ = 3/ℓ².
         vec![3.0 * (-2.0 * self.log_len).exp()]
@@ -401,6 +470,18 @@ impl Kernel for Matern52 {
     fn eval_dist(&self, r: f64) -> Option<f64> {
         let s = 5.0f64.sqrt() * r / self.log_len.exp();
         Some((2.0 * self.log_sigma_f).exp() * (1.0 + s + s * s / 3.0) * (-s).exp())
+    }
+
+    fn eval_dist_many(&self, rs: &[f64], out: &mut [f64]) -> bool {
+        assert_eq!(out.len(), rs.len(), "eval_dist_many: wrong output length");
+        // `eval_dist` with the transforms hoisted; bit-identical per entry.
+        let len = self.log_len.exp();
+        let sf2 = (2.0 * self.log_sigma_f).exp();
+        for (o, &r) in out.iter_mut().zip(rs) {
+            let s = 5.0f64.sqrt() * r / len;
+            *o = sf2 * (1.0 + s + s * s / 3.0) * (-s).exp();
+        }
+        true
     }
 
     fn spectral_moment(&self) -> Vec<f64> {
@@ -523,6 +604,42 @@ mod tests {
         assert!((SquaredExponential::new(1.0, 2.0).spectral_moment()[0] - 0.25).abs() < 1e-12);
         assert!((Matern32::new(1.0, 1.0).spectral_moment()[0] - 3.0).abs() < 1e-12);
         assert!((Matern52::new(1.0, 1.0).spectral_moment()[0] - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bulk_row_eval_bitwise_matches_scalar() {
+        // The hoisted overrides must equal per-entry eval/eval_dist bit for
+        // bit — the blocked fast path's correctness rests on this.
+        let kernels: Vec<Box<dyn Kernel>> = vec![
+            Box::new(SquaredExponential::new(1.5, 0.8)),
+            Box::new(SquaredExponentialArd::new(1.0, &[0.5, 5.0])),
+            Box::new(Matern32::new(2.0, 1.3)),
+            Box::new(Matern52::new(0.7, 0.4)),
+        ];
+        let x = [0.3, -0.2];
+        let qs: Vec<Vec<f64>> = (0..33)
+            .map(|i| vec![i as f64 * 0.7 - 9.0, (i as f64 * 1.3).sin()])
+            .collect();
+        let rs: Vec<f64> = (0..33).map(|i| i as f64 * 0.45).collect();
+        for k in &kernels {
+            let mut row = vec![0.0; qs.len()];
+            k.eval_row(&x, &qs, &mut row);
+            for (q, v) in qs.iter().zip(&row) {
+                assert_eq!(k.eval(&x, q).to_bits(), v.to_bits(), "{k:?} at {q:?}");
+            }
+            let mut kv = vec![0.0; rs.len()];
+            let iso = k.eval_dist_many(&rs, &mut kv);
+            assert_eq!(iso, k.eval_dist(0.0).is_some(), "{k:?} isotropy flag");
+            if iso {
+                for (r, v) in rs.iter().zip(&kv) {
+                    assert_eq!(
+                        k.eval_dist(*r).unwrap().to_bits(),
+                        v.to_bits(),
+                        "{k:?} at r={r}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -20,13 +20,15 @@
 //!   Euler characteristic approximation (§4.2, Eq. 5, after Adler \[3\]).
 
 pub mod band;
+pub mod batch;
 pub mod kernel;
 pub mod local;
 pub mod model;
 pub mod train;
 
+pub use batch::{LocalPredictorCache, PredictScratch};
 pub use kernel::{Kernel, Matern32, Matern52, SquaredExponential, SquaredExponentialArd};
-pub use local::LocalSelection;
+pub use local::{LocalSelection, SelectScratch};
 pub use model::GpModel;
 
 use std::fmt;

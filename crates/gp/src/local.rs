@@ -15,6 +15,7 @@
 
 use crate::model::{GpModel, Prediction};
 use crate::{GpError, Result};
+use std::sync::Arc;
 use udf_linalg::{dot, Cholesky, Matrix};
 use udf_spatial::BoundingBox;
 
@@ -29,6 +30,30 @@ pub struct LocalSelection {
     pub radius: f64,
 }
 
+/// Reusable buffers for the selection loop. One instance per worker (or per
+/// sequential caller) makes steady-state selection allocation-free: the
+/// R-tree query fills `selected` in place and `gamma_bound` reuses its mask
+/// and distance/kernel-value buffers across every radius-expansion iteration
+/// instead of allocating fresh vectors per call.
+#[derive(Debug, Default, Clone)]
+pub struct SelectScratch {
+    /// Output of the last [`select_local_with`]: the selected indices.
+    pub selected: Vec<usize>,
+    /// γ-bound working buffers.
+    bufs: GammaBufs,
+}
+
+/// Working buffers for [`gamma_bound`]'s per-sub-box sweep.
+#[derive(Debug, Default, Clone)]
+struct GammaBufs {
+    /// Selection mask over training indices (all-false between calls).
+    mask: Vec<bool>,
+    /// Interleaved near/far corner distances, `2n` per sub-box.
+    dists: Vec<f64>,
+    /// Bulk kernel values for `dists` (the per-point γ brackets).
+    kvals: Vec<f64>,
+}
+
 /// Choose training points near `sample_box` so the mean-approximation error
 /// is at most `gamma_threshold` (the paper's Γ).
 ///
@@ -39,6 +64,25 @@ pub fn select_local(
     sample_box: &BoundingBox,
     gamma_threshold: f64,
 ) -> Result<LocalSelection> {
+    let mut scratch = SelectScratch::default();
+    let (gamma, radius) = select_local_with(model, sample_box, gamma_threshold, &mut scratch)?;
+    Ok(LocalSelection {
+        indices: scratch.selected,
+        gamma,
+        radius,
+    })
+}
+
+/// [`select_local`] with caller-provided scratch: returns `(gamma, radius)`
+/// and leaves the selected indices (sorted ascending) in
+/// `scratch.selected`. Identical selection, γ, and radius to
+/// [`select_local`] — only the allocations differ.
+pub fn select_local_with(
+    model: &GpModel,
+    sample_box: &BoundingBox,
+    gamma_threshold: f64,
+    scratch: &mut SelectScratch,
+) -> Result<(f64, f64)> {
     if model.is_empty() {
         return Err(GpError::EmptyModel);
     }
@@ -56,73 +100,97 @@ pub fn select_local(
     }
 
     let n = model.len();
-    // Radius step: the kernel's half-value distance, found by bisection.
-    let step = half_value_distance(model);
+    // Radius step: the kernel's half-value distance (bisected once per
+    // hyperparameter setting and cached on the model).
+    let step = model.half_value_distance().expect("checked isotropic");
+    // The near/far corner distances — and so the per-point kernel brackets —
+    // depend only on the sample box and the training set, never on the
+    // current selection, so every radius-expansion iteration reuses one
+    // up-front evaluation instead of re-walking the kernel per excluded
+    // point. Same distances, same kernel values, same accumulation order:
+    // γ is bit-identical to evaluating from scratch each iteration.
+    let n_sub = gamma_precompute(model, sample_box, &mut scratch.bufs);
     let mut radius = step;
     loop {
-        let mut selected = model.spatial_index().query_within(sample_box, radius);
-        selected.sort_unstable();
-        let gamma = gamma_bound(model, sample_box, &selected);
-        if gamma <= gamma_threshold || selected.len() == n {
-            return Ok(LocalSelection {
-                indices: selected,
-                gamma,
-                radius,
-            });
+        model
+            .spatial_index()
+            .query_within_into(sample_box, radius, &mut scratch.selected);
+        scratch.selected.sort_unstable();
+        let gamma = gamma_from_precomputed(model, &scratch.selected, &mut scratch.bufs, n_sub);
+        if gamma <= gamma_threshold || scratch.selected.len() == n {
+            return Ok((gamma, radius));
         }
         radius += step;
     }
 }
 
-/// Distance at which the kernel decays to half its zero-distance value.
-fn half_value_distance(model: &GpModel) -> f64 {
-    let k = model.kernel();
-    let k0 = k.eval_dist(0.0).expect("checked isotropic");
-    let target = 0.5 * k0;
-    let mut hi = 1.0;
-    while k.eval_dist(hi).expect("isotropic") > target && hi < 1e6 {
-        hi *= 2.0;
-    }
-    let mut lo = 0.0;
-    for _ in 0..60 {
-        let mid = 0.5 * (lo + hi);
-        if k.eval_dist(mid).expect("isotropic") > target {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    0.5 * (lo + hi)
-}
-
 /// Upper bound γ on the mean-approximation error over the sample box given
 /// the selected subset (γ = 0 when nothing is excluded).
 pub fn gamma_bound(model: &GpModel, sample_box: &BoundingBox, selected: &[usize]) -> f64 {
+    if selected.len() == model.len() {
+        return 0.0; // nothing excluded; skip the bracket evaluation
+    }
+    let mut bufs = GammaBufs::default();
+    let n_sub = gamma_precompute(model, sample_box, &mut bufs);
+    gamma_from_precomputed(model, selected, &mut bufs, n_sub)
+}
+
+/// Evaluate the per-point kernel brackets for every sub-box of
+/// `sample_box`: `kvals[s·2n + 2l]` / `kvals[s·2n + 2l + 1]` hold
+/// `k(near corner)` / `k(far corner)` of training point `l` against sub-box
+/// `s`. Selection-independent, so one evaluation serves every iteration of
+/// the radius-expansion loop. Returns the sub-box count.
+///
+/// # Panics
+/// Panics for non-isotropic kernels (callers check first).
+fn gamma_precompute(model: &GpModel, sample_box: &BoundingBox, bufs: &mut GammaBufs) -> usize {
+    let xs = model.inputs();
+    // Sub-box refinement: split along the longest axes (2^min(d,3) boxes).
+    let sub_boxes = sample_box.bisect(sample_box.dim().min(3));
+    bufs.dists.clear();
+    for sb in &sub_boxes {
+        for x in xs {
+            bufs.dists.push(sb.min_dist(x));
+            bufs.dists.push(sb.max_dist(x));
+        }
+    }
+    bufs.kvals.resize(bufs.dists.len(), 0.0);
+    let isotropic = model.kernel().eval_dist_many(&bufs.dists, &mut bufs.kvals);
+    assert!(isotropic, "gamma_bound requires an isotropic kernel");
+    sub_boxes.len()
+}
+
+/// γ from precomputed brackets ([`gamma_precompute`] must have filled
+/// `bufs` for this model/box). The mask must be all-false on entry; it is
+/// restored to all-false before returning (only the entries set for
+/// `selected` are touched, so the reset is O(|selected|)). Values and
+/// accumulation order match the per-point scalar evaluation exactly.
+fn gamma_from_precomputed(
+    model: &GpModel,
+    selected: &[usize],
+    bufs: &mut GammaBufs,
+    n_sub: usize,
+) -> f64 {
     let n = model.len();
     if selected.len() == n {
         return 0.0;
     }
-    let mut is_selected = vec![false; n];
-    for &i in selected {
-        is_selected[i] = true;
+    if bufs.mask.len() < n {
+        bufs.mask.resize(n, false);
     }
-    let kernel = model.kernel();
+    for &i in selected {
+        bufs.mask[i] = true;
+    }
     let alpha = model.alpha();
-    let xs = model.inputs();
-
-    // Sub-box refinement: split along the longest axes (2^min(d,3) boxes).
-    let sub_boxes = sample_box.bisect(sample_box.dim().min(3));
     let mut gamma = 0.0f64;
-    for sb in &sub_boxes {
+    for s in 0..n_sub {
+        let kv = &bufs.kvals[s * 2 * n..(s + 1) * 2 * n];
         let (mut lo_sum, mut hi_sum) = (0.0f64, 0.0f64);
         for l in 0..n {
-            if is_selected[l] {
+            if bufs.mask[l] {
                 continue;
             }
-            let near = sb.min_dist(&xs[l]);
-            let far = sb.max_dist(&xs[l]);
-            let k_near = kernel.eval_dist(near).expect("isotropic");
-            let k_far = kernel.eval_dist(far).expect("isotropic");
+            let (k_near, k_far) = (kv[2 * l], kv[2 * l + 1]);
             let a = alpha[l];
             if a >= 0.0 {
                 hi_sum += k_near * a;
@@ -133,6 +201,10 @@ pub fn gamma_bound(model: &GpModel, sample_box: &BoundingBox, selected: &[usize]
             }
         }
         gamma = gamma.max(hi_sum.abs()).max(lo_sum.abs());
+    }
+    // Restore the all-false invariant so the buffer can be reused.
+    for &i in selected {
+        bufs.mask[i] = false;
     }
     gamma
 }
@@ -147,7 +219,9 @@ pub fn gamma_bound(model: &GpModel, sample_box: &BoundingBox, selected: &[usize]
 pub struct LocalPredictor<'m> {
     model: &'m GpModel,
     indices: Vec<usize>,
-    chol: Cholesky,
+    /// Shared so [`crate::batch::LocalPredictorCache`] can hand the same
+    /// factor to consecutive tuples without re-running the O(l³) build.
+    chol: Arc<Cholesky>,
 }
 
 impl<'m> LocalPredictor<'m> {
@@ -164,8 +238,33 @@ impl<'m> LocalPredictor<'m> {
         Ok(LocalPredictor {
             model,
             indices,
-            chol,
+            chol: Arc::new(chol),
         })
+    }
+
+    /// Assemble a predictor from a cached factor (see
+    /// [`crate::batch::LocalPredictorCache`]). The caller guarantees `chol`
+    /// was factored from exactly `indices` on this model state.
+    pub(crate) fn from_cached(
+        model: &'m GpModel,
+        indices: Vec<usize>,
+        chol: Arc<Cholesky>,
+    ) -> Self {
+        LocalPredictor {
+            model,
+            indices,
+            chol,
+        }
+    }
+
+    /// The subset Cholesky factor (shared handle).
+    pub(crate) fn factor_arc(&self) -> &Arc<Cholesky> {
+        &self.chol
+    }
+
+    /// The selected training-point indices.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
     }
 
     /// Number of selected training points `l`.
@@ -205,6 +304,45 @@ impl<'m> LocalPredictor<'m> {
         let v = self.chol.solve_lower(&k)?;
         let var = (kernel.eval(x, x) - dot(&v, &v)).max(0.0);
         Ok(Prediction { mean, var })
+    }
+
+    /// Predict at all `m` samples of a tuple as one blocked operation (one
+    /// kernel-matrix build + one multi-RHS solve). Bit-identical to calling
+    /// [`LocalPredictor::predict`] per sample — see [`crate::batch`].
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Prediction>> {
+        let mut scratch = crate::batch::PredictScratch::default();
+        let mut out = Vec::with_capacity(xs.len());
+        self.predict_batch_with(xs, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`LocalPredictor::predict_batch`] with caller-provided scratch and
+    /// output buffers (allocation-free in steady state). Clears `out` and
+    /// fills it with one prediction per sample.
+    pub fn predict_batch_with(
+        &self,
+        xs: &[Vec<f64>],
+        scratch: &mut crate::batch::PredictScratch,
+        out: &mut Vec<Prediction>,
+    ) -> Result<()> {
+        for x in xs {
+            if x.len() != self.model.dim() {
+                return Err(GpError::DimensionMismatch {
+                    expected: self.model.dim(),
+                    found: x.len(),
+                });
+            }
+        }
+        crate::batch::batch_predict_core(
+            self.model.kernel(),
+            self.model.inputs(),
+            Some(&self.indices),
+            self.model.alpha(),
+            &self.chol,
+            xs,
+            scratch,
+            out,
+        )
     }
 }
 

@@ -2,8 +2,13 @@
 
 use crate::kernel::Kernel;
 use crate::{GpError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use udf_linalg::{dot, Cholesky, Matrix};
 use udf_spatial::RTree;
+
+/// Process-wide source of unique model identities (see [`GpModel::model_id`]).
+static NEXT_MODEL_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Default diagonal jitter added to the training covariance. The paper's
 /// UDFs are deterministic, so this is numerical regularization rather than
@@ -25,6 +30,14 @@ pub struct GpModel {
     chol: Option<Cholesky>,
     alpha: Vec<f64>,
     index: RTree,
+    /// Process-unique identity, used by caches keyed on "same model".
+    model_id: u64,
+    /// Mutation counter: bumped by every operation that can change
+    /// predictions (fit / add / evict / hyperparameter change), so cached
+    /// derived state (e.g. a subset Cholesky factor) can detect staleness.
+    epoch: u64,
+    /// Cached kernel half-value distance (depends only on hyperparameters).
+    half_value: OnceLock<f64>,
 }
 
 /// A posterior prediction at one point.
@@ -49,7 +62,23 @@ impl GpModel {
             chol: None,
             alpha: Vec::new(),
             index: RTree::new(dim),
+            model_id: NEXT_MODEL_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: 0,
+            half_value: OnceLock::new(),
         }
+    }
+
+    /// Process-unique identity of this model instance.
+    #[inline]
+    pub fn model_id(&self) -> u64 {
+        self.model_id
+    }
+
+    /// Mutation counter; any change that can alter predictions bumps it.
+    /// `(model_id, epoch)` together are a fingerprint caches can key on.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Override the diagonal jitter (must be non-negative).
@@ -61,6 +90,7 @@ impl GpModel {
             });
         }
         self.jitter = jitter;
+        self.epoch += 1;
         Ok(self)
     }
 
@@ -112,7 +142,25 @@ impl GpModel {
     /// Replace the kernel hyperparameters and refactor (O(n³)).
     pub fn set_hyperparams(&mut self, theta: &[f64]) -> Result<()> {
         self.kernel.set_params(theta);
+        // The half-value distance depends on the hyperparameters just
+        // replaced; drop the cached value so it is re-bisected on demand.
+        self.half_value = OnceLock::new();
+        self.epoch += 1;
         self.refit()
+    }
+
+    /// Distance at which the kernel decays to half its zero-distance value,
+    /// found by bisection once and cached until the hyperparameters change.
+    /// `None` for non-isotropic kernels. This is the radius step of the
+    /// local-inference selection loop (§5.1), which used to re-run the
+    /// 60-iteration bisection on every call.
+    pub fn half_value_distance(&self) -> Option<f64> {
+        self.kernel.eval_dist(0.0)?;
+        Some(
+            *self
+                .half_value
+                .get_or_init(|| half_value_bisect(self.kernel.as_ref())),
+        )
     }
 
     /// Replace all training data and refactor (O(n³)).
@@ -142,6 +190,7 @@ impl GpModel {
                 .map(|(i, p)| (p, i))
                 .collect(),
         );
+        self.epoch += 1;
         self.refit()
     }
 
@@ -169,6 +218,7 @@ impl GpModel {
                 found: x.len(),
             });
         }
+        self.epoch += 1;
         match &mut self.chol {
             None => {
                 self.xs.push(x.clone());
@@ -212,6 +262,7 @@ impl GpModel {
         if self.xs.is_empty() {
             return Err(GpError::EmptyModel);
         }
+        self.epoch += 1;
         self.xs.remove(0);
         self.ys.remove(0);
         self.index = RTree::bulk_load(
@@ -259,9 +310,48 @@ impl GpModel {
         Ok(dot(&k, &self.alpha))
     }
 
-    /// Predict at many points.
+    /// Predict at many points as one blocked operation: a single kernel
+    /// matrix build, one multi-RHS triangular solve for all variances, and
+    /// lane-unrolled per-sample mean/variance accumulation.
+    ///
+    /// Bit-identical to calling [`GpModel::predict`] once per point — the
+    /// per-sample reduction orders are preserved exactly (see
+    /// [`crate::batch`]).
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Prediction>> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let mut scratch = crate::batch::PredictScratch::default();
+        let mut out = Vec::with_capacity(xs.len());
+        self.predict_batch_with(xs, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`GpModel::predict_batch`] with caller-provided scratch and output
+    /// buffers, so steady-state batch inference performs no allocation.
+    /// Clears `out` and fills it with one prediction per query point.
+    pub fn predict_batch_with(
+        &self,
+        xs: &[Vec<f64>],
+        scratch: &mut crate::batch::PredictScratch,
+        out: &mut Vec<Prediction>,
+    ) -> Result<()> {
+        let chol = self.chol.as_ref().ok_or(GpError::EmptyModel)?;
+        for x in xs {
+            if x.len() != self.dim {
+                return Err(GpError::DimensionMismatch {
+                    expected: self.dim,
+                    found: x.len(),
+                });
+            }
+        }
+        crate::batch::batch_predict_core(
+            self.kernel.as_ref(),
+            &self.xs,
+            None,
+            &self.alpha,
+            chol,
+            xs,
+            scratch,
+            out,
+        )
     }
 
     /// Log marginal likelihood `log p(y* | X*, θ)` (§3.4):
@@ -326,6 +416,28 @@ impl GpModel {
         }
         Ok(out)
     }
+}
+
+/// Bisection for the distance at which an isotropic kernel decays to half
+/// its zero-distance value (callers go through the cached
+/// [`GpModel::half_value_distance`]).
+fn half_value_bisect(k: &dyn Kernel) -> f64 {
+    let k0 = k.eval_dist(0.0).expect("checked isotropic");
+    let target = 0.5 * k0;
+    let mut hi = 1.0;
+    while k.eval_dist(hi).expect("isotropic") > target && hi < 1e6 {
+        hi *= 2.0;
+    }
+    let mut lo = 0.0;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if k.eval_dist(mid).expect("isotropic") > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
 }
 
 #[cfg(test)]

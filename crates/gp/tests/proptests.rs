@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 use udf_gp::band::{expected_euler_characteristic, simultaneous_z};
 use udf_gp::kernel::Kernel;
-use udf_gp::{GpModel, Matern52, SquaredExponential};
+use udf_gp::local::LocalPredictor;
+use udf_gp::{GpModel, Matern52, PredictScratch, SquaredExponential};
 use udf_spatial::BoundingBox;
 
 /// Distinct 1-D training inputs with bounded targets. A minimum spacing of
@@ -111,6 +112,79 @@ proptest! {
         if z > 1.0 + 1e-9 && z < 16.0 - 1e-9 {
             let p = 2.0 * expected_euler_characteristic(&k, &domain, z);
             prop_assert!((p - alpha).abs() < 1e-6, "2·EC(z_α) = {p} vs α = {alpha}");
+        }
+    }
+
+    #[test]
+    fn batch_predict_is_bitwise_scalar_predict(
+        (xs, ys) in training_set(),
+        queries in prop::collection::vec(-12.0f64..12.0, 0..40),
+        ls in 0.3f64..3.0,
+    ) {
+        // The blocked fast path must be invisible: for any model and any
+        // query batch, predict_batch == per-sample predict bit for bit.
+        let mut m = GpModel::new(Box::new(SquaredExponential::new(1.0, ls)), 1);
+        let inputs: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        m.fit(inputs, ys).unwrap();
+        let qs: Vec<Vec<f64>> = queries.iter().map(|&q| vec![q]).collect();
+        let batch = m.predict_batch(&qs).unwrap();
+        prop_assert_eq!(batch.len(), qs.len());
+        for (q, b) in qs.iter().zip(&batch) {
+            let s = m.predict(q).unwrap();
+            prop_assert_eq!(s.mean.to_bits(), b.mean.to_bits(), "mean at {:?}", q);
+            prop_assert_eq!(s.var.to_bits(), b.var.to_bits(), "var at {:?}", q);
+        }
+    }
+
+    #[test]
+    fn local_batch_predict_is_bitwise_scalar_predict(
+        (xs, ys) in training_set(),
+        queries in prop::collection::vec(-12.0f64..12.0, 1..32),
+        start in 0usize..4,
+        step in 1usize..3,
+    ) {
+        // Same contract through a subset predictor, for an arbitrary
+        // (sorted) selection of training rows.
+        let mut m = GpModel::new(Box::new(SquaredExponential::new(1.0, 1.0)), 1);
+        let n = xs.len();
+        let inputs: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        m.fit(inputs, ys).unwrap();
+        let indices: Vec<usize> = (start.min(n - 1)..n).step_by(step).collect();
+        let lp = LocalPredictor::new(&m, indices).unwrap();
+        let qs: Vec<Vec<f64>> = queries.iter().map(|&q| vec![q]).collect();
+        let batch = lp.predict_batch(&qs).unwrap();
+        for (q, b) in qs.iter().zip(&batch) {
+            let s = lp.predict(q).unwrap();
+            prop_assert_eq!(s.mean.to_bits(), b.mean.to_bits(), "mean at {:?}", q);
+            prop_assert_eq!(s.var.to_bits(), b.var.to_bits(), "var at {:?}", q);
+        }
+    }
+
+    #[test]
+    fn predict_scratch_reuse_never_leaks_state(
+        (xs, ys) in training_set(),
+        (xs2, ys2) in training_set(),
+        queries in prop::collection::vec(-12.0f64..12.0, 0..24),
+    ) {
+        // One scratch driven across models and batch sizes must produce
+        // the same bits as a fresh scratch every time: the buffers are
+        // caches, never state.
+        let mut a = GpModel::new(Box::new(SquaredExponential::new(1.0, 1.0)), 1);
+        a.fit(xs.iter().map(|&x| vec![x]).collect(), ys).unwrap();
+        let mut b = GpModel::new(Box::new(SquaredExponential::new(1.0, 0.6)), 1);
+        b.fit(xs2.iter().map(|&x| vec![x]).collect(), ys2).unwrap();
+        let qs: Vec<Vec<f64>> = queries.iter().map(|&q| vec![q]).collect();
+        let mut reused = PredictScratch::default();
+        let mut out = Vec::new();
+        for (model, take) in [(&a, qs.len()), (&b, qs.len() / 2), (&a, qs.len() / 3)] {
+            let slice = &qs[..take];
+            model.predict_batch_with(slice, &mut reused, &mut out).unwrap();
+            let fresh = model.predict_batch(slice).unwrap();
+            prop_assert_eq!(out.len(), fresh.len());
+            for (r, f) in out.iter().zip(&fresh) {
+                prop_assert_eq!(r.mean.to_bits(), f.mean.to_bits());
+                prop_assert_eq!(r.var.to_bits(), f.var.to_bits());
+            }
         }
     }
 

@@ -140,7 +140,126 @@ impl Cholesky {
         self.solve_upper(&y)
     }
 
-    /// Solve `A X = B` column-wise.
+    /// Number of right-hand-side columns processed per panel by the
+    /// multi-RHS solves. Sized so the active `n x RHS_BLOCK` panel of the
+    /// solution stays cache-resident; per-column results do not depend on
+    /// this value.
+    const RHS_BLOCK: usize = 64;
+
+    /// Multi-RHS forward substitution: solve `L Y = B` in place, where `rhs`
+    /// holds an `n x cols` row-major panel (row `i` = the `i`-th entry of
+    /// every right-hand side).
+    ///
+    /// Column-blocked: columns are processed in panels of `RHS_BLOCK`
+    /// (64) columns, and within a panel the update is a 4-wide
+    /// unrolled [`crate::lanes::axpy_sub`] *across columns*. Each column `c`
+    /// therefore performs exactly the scalar [`Cholesky::solve_lower`]
+    /// sequence — `sum = b[i]`, then `sum -= L[i][k] * y[k]` for `k`
+    /// ascending, then a true division by `L[i][i]` — so the result is
+    /// bit-identical to calling `solve_lower` once per column.
+    ///
+    /// Returns an error if `rhs.len() != dim() * cols`.
+    pub fn solve_lower_in_place(&self, rhs: &mut [f64], cols: usize) -> Result<()> {
+        let n = self.dim();
+        if rhs.len() != n * cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n * cols,
+                found: rhs.len(),
+                context: "Cholesky::solve_lower_in_place",
+            });
+        }
+        if cols == 0 {
+            return Ok(());
+        }
+        for j0 in (0..cols).step_by(Self::RHS_BLOCK) {
+            let jw = Self::RHS_BLOCK.min(cols - j0);
+            for i in 0..n {
+                let lrow = self.l.row(i);
+                let (solved, rest) = rhs.split_at_mut(i * cols);
+                let cur = &mut rest[j0..j0 + jw];
+                for (k, &lik) in lrow[..i].iter().enumerate() {
+                    let yk = &solved[k * cols + j0..k * cols + j0 + jw];
+                    crate::lanes::axpy_sub(lik, yk, cur);
+                }
+                crate::lanes::div_scale(cur, lrow[i]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Multi-RHS back substitution: solve `Lᵀ X = Y` in place on an
+    /// `n x cols` row-major panel. Same blocking and bit-identity contract
+    /// as [`Cholesky::solve_lower_in_place`], mirroring the scalar
+    /// [`Cholesky::solve_upper`] (`k` ascending from `i+1`).
+    ///
+    /// Returns an error if `rhs.len() != dim() * cols`.
+    pub fn solve_upper_in_place(&self, rhs: &mut [f64], cols: usize) -> Result<()> {
+        let n = self.dim();
+        if rhs.len() != n * cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n * cols,
+                found: rhs.len(),
+                context: "Cholesky::solve_upper_in_place",
+            });
+        }
+        if cols == 0 {
+            return Ok(());
+        }
+        for j0 in (0..cols).step_by(Self::RHS_BLOCK) {
+            let jw = Self::RHS_BLOCK.min(cols - j0);
+            for i in (0..n).rev() {
+                let (head, solved) = rhs.split_at_mut((i + 1) * cols);
+                let cur = &mut head[i * cols + j0..i * cols + j0 + jw];
+                for k in i + 1..n {
+                    let lki = self.l[(k, i)];
+                    let base = (k - i - 1) * cols + j0;
+                    crate::lanes::axpy_sub(lki, &solved[base..base + jw], cur);
+                }
+                crate::lanes::div_scale(cur, self.l[(i, i)]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Solve `L Y = B` for all columns of `B` at once.
+    ///
+    /// Returns an error if `b.rows() != dim()`.
+    pub fn solve_lower_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: b.rows(),
+                context: "Cholesky::solve_lower_matrix",
+            });
+        }
+        let cols = b.cols();
+        let mut out = b.clone();
+        self.solve_lower_in_place(out.as_mut_slice(), cols)?;
+        Ok(out)
+    }
+
+    /// Solve `Lᵀ X = Y` for all columns of `Y` at once.
+    ///
+    /// Returns an error if `y.rows() != dim()`.
+    pub fn solve_upper_matrix(&self, y: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if y.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                found: y.rows(),
+                context: "Cholesky::solve_upper_matrix",
+            });
+        }
+        let cols = y.cols();
+        let mut out = y.clone();
+        self.solve_upper_in_place(out.as_mut_slice(), cols)?;
+        Ok(out)
+    }
+
+    /// Solve `A X = B` where `A = L Lᵀ`, all columns at once (forward then
+    /// back substitution on the whole panel; per-column results are
+    /// bit-identical to the former column-at-a-time implementation).
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
         let n = self.dim();
         if b.rows() != n {
@@ -150,17 +269,10 @@ impl Cholesky {
                 context: "Cholesky::solve_matrix",
             });
         }
-        let mut out = Matrix::zeros(n, b.cols());
-        let mut col = vec![0.0; n];
-        for j in 0..b.cols() {
-            for i in 0..n {
-                col[i] = b[(i, j)];
-            }
-            let x = self.solve(&col)?;
-            for i in 0..n {
-                out[(i, j)] = x[i];
-            }
-        }
+        let cols = b.cols();
+        let mut out = b.clone();
+        self.solve_lower_in_place(out.as_mut_slice(), cols)?;
+        self.solve_upper_in_place(out.as_mut_slice(), cols)?;
         Ok(out)
     }
 
@@ -332,6 +444,58 @@ mod tests {
         let mut c = Cholesky::factor(&spd3()).unwrap();
         assert!(c.append(&[1.0], 1.0).is_err()); // wrong length
         assert!(c.append(&[10.0, 10.0, 10.0], 0.1).is_err()); // breaks PD
+    }
+
+    #[test]
+    fn multi_rhs_solves_bit_identical_to_scalar() {
+        // n and cols chosen to exercise partial column panels (cols > 64)
+        // and partial 4-lane remainders.
+        let n = 23;
+        let cols = 150;
+        let a = Matrix::from_symmetric_fn(n, |i, j| {
+            let d = (i as f64 - j as f64).abs();
+            (-d * d / 50.0).exp() + if i == j { 0.1 } else { 0.0 }
+        });
+        let c = Cholesky::factor(&a).unwrap();
+        let b = Matrix::from_vec(
+            n,
+            cols,
+            (0..n * cols)
+                .map(|i| ((i as f64) * 0.417).sin() * 2.5)
+                .collect(),
+        )
+        .unwrap();
+
+        let ylo = c.solve_lower_matrix(&b).unwrap();
+        let yup = c.solve_upper_matrix(&b).unwrap();
+        let full = c.solve_matrix(&b).unwrap();
+        let mut col = vec![0.0; n];
+        for j in 0..cols {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            let lo = c.solve_lower(&col).unwrap();
+            let up = c.solve_upper(&col).unwrap();
+            let sv = c.solve(&col).unwrap();
+            for i in 0..n {
+                assert_eq!(ylo[(i, j)].to_bits(), lo[i].to_bits(), "lower ({i},{j})");
+                assert_eq!(yup[(i, j)].to_bits(), up[i].to_bits(), "upper ({i},{j})");
+                assert_eq!(full[(i, j)].to_bits(), sv[i].to_bits(), "solve ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_dimension_checked() {
+        let c = Cholesky::factor(&spd3()).unwrap();
+        assert!(c.solve_lower_matrix(&Matrix::zeros(2, 4)).is_err());
+        assert!(c.solve_upper_matrix(&Matrix::zeros(4, 2)).is_err());
+        let mut buf = vec![0.0; 5];
+        assert!(c.solve_lower_in_place(&mut buf, 2).is_err());
+        // Zero-column panels are a no-op.
+        let mut empty: Vec<f64> = vec![];
+        c.solve_lower_in_place(&mut empty, 0).unwrap();
+        c.solve_upper_in_place(&mut empty, 0).unwrap();
     }
 
     #[test]

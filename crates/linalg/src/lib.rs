@@ -16,6 +16,7 @@
 
 mod cholesky;
 mod error;
+pub mod lanes;
 mod matrix;
 mod vector;
 

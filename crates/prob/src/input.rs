@@ -112,7 +112,23 @@ impl InputDistribution {
 
     /// Draw `m` samples as row vectors.
     pub fn sample_n(&self, rng: &mut dyn rand::RngCore, m: usize) -> Vec<Vec<f64>> {
-        (0..m).map(|_| self.sample(rng)).collect()
+        let mut out = Vec::new();
+        self.sample_n_into(rng, m, &mut out);
+        out
+    }
+
+    /// Allocation-reusing variant of [`InputDistribution::sample_n`]:
+    /// resizes `out` to `m` rows and fills them in place, reusing both the
+    /// outer vector and each row's capacity. Draws the same RNG stream as
+    /// `sample_n`, so the produced samples are identical for a given RNG
+    /// state.
+    pub fn sample_n_into(&self, rng: &mut dyn rand::RngCore, m: usize, out: &mut Vec<Vec<f64>>) {
+        let dim = self.dim();
+        out.resize_with(m, Vec::new);
+        for row in out.iter_mut() {
+            row.resize(dim, 0.0);
+            self.sample_into(rng, row);
+        }
     }
 }
 

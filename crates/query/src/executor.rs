@@ -23,7 +23,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use udf_core::config::{AccuracyRequirement, ModelBudget, OlgaproConfig};
 use udf_core::filtering::{gp_filtered, mc_eval_tuple, mc_filtered, FilterDecision, Predicate};
-use udf_core::olgapro::{Olgapro, OlgaproMetrics};
+use udf_core::olgapro::{InferScratch, Olgapro, OlgaproMetrics};
 use udf_core::output::{GpOutput, OutputDistribution};
 use udf_core::sched::{mix_seed, BatchOps, BatchScheduler, BatchStats, Verdict};
 use udf_core::McEvaluator;
@@ -527,8 +527,13 @@ impl BatchOps for GpRelationOps<'_> {
         self.olga.model().is_empty()
     }
 
-    fn fast(&self, idx: usize, rng: &mut StdRng) -> udf_core::Result<GpOutput> {
-        self.olga.infer_only(&self.inputs[idx].1, rng)
+    fn fast(
+        &self,
+        idx: usize,
+        rng: &mut StdRng,
+        scratch: &mut InferScratch,
+    ) -> udf_core::Result<GpOutput> {
+        self.olga.infer_only_with(&self.inputs[idx].1, rng, scratch)
     }
 
     fn accept(&self, _idx: usize, out: &GpOutput) -> Verdict {

@@ -154,10 +154,19 @@ impl RTree {
     /// bounding box).
     pub fn query_within(&self, query: &BoundingBox, radius: f64) -> Vec<usize> {
         let mut out = Vec::new();
-        if let Some(root) = &self.root {
-            query_rec(root, query, radius, &mut out);
-        }
+        self.query_within_into(query, radius, &mut out);
         out
+    }
+
+    /// Allocation-free variant of [`RTree::query_within`]: clears `out` and
+    /// fills it with the matching IDs, reusing its capacity. Hot loops (the
+    /// GP fast path's radius-expansion search) call this with a scratch
+    /// vector so steady state performs no per-query allocation.
+    pub fn query_within_into(&self, query: &BoundingBox, radius: f64, out: &mut Vec<usize>) {
+        out.clear();
+        if let Some(root) = &self.root {
+            query_rec(root, query, radius, out);
+        }
     }
 
     /// IDs of all points (iteration order unspecified).

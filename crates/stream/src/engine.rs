@@ -41,7 +41,7 @@ use std::time::Instant;
 use udf_core::config::{AccuracyRequirement, ModelBudget, OlgaproConfig};
 use udf_core::filtering::{gp_filtered, mc_eval_tuple, FilterDecision, Predicate};
 use udf_core::hybrid::{rule_based_choice, HybridChoice};
-use udf_core::olgapro::{Olgapro, OlgaproMetrics};
+use udf_core::olgapro::{InferScratch, Olgapro, OlgaproMetrics};
 use udf_core::output::GpOutput;
 use udf_core::sched::{mix_seed, BatchOps, BatchScheduler, SchedMetrics, Verdict};
 use udf_core::udf::BlackBoxUdf;
@@ -532,8 +532,13 @@ impl BatchOps for GpBatchOps<'_> {
         self.olga().model().is_empty()
     }
 
-    fn fast(&self, idx: usize, rng: &mut StdRng) -> udf_core::Result<GpOutput> {
-        self.olga().infer_only(&self.batch[idx], rng)
+    fn fast(
+        &self,
+        idx: usize,
+        rng: &mut StdRng,
+        scratch: &mut InferScratch,
+    ) -> udf_core::Result<GpOutput> {
+        self.olga().infer_only_with(&self.batch[idx], rng, scratch)
     }
 
     fn accept(&self, _idx: usize, out: &GpOutput) -> Verdict {
