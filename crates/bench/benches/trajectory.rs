@@ -1,6 +1,6 @@
 //! `trajectory` — the persisted benchmark trajectory: one self-timed run
 //! over trimmed configurations of the key ROADMAP axes, written as
-//! `BENCH_7.json` at the repository root so successive PRs leave a
+//! `BENCH_8.json` at the repository root so successive PRs leave a
 //! machine-readable performance trail next to the code they changed.
 //!
 //! Unlike the criterion benches (statistical, minutes-long), this harness
@@ -480,7 +480,7 @@ fn main() {
     // `cargo bench` passes harness flags (`--bench`); ignore them.
     let smoke = std::env::var("TRAJECTORY_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let out_path = std::env::var("TRAJECTORY_OUT")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json").to_string());
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json").to_string());
 
     eprintln!("trajectory: stream_throughput ...");
     let stream = stream_axis(smoke);
@@ -501,7 +501,7 @@ fn main() {
         .raw("uql_overhead", &uql);
     let mut root = JsonObj::new();
     root.u64("schema_version", 1)
-        .u64("pr", 7)
+        .u64("pr", 8)
         .str("bench", "trajectory")
         .bool("smoke", smoke)
         .raw("axes", &axes.finish());

@@ -1,0 +1,36 @@
+//! `bench-gate`: diff the newest two `BENCH_*.json` trajectory snapshots
+//! and exit nonzero on a >25% throughput regression on any axis.
+//!
+//! ```sh
+//! cargo run --release -p udf-bench --bin bench-gate [dir]
+//! ```
+//!
+//! `dir` defaults to the current directory (the repo root in CI, where
+//! the snapshots live).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    let dir = arg.as_deref().unwrap_or(".");
+    match udf_bench::gate::run(Path::new(dir)) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passes() {
+                println!("bench-gate: PASS");
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "bench-gate: FAIL (axis below {:.0}% of previous rate)",
+                    udf_bench::gate::REGRESSION_THRESHOLD * 100.0
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

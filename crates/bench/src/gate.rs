@@ -1,0 +1,369 @@
+//! The bench regression gate: diff the newest two `BENCH_*.json`
+//! trajectory snapshots and fail on a throughput cliff.
+//!
+//! Each snapshot (written by `benches/trajectory.rs`) carries one entry
+//! per perf axis. The gate reduces every axis to a single scalar *rate*
+//! (work per second — higher is better), prints a per-axis trend table,
+//! and exits nonzero when any axis regressed by more than
+//! [`REGRESSION_THRESHOLD`] (new/old < 0.75). Axes present only in the
+//! newer file report as `new` and never fail the gate — a PR adding an
+//! axis must not be punished for it; axes that disappeared report as
+//! `dropped` (also informational: snapshots are append-mostly but the
+//! gate is a throughput check, not a schema check).
+//!
+//! CI runs the gate informationally (smoke snapshots are noisy); locally
+//! it is a one-command answer to "did this PR slow anything down?".
+
+use std::path::{Path, PathBuf};
+use udf_obs::json::{parse, JsonValue};
+
+/// Fail when `new_rate / old_rate` drops below this.
+pub const REGRESSION_THRESHOLD: f64 = 0.75;
+
+/// One axis row in the trend table.
+#[derive(Debug, Clone)]
+pub struct AxisTrend {
+    /// Axis name (`stream_throughput`, …).
+    pub axis: String,
+    /// Old rate, when the axis exists in the older snapshot.
+    pub old: Option<f64>,
+    /// New rate, when the axis exists in the newer snapshot.
+    pub new: Option<f64>,
+}
+
+impl AxisTrend {
+    /// `new/old`, when both sides exist and the old rate is positive.
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.old, self.new) {
+            (Some(o), Some(n)) if o > 0.0 => Some(n / o),
+            _ => None,
+        }
+    }
+
+    /// Did this axis regress past the threshold?
+    pub fn regressed(&self) -> bool {
+        self.ratio().is_some_and(|r| r < REGRESSION_THRESHOLD)
+    }
+
+    /// Status column: `ok` / `REGRESSED` / `new` / `dropped`.
+    pub fn status(&self) -> &'static str {
+        match (self.old, self.new) {
+            (Some(_), Some(_)) => {
+                if self.regressed() {
+                    "REGRESSED"
+                } else {
+                    "ok"
+                }
+            }
+            (None, Some(_)) => "new",
+            (Some(_), None) => "dropped",
+            (None, None) => "absent",
+        }
+    }
+}
+
+/// The diff of two snapshots plus everything the table needs.
+#[derive(Debug)]
+pub struct GateReport {
+    /// Older snapshot's file name.
+    pub old_name: String,
+    /// Newer snapshot's file name.
+    pub new_name: String,
+    /// Per-axis trends, in the union of both snapshots' axis order.
+    pub trends: Vec<AxisTrend>,
+}
+
+impl GateReport {
+    /// True when no comparable axis regressed past the threshold.
+    pub fn passes(&self) -> bool {
+        !self.trends.iter().any(AxisTrend::regressed)
+    }
+
+    /// The human-readable trend table.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "bench-gate: {} -> {} (fail below {:.0}% of old rate)\n",
+            self.old_name,
+            self.new_name,
+            REGRESSION_THRESHOLD * 100.0
+        );
+        s.push_str(&format!(
+            "{:<20} {:>14} {:>14} {:>7}  {}\n",
+            "axis", "old rate/s", "new rate/s", "ratio", "status"
+        ));
+        for t in &self.trends {
+            let fmt_rate = |r: Option<f64>| match r {
+                Some(v) => format!("{v:.1}"),
+                None => "-".to_string(),
+            };
+            let ratio = match t.ratio() {
+                Some(r) => format!("{r:.2}"),
+                None => "-".to_string(),
+            };
+            s.push_str(&format!(
+                "{:<20} {:>14} {:>14} {:>7}  {}\n",
+                t.axis,
+                fmt_rate(t.old),
+                fmt_rate(t.new),
+                ratio,
+                t.status()
+            ));
+        }
+        s
+    }
+}
+
+/// All `BENCH_<pr>.json` files under `dir`, sorted by PR number.
+pub fn find_snapshots(dir: &Path) -> Vec<PathBuf> {
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(pr) = name
+            .strip_prefix("BENCH_")
+            .and_then(|r| r.strip_suffix(".json"))
+            .and_then(|r| r.parse::<u64>().ok())
+        {
+            found.push((pr, entry.path()));
+        }
+    }
+    found.sort_by_key(|(pr, _)| *pr);
+    found.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Reduce one axis payload to its scalar rate (work/second). `None` for
+/// axes the gate does not know or malformed payloads — unknown axes are
+/// skipped rather than failed, so the trajectory bench can grow.
+fn axis_rate(axis: &str, v: &JsonValue) -> Option<f64> {
+    let per_sec = |work: f64, ns: f64| (ns > 0.0).then(|| work / (ns / 1e9));
+    // For array axes, report the best entry: the gate tracks the peak the
+    // build can reach, not the mean over sweep parameters.
+    let best = |rates: Vec<f64>| {
+        rates
+            .into_iter()
+            .filter(|r| r.is_finite() && *r > 0.0)
+            .fold(None, |acc: Option<f64>, r| {
+                Some(acc.map_or(r, |a| a.max(r)))
+            })
+    };
+    match axis {
+        "stream_throughput" => best(
+            v.as_arr()?
+                .iter()
+                .filter_map(|e| e.get("tuples_per_sec")?.as_f64())
+                .collect(),
+        ),
+        "gp_model_cap" => best(
+            v.as_arr()?
+                .iter()
+                // The capped series is the steady-state configuration;
+                // uncapped is the O(n³) contrast line, not a perf target.
+                .filter(|e| {
+                    e.get("series")
+                        .and_then(JsonValue::as_str)
+                        .is_some_and(|s| s.starts_with("capped"))
+                })
+                .filter_map(|e| per_sec(e.get("n")?.as_f64()?, e.get("elapsed_ns")?.as_f64()?))
+                .collect(),
+        ),
+        "gp_fastpath" => best(
+            v.as_arr()?
+                .iter()
+                .filter_map(|e| e.get("blocked_samples_per_sec")?.as_f64())
+                .collect(),
+        ),
+        "join_pruning" => best(
+            v.as_arr()?
+                .iter()
+                .filter(|e| {
+                    e.get("series")
+                        .and_then(JsonValue::as_str)
+                        .is_some_and(|s| s == "pruned")
+                })
+                .filter_map(|e| {
+                    per_sec(
+                        e.get("pairs_evaluated")?.as_f64()?,
+                        e.get("elapsed_ns")?.as_f64()?,
+                    )
+                })
+                .collect(),
+        ),
+        "uql_overhead" => per_sec(v.get("n")?.as_f64()?, v.get("metrics_on_ns")?.as_f64()?),
+        _ => None,
+    }
+}
+
+/// Per-axis rates of one parsed snapshot, in source order.
+fn snapshot_rates(doc: &JsonValue) -> Vec<(String, f64)> {
+    let Some(JsonValue::Obj(members)) = doc.get("axes") else {
+        return Vec::new();
+    };
+    members
+        .iter()
+        .filter_map(|(axis, payload)| axis_rate(axis, payload).map(|r| (axis.clone(), r)))
+        .collect()
+}
+
+/// Diff two snapshot documents (older, newer).
+pub fn diff(old_name: &str, old: &JsonValue, new_name: &str, new: &JsonValue) -> GateReport {
+    let old_rates = snapshot_rates(old);
+    let new_rates = snapshot_rates(new);
+    let mut axes: Vec<String> = old_rates.iter().map(|(a, _)| a.clone()).collect();
+    for (a, _) in &new_rates {
+        if !axes.contains(a) {
+            axes.push(a.clone());
+        }
+    }
+    let lookup = |rates: &[(String, f64)], axis: &str| {
+        rates.iter().find(|(a, _)| a == axis).map(|&(_, r)| r)
+    };
+    GateReport {
+        old_name: old_name.to_string(),
+        new_name: new_name.to_string(),
+        trends: axes
+            .into_iter()
+            .map(|axis| AxisTrend {
+                old: lookup(&old_rates, &axis),
+                new: lookup(&new_rates, &axis),
+                axis,
+            })
+            .collect(),
+    }
+}
+
+/// Load and diff the newest two snapshots in `dir`.
+///
+/// # Errors
+/// When fewer than two snapshots exist or either fails to parse.
+pub fn run(dir: &Path) -> Result<GateReport, String> {
+    let snaps = find_snapshots(dir);
+    if snaps.len() < 2 {
+        return Err(format!(
+            "need two BENCH_<pr>.json snapshots in {}, found {}",
+            dir.display(),
+            snaps.len()
+        ));
+    }
+    let old_path = &snaps[snaps.len() - 2];
+    let new_path = &snaps[snaps.len() - 1];
+    let read = |p: &Path| -> Result<JsonValue, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        parse(&text).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    let name = |p: &Path| {
+        p.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| p.display().to_string())
+    };
+    Ok(diff(
+        &name(old_path),
+        &read(old_path)?,
+        &name(new_path),
+        &read(new_path)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    /// The committed trajectory (BENCH_6 → BENCH_7 at minimum) passes the
+    /// gate: no axis lost more than 25% of its rate, and the table shows
+    /// every shared axis.
+    #[test]
+    fn committed_trajectory_passes() {
+        let report = run(&repo_root()).expect("repo carries >= 2 snapshots");
+        let table = report.render();
+        assert!(report.passes(), "committed snapshots regressed:\n{table}");
+        for axis in [
+            "stream_throughput",
+            "gp_model_cap",
+            "join_pruning",
+            "uql_overhead",
+        ] {
+            assert!(table.contains(axis), "{axis} missing:\n{table}");
+        }
+        assert!(table.contains("ok"), "status column:\n{table}");
+    }
+
+    /// A synthetic 60% throughput collapse on one axis fails the gate and
+    /// is labelled in the table.
+    #[test]
+    fn injected_regression_fails() {
+        let old = parse(
+            r#"{"axes": {"stream_throughput": [{"tuples_per_sec": 1000.0}],
+                         "uql_overhead": {"n": 512, "metrics_on_ns": 1000000}}}"#,
+        )
+        .unwrap();
+        let new = parse(
+            r#"{"axes": {"stream_throughput": [{"tuples_per_sec": 400.0}],
+                         "uql_overhead": {"n": 512, "metrics_on_ns": 1000000}}}"#,
+        )
+        .unwrap();
+        let report = diff("old.json", &old, "new.json", &new);
+        assert!(!report.passes(), "60% collapse must fail");
+        let table = report.render();
+        assert!(table.contains("REGRESSED"), "{table}");
+        assert!(table.contains("0.40"), "ratio shown: {table}");
+        let t = &report.trends[0];
+        assert_eq!(t.axis, "stream_throughput");
+        assert!(t.regressed());
+    }
+
+    /// A 20% dip stays inside the threshold.
+    #[test]
+    fn noise_inside_threshold_passes() {
+        let old =
+            parse(r#"{"axes": {"stream_throughput": [{"tuples_per_sec": 1000.0}]}}"#).unwrap();
+        let new = parse(r#"{"axes": {"stream_throughput": [{"tuples_per_sec": 800.0}]}}"#).unwrap();
+        assert!(diff("a", &old, "b", &new).passes());
+    }
+
+    /// Axes only in the newer snapshot report `new` and never fail; axes
+    /// only in the older report `dropped` and never fail.
+    #[test]
+    fn axis_churn_is_informational() {
+        let old = parse(r#"{"axes": {"gone": [{"tuples_per_sec": 1.0}], "stream_throughput": [{"tuples_per_sec": 10.0}]}}"#)
+            .unwrap();
+        let new = parse(r#"{"axes": {"stream_throughput": [{"tuples_per_sec": 10.0}], "gp_fastpath": [{"blocked_samples_per_sec": 5.0}]}}"#)
+            .unwrap();
+        let report = diff("a", &old, "b", &new);
+        assert!(report.passes(), "churn alone must not fail");
+        let table = report.render();
+        assert!(table.contains("new"), "{table}");
+        // "gone" is unknown to the gate on both sides, so it is skipped
+        // entirely rather than reported as dropped.
+        assert!(!table.contains("gone"), "{table}");
+    }
+
+    /// The series filters pick the right entries: capped GP and pruned
+    /// join rows, peak entry per axis.
+    #[test]
+    fn axis_reduction_matches_fixtures() {
+        let doc = parse(
+            r#"{"axes": {
+                "gp_model_cap": [
+                    {"series": "capped16", "n": 64, "elapsed_ns": 64000000000},
+                    {"series": "uncapped", "n": 64, "elapsed_ns": 1}
+                ],
+                "join_pruning": [
+                    {"series": "naive", "n": 8, "elapsed_ns": 1, "pairs_evaluated": 100},
+                    {"series": "pruned", "n": 8, "elapsed_ns": 2000000000, "pairs_evaluated": 50}
+                ]}}"#,
+        )
+        .unwrap();
+        let rates = snapshot_rates(&doc);
+        let get = |axis: &str| rates.iter().find(|(a, _)| a == axis).map(|&(_, r)| r);
+        // capped16: 64 rows / 64 s = 1/s (uncapped's absurd rate ignored).
+        assert_eq!(get("gp_model_cap"), Some(1.0));
+        // pruned: 50 pairs / 2 s = 25/s (naive ignored).
+        assert_eq!(get("join_pruning"), Some(25.0));
+    }
+}

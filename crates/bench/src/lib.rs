@@ -6,6 +6,8 @@
 //! model), which is exactly the trade-off the paper's wall-clock numbers
 //! measure — see DESIGN.md §3 for the substitution argument.
 
+pub mod gate;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};

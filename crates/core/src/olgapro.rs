@@ -26,7 +26,7 @@ use udf_gp::train::{newton_step_norm, train, TrainConfig};
 use udf_gp::{
     GpModel, Kernel, LocalPredictorCache, PredictScratch, SelectScratch, SquaredExponential,
 };
-use udf_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use udf_obs::{Counter, Gauge, Histogram, MetricsRegistry, TraceBuffer, TraceEvent};
 use udf_prob::InputDistribution;
 use udf_spatial::BoundingBox;
 
@@ -157,6 +157,10 @@ pub struct Olgapro {
     tuning: TuningHeuristic,
     stats: OlgaproStats,
     metrics: OlgaproMetrics,
+    /// Structured event log (model growth / eviction / cap hits), emitted
+    /// on lane 0: every model mutation happens on the sequential slow
+    /// path. Disabled by default; purely observational.
+    tracer: TraceBuffer,
     /// Buffers reused across sequential [`Olgapro::process`] calls.
     scratch: InferScratch,
 }
@@ -182,6 +186,7 @@ impl Olgapro {
             tuning: TuningHeuristic::LargestVariance,
             stats: OlgaproStats::default(),
             metrics: OlgaproMetrics::disabled(),
+            tracer: TraceBuffer::disabled(),
             scratch: InferScratch::default(),
         }
     }
@@ -202,6 +207,19 @@ impl Olgapro {
     /// Wire observability handles in place.
     pub fn set_metrics(&mut self, metrics: OlgaproMetrics) {
         self.metrics = metrics;
+    }
+
+    /// Wire a trace buffer (builder form). Model growth, evictions, and
+    /// cap hits are emitted on lane 0 — model mutations only happen on the
+    /// sequential slow path. Events never affect evaluation.
+    pub fn with_tracer(mut self, tracer: TraceBuffer) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// Wire a trace buffer in place.
+    pub fn set_tracer(&mut self, tracer: TraceBuffer) {
+        self.tracer = tracer;
     }
 
     /// Borrow the model (training-set size, hyperparameters, ...).
@@ -272,6 +290,13 @@ impl Olgapro {
     pub fn note_cap_hit(&mut self) {
         self.stats.cap_hits += 1;
         self.metrics.cap_hits.inc();
+        self.tracer.emit(
+            0,
+            TraceEvent::CapHit {
+                points: self.model.len() as u64,
+                budget: self.config.max_model_points as u64,
+            },
+        );
     }
 
     /// True when the training set is at the cap (either policy).
@@ -381,6 +406,13 @@ impl Olgapro {
             let x = samples[idx.min(samples.len() - 1)].clone();
             let y = self.eval_udf(&x)?;
             self.model.add_point(x, y)?;
+            self.tracer.emit(
+                0,
+                TraceEvent::ModelGrow {
+                    points: self.model.len() as u64,
+                    budget: self.config.max_model_points as u64,
+                },
+            );
             points_added += 1;
         }
 
@@ -399,9 +431,25 @@ impl Olgapro {
                         // degradation is counted, not silent.
                         self.stats.cap_hits += 1;
                         self.metrics.cap_hits.inc();
+                        self.tracer.emit(
+                            0,
+                            TraceEvent::CapHit {
+                                points: self.model.len() as u64,
+                                budget: self.config.max_model_points as u64,
+                            },
+                        );
                         break;
                     }
-                    ModelBudget::EvictOldest => self.model.remove_oldest()?,
+                    ModelBudget::EvictOldest => {
+                        self.model.remove_oldest()?;
+                        self.tracer.emit(
+                            0,
+                            TraceEvent::ModelEvict {
+                                points: self.model.len() as u64,
+                                budget: self.config.max_model_points as u64,
+                            },
+                        );
+                    }
                 }
             }
             let pick =
@@ -409,6 +457,13 @@ impl Olgapro {
             let x = scratch.samples[pick].clone();
             let y = self.eval_udf(&x)?;
             self.model.add_point(x, y)?;
+            self.tracer.emit(
+                0,
+                TraceEvent::ModelGrow {
+                    points: self.model.len() as u64,
+                    budget: self.config.max_model_points as u64,
+                },
+            );
             points_added += 1;
             eps_gp = self.infer_and_bound(&scratch.samples, &bbox, z_alpha, &mut scratch.buf)?;
         }

@@ -53,7 +53,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
-use udf_obs::{Counter, Histogram, MetricsRegistry};
+use udf_obs::{
+    Counter, Histogram, MetricsRegistry, RerouteReason, TraceBuffer, TraceEvent, TracePhase,
+};
 
 /// The scheduler's observability handles. Purely observational: nothing
 /// here feeds back into scheduling or evaluation, so outputs are
@@ -346,6 +348,10 @@ pub struct BatchScheduler {
     /// allocation-free.
     scratch: Vec<Mutex<InferScratch>>,
     metrics: SchedMetrics,
+    /// Structured event log. Like the metrics, purely observational: a
+    /// disabled buffer (the default) costs one relaxed load per emit and
+    /// events never feed back into scheduling.
+    tracer: TraceBuffer,
 }
 
 impl std::fmt::Debug for BatchScheduler {
@@ -369,6 +375,7 @@ impl BatchScheduler {
             pool,
             scratch,
             metrics: SchedMetrics::disabled(),
+            tracer: TraceBuffer::disabled(),
         }
     }
 
@@ -382,6 +389,24 @@ impl BatchScheduler {
     /// Wire observability handles in place.
     pub fn set_metrics(&mut self, metrics: SchedMetrics) {
         self.metrics = metrics;
+    }
+
+    /// Wire a trace buffer (builder form). Reroute causes and fast/slow
+    /// phase brackets are emitted on lane 0 (the sequential fold runs on
+    /// the calling thread); events never affect scheduling.
+    pub fn with_tracer(mut self, tracer: TraceBuffer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Wire a trace buffer in place.
+    pub fn set_tracer(&mut self, tracer: TraceBuffer) {
+        self.tracer = tracer;
+    }
+
+    /// The wired trace buffer (a disabled no-op buffer when un-wired).
+    pub fn tracer(&self) -> &TraceBuffer {
+        &self.tracer
     }
 
     /// Total execution slots (pool threads + the calling thread).
@@ -405,10 +430,11 @@ impl BatchScheduler {
 
     /// [`try_map`](Self::try_map) variant whose closure also receives the
     /// executing worker's slot id (`0..workers`) — the key into per-worker
-    /// state such as the scheduler-owned [`InferScratch`] pool. Placement is
-    /// still dynamic (chunk stealing), so the worker id must only select
-    /// *which cache* to use, never affect the computed value.
-    fn try_map_indexed<T, F>(&self, n: usize, f: F) -> Result<Vec<T>>
+    /// state such as the scheduler-owned [`InferScratch`] pool or a
+    /// per-lane [`TraceBuffer`] ring. Placement is still dynamic (chunk
+    /// stealing), so the worker id must only select *which cache or lane*
+    /// to use, never affect the computed value.
+    pub fn try_map_indexed<T, F>(&self, n: usize, f: F) -> Result<Vec<T>>
     where
         T: Send,
         F: Fn(usize, usize) -> T + Sync,
@@ -470,6 +496,13 @@ impl BatchScheduler {
         }
         let mut start = 0usize;
         if ops.needs_bootstrap() {
+            self.tracer.emit(
+                0,
+                TraceEvent::Reroute {
+                    tuple: 0,
+                    reason: RerouteReason::Forced,
+                },
+            );
             slow_tuple(ops, 0, &mut stats)?;
             start = 1;
             if start == n {
@@ -480,6 +513,12 @@ impl BatchScheduler {
         // Phase 1: parallel read-only inference against the frozen model.
         let shared: &O = ops;
         let t_fast = self.metrics.fast_phase_ns.enabled().then(Instant::now);
+        self.tracer.emit(
+            0,
+            TraceEvent::PhaseStart {
+                phase: TracePhase::Fast,
+            },
+        );
         let inferred: Vec<Result<GpOutput>> = self.try_map_indexed(n - start, |worker, i| {
             let idx = start + i;
             let mut rng = StdRng::seed_from_u64(shared.tuple_seed(idx));
@@ -492,12 +531,24 @@ impl BatchScheduler {
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             shared.fast(idx, &mut rng, &mut scratch)
         })?;
+        self.tracer.emit(
+            0,
+            TraceEvent::PhaseEnd {
+                phase: TracePhase::Fast,
+            },
+        );
         if let Some(t0) = t_fast {
             self.metrics.fast_phase_ns.record_duration(t0.elapsed());
         }
 
         // Phase 2: sequential fold in tuple order.
         let _slow_span = self.metrics.slow_phase_ns.span();
+        self.tracer.emit(
+            0,
+            TraceEvent::PhaseStart {
+                phase: TracePhase::Slow,
+            },
+        );
         for (i, res) in inferred.into_iter().enumerate() {
             let idx = start + i;
             match res {
@@ -514,6 +565,13 @@ impl BatchScheduler {
                     }
                     Verdict::Reroute => {
                         self.metrics.reroutes.inc();
+                        self.tracer.emit(
+                            0,
+                            TraceEvent::Reroute {
+                                tuple: idx as u64,
+                                reason: RerouteReason::AccuracyMiss,
+                            },
+                        );
                         slow_tuple(ops, idx, &mut stats)?;
                     }
                 },
@@ -522,11 +580,24 @@ impl BatchScheduler {
                 // through the slow path like any other miss.
                 Err(CoreError::Gp(udf_gp::GpError::EmptyModel)) => {
                     self.metrics.reroutes.inc();
+                    self.tracer.emit(
+                        0,
+                        TraceEvent::Reroute {
+                            tuple: idx as u64,
+                            reason: RerouteReason::ColdModel,
+                        },
+                    );
                     slow_tuple(ops, idx, &mut stats)?
                 }
                 Err(e) => return Err(e),
             }
         }
+        self.tracer.emit(
+            0,
+            TraceEvent::PhaseEnd {
+                phase: TracePhase::Slow,
+            },
+        );
         Ok(stats)
     }
 }

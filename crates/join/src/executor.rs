@@ -45,7 +45,7 @@ use std::time::Instant;
 use udf_core::filtering::EnvelopeDecision;
 use udf_core::output::OutputDistribution;
 use udf_core::sched::{BatchScheduler, BatchStats};
-use udf_obs::{Histogram, MetricsRegistry};
+use udf_obs::{Histogram, MetricsRegistry, TraceBuffer, TraceEvent, TracePhase};
 use udf_prob::InputDistribution;
 use udf_query::{EvalStrategy, Executor, ProjectedTuple, QueryStats, Relation, Schema, UdfCall};
 
@@ -212,6 +212,7 @@ pub struct JoinExecutor<'s, 'a> {
     call: UdfCall,
     executor: Executor,
     metrics: JoinMetrics,
+    tracer: TraceBuffer,
 }
 
 impl<'s, 'a> JoinExecutor<'s, 'a> {
@@ -245,6 +246,7 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
             call,
             executor,
             metrics: JoinMetrics::disabled(),
+            tracer: TraceBuffer::disabled(),
         })
     }
 
@@ -255,6 +257,24 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
         self.metrics = JoinMetrics::register(reg);
         self.executor = self.executor.with_metrics(reg);
         self
+    }
+
+    /// Wire structured tracing: the join brackets its warmup/main rounds
+    /// with [`TracePhase`] events, attributes every attempted-but-undecided
+    /// certificate as a [`TraceEvent::CertifyFail`] with its `bound_gap`,
+    /// and shares the buffer with the inner executor's model so
+    /// `ModelGrow`/`ModelEvict`/`CapHit` carry through. Purely
+    /// observational — results are byte-identical wired or not.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: TraceBuffer) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// In-place variant of [`with_tracer`](Self::with_tracer).
+    pub fn set_tracer(&mut self, tracer: TraceBuffer) {
+        self.executor.set_tracer(&tracer);
+        self.tracer = tracer;
     }
 
     /// The inner executor's counters so far.
@@ -356,6 +376,12 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
         };
         if !main.is_empty() {
             let _main_span = self.metrics.main_ns.span();
+            self.tracer.emit(
+                0,
+                TraceEvent::PhaseStart {
+                    phase: TracePhase::Main,
+                },
+            );
             let (r, b) = match &spec.predicate {
                 Some(pred) => self
                     .executor
@@ -364,6 +390,12 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
                     .executor
                     .project_batch_indexed(&main, sched, spec.seed)?,
             };
+            self.tracer.emit(
+                0,
+                TraceEvent::PhaseEnd {
+                    phase: TracePhase::Main,
+                },
+            );
             stats.absorb(b);
             rows.extend(r);
         }
@@ -411,13 +443,14 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
         // frozen post-warmup model.
         let pruner = PairPruner::new(spec);
         let metrics = &self.metrics;
+        let tracer = &self.tracer;
         let olga = self.executor.olgapro().expect("pruning requires GP");
         let coverage = coverage_radius(olga);
         let mut survivors: Vec<(usize, InputDistribution)> = Vec::new();
         for block_start in (0..nl).step_by(LEFT_BLOCK) {
             let block_len = LEFT_BLOCK.min(nl - block_start);
             #[allow(clippy::needless_range_loop)] // j drives keep() and attempt[] in lockstep
-            let decisions = sched.try_map(block_len, |b| -> Result<_> {
+            let decisions = sched.try_map_indexed(block_len, |worker, b| -> Result<_> {
                 let i = block_start + b;
                 let t_screen = metrics.screen_ns.enabled().then(Instant::now);
                 let attempt = pruner.attempts(spec, i, olga, &pred, coverage);
@@ -437,10 +470,21 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
                     }
                     if attempt[j] {
                         let t_cert = metrics.certify_ns.enabled().then(Instant::now);
-                        let (decision, input) =
+                        let (decision, gap, input) =
                             pruner.certify_pair(spec, olga, &pred, i, j, this)?;
                         if let Some(t0) = t_cert {
                             metrics.certify_ns.record_duration(t0.elapsed());
+                        }
+                        if decision == EnvelopeDecision::Undecided {
+                            // Attempted but unprovable: attribute the miss
+                            // with how far the bracket was from certifying.
+                            tracer.emit(
+                                worker,
+                                TraceEvent::CertifyFail {
+                                    pair: (i as u32, j as u32),
+                                    bound_gap: gap,
+                                },
+                            );
                         }
                         out.push((this, j, true, decision, Some(input)));
                     } else {
@@ -475,9 +519,21 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
 
         if !survivors.is_empty() {
             let _main_span = self.metrics.main_ns.span();
+            self.tracer.emit(
+                0,
+                TraceEvent::PhaseStart {
+                    phase: TracePhase::Main,
+                },
+            );
             let (r, b) = self
                 .executor
                 .select_batch_indexed(&survivors, &pred, sched, spec.seed)?;
+            self.tracer.emit(
+                0,
+                TraceEvent::PhaseEnd {
+                    phase: TracePhase::Main,
+                },
+            );
             stats.absorb(b);
             rows.extend(r);
         }
@@ -495,9 +551,21 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
     ) -> Result<Vec<ProjectedTuple>> {
         let spec = self.spec;
         let _warmup_span = self.metrics.warmup_ns.span();
+        self.tracer.emit(
+            0,
+            TraceEvent::PhaseStart {
+                phase: TracePhase::Warmup,
+            },
+        );
         let rows = self
             .executor
             .select_seeded(warm, spec.predicate.as_ref(), spec.seed)?;
+        self.tracer.emit(
+            0,
+            TraceEvent::PhaseEnd {
+                phase: TracePhase::Warmup,
+            },
+        );
         stats.slow_path += warm.len() as u64;
         stats.filtered += (warm.len() - rows.len()) as u64;
         Ok(rows)

@@ -20,6 +20,10 @@ pub enum ExplainMode {
     /// `EXPLAIN ANALYZE`: execute, then render the plan annotated with
     /// per-operator elapsed time and counters.
     Analyze,
+    /// `EXPLAIN TRACE`: execute, then render the plan annotated with this
+    /// statement's structured trace window — reroute reasons, model
+    /// lifecycle (grow/evict/cap), certificate misses, and phase timings.
+    Trace,
 }
 
 /// A full UQL statement.
@@ -279,6 +283,7 @@ impl fmt::Display for Query {
             ExplainMode::None => {}
             ExplainMode::Plan => write!(f, "EXPLAIN ")?,
             ExplainMode::Analyze => write!(f, "EXPLAIN ANALYZE ")?,
+            ExplainMode::Trace => write!(f, "EXPLAIN TRACE ")?,
         }
         write!(f, "{}", self.select)
     }

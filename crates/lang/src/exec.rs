@@ -21,9 +21,11 @@ use std::time::{Duration, Instant};
 use udf_core::config::ModelBudget;
 use udf_core::sched::{BatchScheduler, SchedMetrics};
 use udf_join::{JoinExecutor, JoinSpec, JoinStats, JoinedPair, OnCondition};
-use udf_obs::{MetricsRegistry, Snapshot};
+use udf_obs::{MetricsRegistry, Snapshot, TraceBuffer, TraceEvent, TracePhase, TraceSummary};
 use udf_query::{Executor, ProjectedTuple, QueryStats, Relation, UdfCall};
-use udf_stream::{EngineConfig, EngineStats, KeptSummary, QuerySpec, Session, Source, StreamStats};
+use udf_stream::{
+    EngineConfig, EngineStats, HealthMonitor, KeptSummary, QuerySpec, Session, Source, StreamStats,
+};
 use udf_workloads::UdfCatalog;
 
 /// A factory producing fresh instances of a registered stream source. Each
@@ -42,7 +44,16 @@ pub struct Context {
     streams: BTreeMap<String, (usize, SourceFactory)>,
     schedulers: BTreeMap<usize, BatchScheduler>,
     metrics: MetricsRegistry,
+    trace: TraceBuffer,
 }
+
+/// Ring lanes in the context's [`TraceBuffer`] — one per worker slot, up
+/// to this many (higher worker ids wrap).
+const TRACE_LANES: usize = 8;
+
+/// Per-lane event capacity of the context's [`TraceBuffer`] (drop-oldest
+/// beyond it).
+const TRACE_CAPACITY: usize = 4096;
 
 impl Context {
     /// An empty context (no UDFs, relations, or streams). Metrics are on
@@ -56,6 +67,7 @@ impl Context {
             streams: BTreeMap::new(),
             schedulers: BTreeMap::new(),
             metrics: MetricsRegistry::new(),
+            trace: TraceBuffer::new(TRACE_LANES, TRACE_CAPACITY),
         }
     }
 
@@ -122,6 +134,19 @@ impl Context {
     /// byte-identical with the registry enabled or disabled.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The context's structured trace buffer. Every statement run through
+    /// this context emits typed events into it: `uql` phase brackets,
+    /// scheduler reroutes with their reasons, model-lifecycle events
+    /// (grow/evict/cap), and join certificate misses. On by default, like
+    /// the metrics registry — a disabled buffer costs one relaxed load per
+    /// emission site — and just as output-blind: digests are byte-identical
+    /// with tracing on or off. `EXPLAIN TRACE` renders the per-statement
+    /// window; [`TraceBuffer::to_chrome_json`] exports the whole ring for
+    /// chrome://tracing.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
     }
 
     /// Parse, bind, and (unless `EXPLAIN`) execute one UQL statement.
@@ -196,6 +221,9 @@ pub struct StreamOutput {
     pub recent: Vec<KeptSummary>,
     /// Engine-level counters for the run.
     pub engine: EngineStats,
+    /// The health monitor's rendered trend line, when it sampled at least
+    /// once during the run.
+    pub health: Option<String>,
     /// The rendered plan that ran.
     pub plan: String,
 }
@@ -269,12 +297,37 @@ impl QueryOutput {
 ///
 /// `EXPLAIN`-prefixed statements stop after binding and return the plan;
 /// `EXPLAIN ANALYZE` executes and returns the plan annotated with
-/// per-operator elapsed time and counters. Each phase records into the
-/// context's registry (`uql.parse_ns` / `uql.bind_ns` / `uql.exec_ns`).
+/// per-operator elapsed time and counters; `EXPLAIN TRACE` executes and
+/// returns the plan annotated with this statement's trace window (reroute
+/// reasons, model lifecycle, certificate misses, phase timings). Each
+/// phase records into the context's registry (`uql.parse_ns` /
+/// `uql.bind_ns` / `uql.exec_ns`) and brackets itself in the trace
+/// buffer.
 pub fn run_uql(src: &str, ctx: &mut Context) -> Result<QueryOutput> {
     let reg = ctx.metrics.clone();
-    let query = reg.histogram("uql.parse_ns").time(|| parse(src))?;
-    let bound = reg.histogram("uql.bind_ns").time(|| bind(&query, ctx))?;
+    let tracer = ctx.trace.clone();
+    // Watermark before parsing so a TRACE statement's window covers its
+    // own parse/bind phases too (taken unconditionally: the mode is only
+    // known after parsing, and a watermark is three atomic loads).
+    let mark = tracer.watermark();
+    let phase = |p: TracePhase, start: bool| {
+        tracer.emit(
+            0,
+            if start {
+                TraceEvent::PhaseStart { phase: p }
+            } else {
+                TraceEvent::PhaseEnd { phase: p }
+            },
+        );
+    };
+    phase(TracePhase::Parse, true);
+    let query = reg.histogram("uql.parse_ns").time(|| parse(src));
+    phase(TracePhase::Parse, false);
+    let query = query?;
+    phase(TracePhase::Bind, true);
+    let bound = reg.histogram("uql.bind_ns").time(|| bind(&query, ctx));
+    phase(TracePhase::Bind, false);
+    let bound = bound?;
     let plan = bound.explain();
     if query.explain == ExplainMode::Plan {
         return Ok(QueryOutput::Plan(plan));
@@ -283,37 +336,37 @@ pub fn run_uql(src: &str, ctx: &mut Context) -> Result<QueryOutput> {
     // window around execution.
     let before = (query.explain == ExplainMode::Analyze).then(|| reg.snapshot());
     let exec_ns = reg.histogram("uql.exec_ns");
+    phase(TracePhase::Exec, true);
     let out = {
         let _exec_span = exec_ns.span();
         match bound.physical {
-            PhysicalPlan::Relation(p) => exec_relation(&p, ctx, plan)?,
-            PhysicalPlan::Join(p) => exec_join(&p, ctx, plan)?,
-            PhysicalPlan::Stream(p) => exec_stream(&p, ctx, plan)?,
+            PhysicalPlan::Relation(p) => exec_relation(&p, ctx, plan),
+            PhysicalPlan::Join(p) => exec_join(&p, ctx, plan),
+            PhysicalPlan::Stream(p) => exec_stream(&p, ctx, plan),
         }
     };
-    match before {
-        Some(before) => {
-            let delta = reg.snapshot().delta(&before);
-            Ok(QueryOutput::Plan(annotate_analyze(&out, &delta)))
-        }
-        None => Ok(out),
+    phase(TracePhase::Exec, false);
+    let out = out?;
+    if let Some(before) = before {
+        let delta = reg.snapshot().delta(&before);
+        return Ok(QueryOutput::Plan(annotate_analyze(&out, &delta)));
     }
+    if query.explain == ExplainMode::Trace {
+        let summary = tracer.summary_since(mark);
+        return Ok(QueryOutput::Plan(annotate_trace(&out, &summary)));
+    }
+    Ok(out)
 }
 
-/// The `EXPLAIN ANALYZE` rendering: the executed plan, a per-operator
-/// line with elapsed time and routing counters, and the statement's
-/// metrics-registry delta.
-fn annotate_analyze(out: &QueryOutput, delta: &Snapshot) -> String {
+/// The executed plan plus its per-operator summary line — the header the
+/// `EXPLAIN ANALYZE` and `EXPLAIN TRACE` renderings share. `None` for the
+/// plan-only variant (which never executed anything).
+fn plan_and_op(out: &QueryOutput) -> Option<(&str, String)> {
     use udf_obs::fmt::KvLine;
-    let mut s = String::new();
-    let op = match out {
-        QueryOutput::Plan(p) => {
-            // Unreachable in practice (ANALYZE always executes), but
-            // degrade to the plain plan rather than panicking.
-            return p.clone();
-        }
-        QueryOutput::Rows(r) => {
-            s.push_str(&r.plan);
+    match out {
+        QueryOutput::Plan(_) => None,
+        QueryOutput::Rows(r) => Some((
+            r.plan.as_str(),
             KvLine::new()
                 .raw(&format!("  BatchExec: time={:.2?}", r.elapsed))
                 .field("rows", r.rows.len())
@@ -323,18 +376,18 @@ fn annotate_analyze(out: &QueryOutput, delta: &Snapshot) -> String {
                 .field("slow", r.stats.slow_path)
                 .field("udf_calls", r.stats.udf_calls)
                 .field("cap_hits", r.stats.cap_hits)
-                .finish()
-        }
-        QueryOutput::Join(r) => {
-            s.push_str(&r.plan);
+                .finish(),
+        )),
+        QueryOutput::Join(r) => Some((
+            r.plan.as_str(),
             KvLine::new()
                 .raw(&format!("  JoinExec: time={:.2?}", r.elapsed))
                 .raw(&r.stats.to_string())
                 .field("prune_attempts", r.stats.prune_attempts)
-                .finish()
-        }
-        QueryOutput::Stream(o) => {
-            s.push_str(&o.plan);
+                .finish(),
+        )),
+        QueryOutput::Stream(o) => Some((
+            o.plan.as_str(),
             KvLine::new()
                 .raw(&format!("  StreamExec: time={:.2?}", o.engine.elapsed))
                 .field("tuples", o.engine.tuples)
@@ -345,9 +398,24 @@ fn annotate_analyze(out: &QueryOutput, delta: &Snapshot) -> String {
                 .field("slow", o.stats.slow_path)
                 .field("cap_hits", o.stats.cap_hits)
                 .raw(&format!("digest=0x{:016x}", o.digest))
-                .finish()
+                .finish(),
+        )),
+    }
+}
+
+/// The `EXPLAIN ANALYZE` rendering: the executed plan, a per-operator
+/// line with elapsed time and routing counters, and the statement's
+/// metrics-registry delta.
+fn annotate_analyze(out: &QueryOutput, delta: &Snapshot) -> String {
+    let Some((plan, op)) = plan_and_op(out) else {
+        // Unreachable in practice (ANALYZE always executes), but degrade
+        // to the plain plan rather than panicking.
+        if let QueryOutput::Plan(p) = out {
+            return p.clone();
         }
+        unreachable!("plan_and_op is None only for QueryOutput::Plan");
     };
+    let mut s = String::from(plan);
     s.push_str("Execution (ANALYZE):\n");
     s.push_str(&op);
     s.push('\n');
@@ -356,6 +424,38 @@ fn annotate_analyze(out: &QueryOutput, delta: &Snapshot) -> String {
         s.push_str("  ");
         s.push_str(line);
         s.push('\n');
+    }
+    s
+}
+
+/// The `EXPLAIN TRACE` rendering: the executed plan, the shared
+/// per-operator line, and the statement's trace-window summary — event
+/// counts, top reroute reasons, model-lifecycle attribution, certificate
+/// misses with the worst `bound_gap`, and phase timings. Stream
+/// statements append the health monitor's trend line when one sampled.
+fn annotate_trace(out: &QueryOutput, summary: &TraceSummary) -> String {
+    let Some((plan, op)) = plan_and_op(out) else {
+        if let QueryOutput::Plan(p) = out {
+            return p.clone();
+        }
+        unreachable!("plan_and_op is None only for QueryOutput::Plan");
+    };
+    let mut s = String::from(plan);
+    s.push_str("Execution (TRACE):\n");
+    s.push_str(&op);
+    s.push('\n');
+    s.push_str("Trace for this statement:\n");
+    for line in summary.render().lines() {
+        s.push_str("  ");
+        s.push_str(line);
+        s.push('\n');
+    }
+    if let QueryOutput::Stream(o) = out {
+        if let Some(h) = &o.health {
+            s.push_str("  ");
+            s.push_str(h);
+            s.push('\n');
+        }
     }
     s
 }
@@ -369,14 +469,18 @@ fn exec_relation(p: &RelPlan, ctx: &mut Context, plan: String) -> Result<QueryOu
         .get(&p.relation)
         .expect("binder checked the relation");
     let reg = &ctx.metrics;
+    let trace = &ctx.trace;
     let sched = ctx.schedulers.entry(p.workers).or_insert_with(|| {
-        BatchScheduler::new(p.workers).with_metrics(SchedMetrics::register(reg))
+        BatchScheduler::new(p.workers)
+            .with_metrics(SchedMetrics::register(reg))
+            .with_tracer(trace.clone())
     });
     let args: Vec<&str> = p.args.iter().map(String::as_str).collect();
     let call = UdfCall::resolve(p.udf.clone(), rel.schema(), &args)?;
     let mut executor = Executor::new(p.strategy, p.accuracy, &call, p.output_range)?
         .with_model_cap(p.model_cap, ModelBudget::StopGrowing)?
-        .with_metrics(reg);
+        .with_metrics(reg)
+        .with_tracer(trace);
     let t0 = Instant::now();
     let rows = match &p.predicate {
         Some(pred) => executor.select_batch(rel, &call, pred, sched, p.seed)?,
@@ -402,8 +506,11 @@ fn exec_join(p: &JoinPlan, ctx: &mut Context, plan: String) -> Result<QueryOutpu
         .get(&p.right)
         .expect("binder checked the right relation");
     let reg = &ctx.metrics;
+    let trace = &ctx.trace;
     let sched = ctx.schedulers.entry(p.workers).or_insert_with(|| {
-        BatchScheduler::new(p.workers).with_metrics(SchedMetrics::register(reg))
+        BatchScheduler::new(p.workers)
+            .with_metrics(SchedMetrics::register(reg))
+            .with_tracer(trace.clone())
     });
     let args: Vec<(udf_join::Side, &str)> = p.args.iter().map(|(s, c)| (*s, c.as_str())).collect();
     let mut spec = JoinSpec::new(
@@ -444,7 +551,8 @@ fn exec_join(p: &JoinPlan, ctx: &mut Context, plan: String) -> Result<QueryOutpu
     let t0 = Instant::now();
     let mut executor = JoinExecutor::new(&spec)
         .map_err(join_err)?
-        .with_metrics(reg);
+        .with_metrics(reg)
+        .with_tracer(ctx.trace.clone());
     let out = executor.run(sched).map_err(join_err)?;
     Ok(QueryOutput::Join(JoinRowsOutput {
         rows: out.rows,
@@ -479,7 +587,12 @@ fn exec_stream(p: &StreamPlan, ctx: &Context, plan: String) -> Result<QueryOutpu
             .batch_size(p.batch)
             .seed(p.seed),
     )
-    .with_metrics(&ctx.metrics);
+    .with_metrics(&ctx.metrics)
+    .with_tracer(ctx.trace.clone())
+    .with_health(HealthMonitor::new(
+        udf_stream::health::DEFAULT_SAMPLE_EVERY,
+        udf_stream::health::DEFAULT_CAPACITY,
+    ));
     let mut spec = QuerySpec::new(
         format!("uql:{}@{}", p.udf.name(), p.source),
         p.udf.clone(),
@@ -493,11 +606,16 @@ fn exec_stream(p: &StreamPlan, ctx: &Context, plan: String) -> Result<QueryOutpu
     }
     let id = session.subscribe(spec)?;
     let engine = session.run(source, p.limit)?;
+    let health = session
+        .health()
+        .filter(|h| h.samples().next().is_some())
+        .map(|h| h.render());
     Ok(QueryOutput::Stream(StreamOutput {
         stats: session.stats(id)?.clone(),
         digest: session.digest(id)?,
         recent: session.recent(id)?,
         engine,
+        health,
         plan,
     }))
 }

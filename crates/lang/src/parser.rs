@@ -3,7 +3,7 @@
 //! Grammar (EBNF; keywords are case-insensitive):
 //!
 //! ```text
-//! query     := [ "EXPLAIN" [ "ANALYZE" ] ] select ;
+//! query     := [ "EXPLAIN" [ "ANALYZE" | "TRACE" ] ] select ;
 //! select    := "SELECT" call [ accuracy ] "FROM" source [ where ] { option } ;
 //! call      := IDENT "(" attr { "," attr } ")" ;
 //! attr      := IDENT [ "." IDENT ] ;
@@ -172,6 +172,8 @@ impl Parser {
         let explain = if self.eat_keyword("EXPLAIN").is_some() {
             if self.eat_keyword("ANALYZE").is_some() {
                 ExplainMode::Analyze
+            } else if self.eat_keyword("TRACE").is_some() {
+                ExplainMode::Trace
             } else {
                 ExplainMode::Plan
             }
@@ -425,6 +427,12 @@ mod tests {
         assert_eq!(q.select.options.batch.as_ref().unwrap().node, 64);
         let q = parse("EXPLAIN ANALYZE SELECT F3(x) FROM STREAM synth LIMIT 1000").unwrap();
         assert_eq!(q.explain, ExplainMode::Analyze);
+        let q = parse("EXPLAIN TRACE SELECT F3(x) FROM STREAM synth LIMIT 1000").unwrap();
+        assert_eq!(q.explain, ExplainMode::Trace);
+        // TRACE only carries meaning after EXPLAIN: elsewhere it is a
+        // plain identifier (here, a relation named `trace`).
+        let q = parse("SELECT F1(x) FROM trace").unwrap();
+        assert_eq!(q.explain, ExplainMode::None);
     }
 
     #[test]

@@ -356,6 +356,136 @@ fn metrics_switch_never_perturbs_outputs() {
     }
 }
 
+/// EXPLAIN TRACE executes and annotates the physical plan with the
+/// statement's structured trace window: reroute causes (the GP bootstrap
+/// always forces at least one), phase timings, and — on streams — the
+/// health-monitor trend line.
+#[test]
+fn explain_trace_reports_attribution() {
+    let mut ctx = ctx_with_sky();
+    let QueryOutput::Plan(report) = run_uql(
+        "EXPLAIN TRACE SELECT GalAge(z) FROM sky \
+         WHERE PR(GalAge(z) IN [0.5, 0.9]) >= 0.6 USING gp WORKERS 2 SEED 7",
+        &mut ctx,
+    )
+    .unwrap() else {
+        panic!("TRACE returns the annotated plan")
+    };
+    assert!(report.contains("UdfSelect"), "plan shown:\n{report}");
+    assert!(
+        report.contains("Execution (TRACE):"),
+        "exec section:\n{report}"
+    );
+    assert!(
+        report.contains("BatchExec: time="),
+        "operator line:\n{report}"
+    );
+    assert!(
+        report.contains("Trace for this statement:"),
+        "trace section:\n{report}"
+    );
+    assert!(report.contains("Trace summary:"), "summary:\n{report}");
+    // Root-cause attribution: the GP bootstrap reroutes the seed tuple by
+    // fiat, so a `forced=` cause is always present on a cold model.
+    assert!(report.contains("reroutes:"), "reroute causes:\n{report}");
+    assert!(report.contains("forced="), "bootstrap cause:\n{report}");
+    assert!(report.contains("phases:"), "phase timings:\n{report}");
+    assert!(report.contains("exec="), "exec phase:\n{report}");
+
+    // The stream shape additionally carries the digest and health trend.
+    let mut ctx = Context::standard();
+    ctx.register_stream("synth", 1, || {
+        Box::new(SyntheticSource::gaussian(1, 0.5, 3))
+    });
+    let QueryOutput::Plan(report) = run_uql(
+        "EXPLAIN TRACE SELECT F3(x) WITH ACCURACY 0.25 0.05 FROM STREAM synth \
+         USING gp BATCH 32 SEED 4 LIMIT 320",
+        &mut ctx,
+    )
+    .unwrap() else {
+        panic!("stream TRACE returns the annotated plan")
+    };
+    assert!(
+        report.contains("StreamExec: time="),
+        "stream timing:\n{report}"
+    );
+    assert!(report.contains("digest=0x"), "digest line:\n{report}");
+    assert!(report.contains("Trace summary:"), "summary:\n{report}");
+    assert!(report.contains("health:"), "health trend:\n{report}");
+    assert!(report.contains("throughput="), "throughput:\n{report}");
+}
+
+/// TRACE must not change what a subsequent identical query computes: the
+/// digest in the annotated report equals the plain query's digest.
+#[test]
+fn explain_trace_is_execution_faithful() {
+    let q = "SELECT F3(x) WITH ACCURACY 0.25 0.05 FROM STREAM synth \
+             USING gp BATCH 32 SEED 4 LIMIT 96";
+    let mut ctx = Context::standard();
+    ctx.register_stream("synth", 1, || {
+        Box::new(SyntheticSource::gaussian(1, 0.5, 3))
+    });
+    let QueryOutput::Stream(plain) = run_uql(q, &mut ctx).unwrap() else {
+        panic!("stream")
+    };
+    let QueryOutput::Plan(report) = run_uql(&format!("EXPLAIN TRACE {q}"), &mut ctx).unwrap()
+    else {
+        panic!("plan")
+    };
+    assert!(
+        report.contains(&format!("digest=0x{:016x}", plain.digest)),
+        "TRACE ran a different computation:\n{report}"
+    );
+}
+
+/// The tracing layer must be output-blind, like the metrics registry:
+/// rows and digests are byte-identical with the trace buffer recording
+/// vs. switched off, at workers 1/2/8.
+#[test]
+fn tracing_switch_never_perturbs_outputs() {
+    for workers in [1usize, 2, 8] {
+        let rows = |enabled: bool| {
+            let mut ctx = ctx_with_sky();
+            ctx.trace().set_enabled(enabled);
+            let q = format!(
+                "SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [0.5, 0.9]) >= 0.6 \
+                 USING gp WORKERS {workers} SEED 11"
+            );
+            let QueryOutput::Rows(out) = run_uql(&q, &mut ctx).unwrap() else {
+                panic!("rows")
+            };
+            out.rows
+        };
+        assert_rows_identical(
+            &rows(true),
+            &rows(false),
+            &format!("trace-blind/w{workers}"),
+        );
+
+        let digest = |enabled: bool| {
+            let mut ctx = Context::standard();
+            ctx.register_stream("synth", 1, || {
+                Box::new(SyntheticSource::gaussian(1, 0.5, 11))
+            });
+            ctx.trace().set_enabled(enabled);
+            let q = format!(
+                "SELECT F3(x) WITH ACCURACY 0.2 0.05 METRIC disc FROM STREAM synth \
+                 WHERE PR(F3(x) IN [0.4, 1.5]) >= 0.3 \
+                 USING gp WORKERS {workers} BATCH 64 SEED 9 LIMIT 192"
+            );
+            let QueryOutput::Stream(out) = run_uql(&q, &mut ctx).unwrap() else {
+                panic!("stream")
+            };
+            out.digest
+        };
+        assert_eq!(
+            digest(true),
+            digest(false),
+            "trace-blind stream digest, workers={workers}"
+        );
+    }
+}
+
 /// AUTO strategy resolves by the §6.3 cost rules: the expensive GalAge
 /// (0.29 ms simulated) goes GP; the free synthetic F1 goes MC.
 #[test]

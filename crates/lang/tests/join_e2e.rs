@@ -189,6 +189,70 @@ fn metrics_switch_never_perturbs_join_outputs() {
     assert!(on.stats.pairs_pruned > 0, "workload must actually prune");
 }
 
+/// A pruned GP join is output-blind to the tracing switch at workers
+/// 1/2/8: the trace buffer recording (including per-worker CertifyFail
+/// emission from the prune pre-pass) vs. disabled keeps every kept pair
+/// bit-identical, and the same number pruned.
+#[test]
+fn tracing_switch_never_perturbs_join_outputs() {
+    for workers in [1usize, 2, 8] {
+        let run = |enabled: bool| {
+            let mut ctx = ctx_with_sky(24);
+            ctx.trace().set_enabled(enabled);
+            let q = format!(
+                "SELECT AngDist(a.z, b.z) WITH ACCURACY 0.2 0.05 FROM sky a JOIN sky b \
+                 ON a.objID < b.objID WHERE PR(AngDist(a.z, b.z) IN [{LO}, {HI}]) >= {THETA} \
+                 USING gp WORKERS {workers} SEED 9 PRUNE"
+            );
+            match run_uql(&q, &mut ctx).unwrap() {
+                QueryOutput::Join(out) => out,
+                other => panic!("join rows expected, got {other:?}"),
+            }
+        };
+        let on = run(true);
+        let off = run(false);
+        let label = format!("workers={workers}");
+        assert_eq!(on.rows.len(), off.rows.len(), "{label}");
+        for (a, b) in on.rows.iter().zip(&off.rows) {
+            assert_eq!(a.pair, b.pair, "{label}");
+            assert_eq!(a.tep.to_bits(), b.tep.to_bits(), "{label}: pair {}", a.pair);
+            assert_eq!(a.output.ecdf, b.output.ecdf, "{label}: pair {}", a.pair);
+        }
+        assert_eq!(on.stats.pairs_pruned, off.stats.pairs_pruned, "{label}");
+        assert!(on.stats.pairs_pruned > 0, "{label}: workload must prune");
+    }
+}
+
+/// EXPLAIN TRACE on a pruned join attributes certificate misses: every
+/// pair the warm-model pre-pass attempts but cannot certify emits a
+/// `CertifyFail` with its bound gap, surfaced in the summary.
+#[test]
+fn explain_trace_attributes_certify_misses() {
+    let mut ctx = ctx_with_sky(24);
+    let QueryOutput::Plan(report) = run_uql(
+        "EXPLAIN TRACE SELECT AngDist(a.z, b.z) WITH ACCURACY 0.2 0.05 \
+         FROM sky a JOIN sky b ON a.objID < b.objID \
+         WHERE PR(AngDist(a.z, b.z) IN [0.3, 0.36]) >= 0.5 \
+         USING gp WORKERS 2 SEED 9 PRUNE",
+        &mut ctx,
+    )
+    .unwrap() else {
+        panic!("TRACE returns the annotated plan")
+    };
+    assert!(report.contains("UdfJoin"), "plan shown:\n{report}");
+    assert!(
+        report.contains("JoinExec: time="),
+        "operator timing:\n{report}"
+    );
+    assert!(
+        report.contains("Trace for this statement:"),
+        "trace section:\n{report}"
+    );
+    assert!(report.contains("certify:"), "certify line:\n{report}");
+    assert!(report.contains("fails="), "fail count:\n{report}");
+    assert!(report.contains("max_gap="), "bound gap:\n{report}");
+}
+
 /// EXPLAIN ANALYZE on a pruned join reports the JoinExec timing line with
 /// the pruning counters and the join-phase histograms.
 #[test]

@@ -117,12 +117,14 @@ fn query() -> impl Strategy<Value = Query> {
         (ident(), join_source()),
         (number(), number(), 0.0001f64..0.9999),
         options(),
-        0u8..64,
+        0u8..128,
     )
         .prop_map(
             |((call, acc), (src, join), (a, b, theta), options, flags)| {
                 let explain = if flags & 1 == 0 {
                     ExplainMode::None
+                } else if flags & 64 != 0 {
+                    ExplainMode::Trace
                 } else if flags & 32 != 0 {
                     ExplainMode::Analyze
                 } else {

@@ -312,6 +312,187 @@ fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
     }
 }
 
+/// A materialized JSON value, for the handful of consumers that need to
+/// *read* JSON (the `bench-gate` trajectory differ). Numbers are `f64` —
+/// every number the workspace writes fits without precision questions that
+/// matter for trend ratios.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (including what non-finite floats serialize to).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number token.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (`None` for other shapes / missing key).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one complete JSON document into a [`JsonValue`]. Accepts exactly
+/// what [`validate`] accepts; numbers that fail to parse as `f64` are
+/// errors rather than silent zeros.
+pub fn parse(s: &str) -> Result<JsonValue, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b't') => literal(b, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => literal(b, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'n') => literal(b, pos, "null").map(|()| JsonValue::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            num(b, pos)?;
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+        other => Err(format!("unexpected {other:?} at byte {pos}")),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    string(b, pos)?;
+    // Re-walk the validated span decoding escapes.
+    let span = std::str::from_utf8(&b[start + 1..*pos - 1]).map_err(|e| e.to_string())?;
+    let mut out = String::with_capacity(span.len());
+    let mut chars = span.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return Err(format!("truncated \\u escape {hex:?}"));
+                }
+                let code =
+                    u32::from_str_radix(&hex, 16).map_err(|e| format!("bad \\u{hex}: {e}"))?;
+                // The writer never emits surrogate pairs (it only escapes
+                // ASCII control chars); reject rather than mis-decode.
+                out.push(char::from_u32(code).ok_or_else(|| format!("bad codepoint {code:#x}"))?);
+            }
+            other => return Err(format!("bad escape {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // {
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        let val = parse_value(b, pos)?;
+        members.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(members));
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // [
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        skip_ws(b, pos);
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            other => return Err(format!("expected ',' or ']', got {other:?}")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,5 +532,39 @@ mod tests {
         let mut buf = String::new();
         escape_into(&mut buf, "a\u{1}b");
         assert_eq!(buf, "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn parse_materializes_what_builders_write() {
+        let mut obj = JsonObj::new();
+        obj.str("name", "q\"1\"\n")
+            .u64("n", 42)
+            .f64("rate", 2.5)
+            .f64("gap", f64::NAN)
+            .bool("ok", true)
+            .raw("xs", "[1, 2.0, \"s\"]");
+        let s = obj.finish();
+        let v = parse(&s).unwrap();
+        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("q\"1\"\n"));
+        assert_eq!(v.get("n").and_then(JsonValue::as_f64), Some(42.0));
+        assert_eq!(v.get("rate").and_then(JsonValue::as_f64), Some(2.5));
+        assert_eq!(v.get("gap"), Some(&JsonValue::Null));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        let xs = v.get("xs").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[2].as_str(), Some("s"));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for bad in ["{", "{\"a\":}", "[1,]", "{} x", ""] {
+            assert!(parse(bad).is_err(), "{bad:?}");
+            assert!(validate(bad).is_err(), "{bad:?}");
+        }
+        // Escape decoding is stricter than the span-skipping validator.
+        assert!(parse("\"\\u12\"").is_err());
+        assert_eq!(parse("-3.5e2").unwrap(), JsonValue::Num(-350.0));
+        assert_eq!(parse(" null ").unwrap(), JsonValue::Null);
     }
 }

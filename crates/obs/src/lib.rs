@@ -23,18 +23,30 @@
 //!   enabled/disabled switch, and snapshots everything into a
 //!   [`Snapshot`] for rendering, JSON export, or per-query
 //!   [`Snapshot::delta`] attribution (what `EXPLAIN ANALYZE` uses).
-//! * [`json`] — the hand-rolled JSON writer (and a validator for tests);
+//! * [`TraceBuffer`] — structured event tracing: per-worker lock-free
+//!   ring buffers of typed [`TraceEvent`]s with causal context (why a
+//!   tuple rerouted, when a model hit its cap, which join pair failed
+//!   certification). Summarized per statement by `EXPLAIN TRACE`,
+//!   exported to chrome://tracing via
+//!   [`TraceBuffer::to_chrome_json`]. Both hard rules above apply
+//!   unchanged: tracing is output-blind and a disabled buffer costs one
+//!   relaxed load and a branch per emit.
+//! * [`json`] — the hand-rolled JSON writer, a validator, and a small
+//!   materializing parser (for the `bench-gate` trajectory differ);
 //!   there is no serde in this workspace.
 //! * [`fmt`] — the shared `key=value` stats-line builder every report
 //!   block (REPL, stream session, join executor, examples) renders with.
 
+mod chrome;
 pub mod fmt;
 pub mod json;
 mod metrics;
 mod registry;
+mod trace;
 
 pub use metrics::{
     bucket_index, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot, Span,
     HISTOGRAM_BUCKETS,
 };
 pub use registry::{MetricsRegistry, Snapshot};
+pub use trace::{RerouteReason, TimedEvent, TraceBuffer, TraceEvent, TracePhase, TraceSummary};

@@ -69,6 +69,11 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.cell.load(Ordering::Relaxed)
     }
+
+    /// Zero the counter (re-baselining between experiments).
+    pub(crate) fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
 }
 
 /// A last-value (or running-max) gauge.
@@ -116,6 +121,11 @@ impl Gauge {
     /// Current value.
     pub fn get(&self) -> u64 {
         self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Zero the gauge (re-baselining between experiments).
+    pub(crate) fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
     }
 }
 
@@ -224,6 +234,20 @@ impl Histogram {
             hist: self,
             start: self.enabled().then(Instant::now),
         }
+    }
+
+    /// Zero every bucket and statistic (re-baselining between
+    /// experiments). Not atomic with respect to concurrent recording: a
+    /// racing `record` may land before or after the wipe, which is fine
+    /// for the interactive reset this serves.
+    pub(crate) fn reset(&self) {
+        let core = &*self.core;
+        for b in &core.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        core.count.store(0, Ordering::Relaxed);
+        core.sum.store(0, Ordering::Relaxed);
+        core.max.store(0, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of the distribution.

@@ -5,11 +5,14 @@ use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 #[derive(Debug)]
 struct Inner {
     enabled: Arc<AtomicBool>,
+    /// Registry creation time — the origin of the monotonic `uptime_ns`
+    /// stamp on exported snapshots.
+    epoch: Instant,
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
@@ -44,6 +47,7 @@ impl MetricsRegistry {
         MetricsRegistry {
             inner: Arc::new(Inner {
                 enabled: Arc::new(AtomicBool::new(enabled)),
+                epoch: Instant::now(),
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
@@ -118,9 +122,62 @@ impl MetricsRegistry {
         }
     }
 
-    /// Serialize the current snapshot — see [`Snapshot::to_json`].
+    /// Monotonic nanoseconds since this registry was created (saturating
+    /// at `u64::MAX` after ~584 years).
+    pub fn uptime_ns(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Zero every registered handle in place. Names and handle identity
+    /// survive — components keep recording into the same cells — so this
+    /// re-baselines a long-running session between experiments (REPL
+    /// `\metrics reset`).
+    pub fn reset(&self) {
+        for c in self
+            .inner
+            .counters
+            .lock()
+            .expect("counter registry")
+            .values()
+        {
+            c.reset();
+        }
+        for g in self.inner.gauges.lock().expect("gauge registry").values() {
+            g.reset();
+        }
+        for h in self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram registry")
+            .values()
+        {
+            h.reset();
+        }
+    }
+
+    /// Serialize the current snapshot, stamped so the export is
+    /// self-describing:
+    ///
+    /// ```json
+    /// {"uptime_ns": 123456, "enabled": true,
+    ///  "counters": {...}, "gauges": {...}, "histograms": {...}}
+    /// ```
+    ///
+    /// The inner sections are exactly [`Snapshot::to_json`].
     pub fn to_json(&self) -> String {
-        self.snapshot().to_json()
+        let snap = self.snapshot().to_json();
+        // Splice the stamp in front of the snapshot's own members (the
+        // snapshot serializes as `{"counters": ...}` — never empty).
+        let body = snap.strip_prefix('{').expect("snapshot JSON is an object");
+        let mut root = JsonObj::new();
+        root.u64("uptime_ns", self.uptime_ns())
+            .bool("enabled", self.is_enabled());
+        let mut s = root.finish();
+        s.pop(); // drop the closing brace
+        s.push_str(", ");
+        s.push_str(body);
+        s
     }
 
     /// Render the current snapshot — see [`Snapshot::render`].
@@ -335,6 +392,76 @@ mod tests {
         assert!(json.contains("\"sched.verdict.accept\": 4"));
         assert!(json.contains("\"olgapro.model_points\": 17"));
         assert!(json.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn to_json_is_stamped_with_uptime_and_switch_state() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").inc();
+        let json = reg.to_json();
+        validate(&json).expect("stamped JSON must parse");
+        assert!(json.starts_with("{\"uptime_ns\": "), "{json}");
+        assert!(json.contains("\"enabled\": true"), "{json}");
+        assert!(json.contains("\"counters\": {\"c\": 1}"), "{json}");
+        reg.set_enabled(false);
+        assert!(reg.to_json().contains("\"enabled\": false"));
+        // The stamp is monotonic.
+        let parse_uptime = |s: &str| -> u64 {
+            let v = crate::json::parse(s).unwrap();
+            v.get("uptime_ns").and_then(|u| u.as_f64()).unwrap() as u64
+        };
+        let a = parse_uptime(&reg.to_json());
+        let b = parse_uptime(&reg.to_json());
+        assert!(b >= a, "uptime went backwards: {a} -> {b}");
+    }
+
+    #[test]
+    fn reset_rebaselines_without_breaking_handles() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h");
+        c.add(7);
+        g.set(9);
+        h.record(1_000);
+        reg.reset();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["c"], 0);
+        assert_eq!(snap.gauges["g"], 0);
+        assert_eq!(snap.histograms["h"].count, 0);
+        assert_eq!(snap.histograms["h"].sum, 0);
+        assert_eq!(snap.histograms["h"].max, 0);
+        assert!(snap.histograms["h"].buckets.iter().all(|&b| b == 0));
+        // Old handles keep recording into the same cells.
+        c.inc();
+        h.record(2);
+        assert_eq!(reg.counter("c").get(), 1);
+        assert_eq!(reg.histogram("h").snapshot().count, 1);
+    }
+
+    #[test]
+    fn delta_survives_reregistration_of_a_same_name_handle() {
+        // The satellite-spec edge case: a component drops its handle and a
+        // later component re-registers the same name. Registration is
+        // get-or-create, so the new handle shares the old cell and a delta
+        // across the re-registration attributes only the new window.
+        let reg = MetricsRegistry::new();
+        let c1 = reg.counter("sched.verdict.reroute");
+        let h1 = reg.histogram("sched.fast_phase_ns");
+        c1.add(5);
+        h1.record(100);
+        drop(c1);
+        drop(h1);
+        let before = reg.snapshot();
+        let c2 = reg.counter("sched.verdict.reroute");
+        let h2 = reg.histogram("sched.fast_phase_ns");
+        assert_eq!(c2.get(), 5, "re-registration must not zero the cell");
+        c2.add(3);
+        h2.record(200);
+        let d = reg.snapshot().delta(&before);
+        assert_eq!(d.counters["sched.verdict.reroute"], 3);
+        assert_eq!(d.histograms["sched.fast_phase_ns"].count, 1);
+        assert_eq!(d.histograms["sched.fast_phase_ns"].sum, 200);
     }
 
     #[test]

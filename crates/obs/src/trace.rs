@@ -1,0 +1,976 @@
+//! Structured event tracing: per-worker lock-free ring buffers of typed
+//! events with causal context.
+//!
+//! PR 6's metrics say *how much* time each layer spends; the trace layer
+//! records *why*: which tuples rerouted to the slow path (and whether the
+//! cause was an accuracy miss, a cold model, or a forced bootstrap), when
+//! models grew / evicted / hit their cap, which join pairs failed envelope
+//! certification and by how much, and where phase boundaries fell.
+//!
+//! The discipline matches the metric handles exactly:
+//!
+//! * **Output-blind.** Nothing here feeds back into evaluation. Digests are
+//!   byte-identical with tracing enabled or disabled at any worker count —
+//!   the determinism suites in `udf-stream` and `udf-lang` pin this.
+//! * **Cheap enough to leave on.** [`TraceBuffer::emit`] on a disabled
+//!   buffer is one relaxed load and a branch. Enabled, it is a handful of
+//!   relaxed atomic stores into a fixed-capacity per-lane ring — zero
+//!   allocation on the hot path, oldest events overwritten when a lane
+//!   fills (drop-oldest).
+//!
+//! Each *lane* is a single-producer ring (by convention one lane per
+//! scheduler worker slot; sequential emitters use lane 0). Readers may race
+//! writers: every slot carries a global sequence number written last
+//! (release), re-checked after the payload loads, so a slot overwritten
+//! mid-read is skipped instead of surfacing torn.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a tuple left the fast path for the sequential slow path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RerouteReason {
+    /// The fast-path error bound missed the ε_GP budget (the accept hook
+    /// ruled [`Reroute`](https://docs.rs/)-style).
+    AccuracyMiss,
+    /// The fast pass raced a not-yet-bootstrapped model (empty-model
+    /// inference error) and was rerouted.
+    ColdModel,
+    /// A forced sequential pass: the bootstrap tuple that gives the fast
+    /// phase a model to read.
+    Forced,
+}
+
+impl RerouteReason {
+    /// Stable lower-snake name (what summaries and chrome args print).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RerouteReason::AccuracyMiss => "accuracy_miss",
+            RerouteReason::ColdModel => "cold_model",
+            RerouteReason::Forced => "forced",
+        }
+    }
+
+    fn from_u64(v: u64) -> Self {
+        match v {
+            0 => RerouteReason::AccuracyMiss,
+            1 => RerouteReason::ColdModel,
+            _ => RerouteReason::Forced,
+        }
+    }
+
+    fn as_u64(self) -> u64 {
+        match self {
+            RerouteReason::AccuracyMiss => 0,
+            RerouteReason::ColdModel => 1,
+            RerouteReason::Forced => 2,
+        }
+    }
+}
+
+/// A traced execution phase (the `PhaseStart`/`PhaseEnd` bracket label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TracePhase {
+    /// UQL statement parsing.
+    Parse,
+    /// UQL binding (name resolution + plan construction).
+    Bind,
+    /// Whole-statement execution.
+    Exec,
+    /// The scheduler's concurrent read-only fast phase.
+    Fast,
+    /// The scheduler's sequential fold (accepts, filters, slow reruns).
+    Slow,
+    /// The join executor's sequential model warmup round.
+    Warmup,
+    /// The join executor's main batched round.
+    Main,
+}
+
+/// Number of [`TracePhase`] variants (sizes the summary's accumulators).
+const PHASES: usize = 7;
+
+impl TracePhase {
+    /// Stable lower-case name (summary lines, chrome `name` fields).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TracePhase::Parse => "parse",
+            TracePhase::Bind => "bind",
+            TracePhase::Exec => "exec",
+            TracePhase::Fast => "fast",
+            TracePhase::Slow => "slow",
+            TracePhase::Warmup => "warmup",
+            TracePhase::Main => "main",
+        }
+    }
+
+    fn from_u64(v: u64) -> Self {
+        match v {
+            0 => TracePhase::Parse,
+            1 => TracePhase::Bind,
+            2 => TracePhase::Exec,
+            3 => TracePhase::Fast,
+            4 => TracePhase::Slow,
+            5 => TracePhase::Warmup,
+            _ => TracePhase::Main,
+        }
+    }
+
+    fn as_u64(self) -> u64 {
+        match self {
+            TracePhase::Parse => 0,
+            TracePhase::Bind => 1,
+            TracePhase::Exec => 2,
+            TracePhase::Fast => 3,
+            TracePhase::Slow => 4,
+            TracePhase::Warmup => 5,
+            TracePhase::Main => 6,
+        }
+    }
+}
+
+/// One typed trace event. Every variant packs into two `u64` payload words
+/// plus a tag, so recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A tuple left the fast path, with the causal reason.
+    Reroute {
+        /// Tuple index (global stream index or batch index).
+        tuple: u64,
+        /// Why it rerouted.
+        reason: RerouteReason,
+    },
+    /// The GP model absorbed a training point.
+    ModelGrow {
+        /// Training-set size after the growth.
+        points: u64,
+        /// The model cap in force (0 = uncapped).
+        budget: u64,
+    },
+    /// The GP model evicted its oldest point to stay under the cap.
+    ModelEvict {
+        /// Training-set size after the eviction.
+        points: u64,
+        /// The model cap in force.
+        budget: u64,
+    },
+    /// A tuple was accepted at degraded accuracy because the model cap
+    /// forbade further growth.
+    CapHit {
+        /// Training-set size at the hit.
+        points: u64,
+        /// The model cap in force.
+        budget: u64,
+    },
+    /// A screened join pair stayed `Undecided` under the §4.2 envelope
+    /// certificate and fell through to full evaluation.
+    CertifyFail {
+        /// `(left, right)` tuple indices of the pair.
+        pair: (u32, u32),
+        /// How far the band bracket was from any certificate (0 = at a
+        /// boundary; `INFINITY` when no bracket was computable).
+        bound_gap: f64,
+    },
+    /// A phase opened.
+    PhaseStart {
+        /// Which phase.
+        phase: TracePhase,
+    },
+    /// A phase closed.
+    PhaseEnd {
+        /// Which phase.
+        phase: TracePhase,
+    },
+}
+
+impl TraceEvent {
+    fn encode(self) -> (u64, u64, u64) {
+        match self {
+            TraceEvent::Reroute { tuple, reason } => (1, tuple, reason.as_u64()),
+            TraceEvent::ModelGrow { points, budget } => (2, points, budget),
+            TraceEvent::ModelEvict { points, budget } => (3, points, budget),
+            TraceEvent::CapHit { points, budget } => (4, points, budget),
+            TraceEvent::CertifyFail { pair, bound_gap } => (
+                5,
+                (u64::from(pair.0) << 32) | u64::from(pair.1),
+                bound_gap.to_bits(),
+            ),
+            TraceEvent::PhaseStart { phase } => (6, phase.as_u64(), 0),
+            TraceEvent::PhaseEnd { phase } => (7, phase.as_u64(), 0),
+        }
+    }
+
+    fn decode(tag: u64, a: u64, b: u64) -> Option<Self> {
+        Some(match tag {
+            1 => TraceEvent::Reroute {
+                tuple: a,
+                reason: RerouteReason::from_u64(b),
+            },
+            2 => TraceEvent::ModelGrow {
+                points: a,
+                budget: b,
+            },
+            3 => TraceEvent::ModelEvict {
+                points: a,
+                budget: b,
+            },
+            4 => TraceEvent::CapHit {
+                points: a,
+                budget: b,
+            },
+            5 => TraceEvent::CertifyFail {
+                pair: ((a >> 32) as u32, a as u32),
+                bound_gap: f64::from_bits(b),
+            },
+            6 => TraceEvent::PhaseStart {
+                phase: TracePhase::from_u64(a),
+            },
+            7 => TraceEvent::PhaseEnd {
+                phase: TracePhase::from_u64(a),
+            },
+            _ => return None,
+        })
+    }
+
+    /// Stable lower-snake kind name (chrome `name`, summary grouping).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Reroute { .. } => "reroute",
+            TraceEvent::ModelGrow { .. } => "model_grow",
+            TraceEvent::ModelEvict { .. } => "model_evict",
+            TraceEvent::CapHit { .. } => "cap_hit",
+            TraceEvent::CertifyFail { .. } => "certify_fail",
+            TraceEvent::PhaseStart { .. } => "phase_start",
+            TraceEvent::PhaseEnd { .. } => "phase_end",
+        }
+    }
+}
+
+/// An event read back out of the buffer, with its global order and time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent {
+    /// Global sequence number (total order across lanes; starts at 1).
+    pub seq: u64,
+    /// Nanoseconds since the buffer's creation.
+    pub t_ns: u64,
+    /// The lane (worker slot) that emitted it.
+    pub lane: usize,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+/// One ring slot: five atomics, sequence first and last-written.
+struct Slot {
+    seq: AtomicU64,
+    t_ns: AtomicU64,
+    tag: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            t_ns: AtomicU64::new(0),
+            tag: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One single-producer ring.
+struct Lane {
+    slots: Box<[Slot]>,
+    /// Total events ever emitted into this lane (drop-oldest accounting).
+    emitted: AtomicUsize,
+}
+
+struct Inner {
+    enabled: AtomicBool,
+    /// Next global sequence number (starts at 1; 0 marks an empty slot).
+    seq: AtomicU64,
+    epoch: Instant,
+    lanes: Vec<Lane>,
+    capacity: usize,
+}
+
+/// The per-worker ring-buffer event log. Cloning shares the buffer; a
+/// disabled buffer costs one relaxed load and a branch per
+/// [`emit`](TraceBuffer::emit).
+#[derive(Clone)]
+pub struct TraceBuffer {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("lanes", &self.inner.lanes.len())
+            .field("capacity", &self.inner.capacity)
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl TraceBuffer {
+    /// A buffer with `lanes` rings of `capacity` slots each, recording
+    /// enabled. Both are clamped to ≥ 1. Emissions into lanes beyond the
+    /// allocated count wrap (`lane % lanes`), so a buffer sized for fewer
+    /// workers than actually run loses lane attribution, never events.
+    pub fn new(lanes: usize, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceBuffer {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(true),
+                seq: AtomicU64::new(1),
+                epoch: Instant::now(),
+                lanes: (0..lanes.max(1))
+                    .map(|_| Lane {
+                        slots: (0..capacity).map(|_| Slot::empty()).collect(),
+                        emitted: AtomicUsize::new(0),
+                    })
+                    .collect(),
+                capacity,
+            }),
+        }
+    }
+
+    /// A free-standing no-op buffer (what un-wired components hold, so
+    /// instrumented structs never need an `Option`). One lane of one slot;
+    /// nothing records until [`set_enabled`](TraceBuffer::set_enabled) —
+    /// and even then it only retains the latest event.
+    pub fn disabled() -> Self {
+        let buf = TraceBuffer::new(1, 1);
+        buf.set_enabled(false);
+        buf
+    }
+
+    /// Flip recording.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether [`emit`](TraceBuffer::emit) currently records.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.inner.lanes.len()
+    }
+
+    /// Slots per lane.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Record one event into `lane`. Disabled: one relaxed load and a
+    /// branch. Enabled: a timestamp read plus a handful of relaxed stores
+    /// into the lane's ring — no allocation, no locks. The oldest event in
+    /// the lane is overwritten when the ring is full.
+    #[inline]
+    pub fn emit(&self, lane: usize, event: TraceEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(lane, event);
+    }
+
+    #[cold]
+    fn record(&self, lane: usize, event: TraceEvent) {
+        let inner = &*self.inner;
+        let lane_idx = lane % inner.lanes.len();
+        let ring = &inner.lanes[lane_idx];
+        let pos = ring.emitted.fetch_add(1, Ordering::Relaxed) % inner.capacity;
+        let slot = &ring.slots[pos];
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let t_ns = u64::try_from(inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let (tag, a, b) = event.encode();
+        // Invalidate, write payload, publish: a concurrent reader that
+        // catches the slot mid-write sees seq 0 (skip) or a seq mismatch
+        // across its payload loads (skip), never a torn event.
+        slot.seq.store(0, Ordering::Release);
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
+        slot.tag.store(tag, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.seq.store(seq, Ordering::Release);
+    }
+
+    /// The last sequence number issued so far (0 before any event). Events
+    /// emitted after this call all satisfy `seq > watermark()`, which is
+    /// how `EXPLAIN TRACE` windows one statement's events.
+    pub fn watermark(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed) - 1
+    }
+
+    /// Total events ever emitted into `lane` (including overwritten ones).
+    pub fn lane_emitted(&self, lane: usize) -> u64 {
+        self.inner
+            .lanes
+            .get(lane)
+            .map_or(0, |l| l.emitted.load(Ordering::Relaxed) as u64)
+    }
+
+    /// Every retained event with `seq > mark`, merged across lanes in
+    /// global sequence order. Slots being overwritten concurrently are
+    /// skipped (see [`emit`](TraceBuffer::emit)).
+    pub fn events_since(&self, mark: u64) -> Vec<TimedEvent> {
+        let inner = &*self.inner;
+        let mut out = Vec::new();
+        for (lane_idx, lane) in inner.lanes.iter().enumerate() {
+            for slot in lane.slots.iter() {
+                let s1 = slot.seq.load(Ordering::Acquire);
+                if s1 == 0 || s1 <= mark {
+                    continue;
+                }
+                let t_ns = slot.t_ns.load(Ordering::Relaxed);
+                let tag = slot.tag.load(Ordering::Relaxed);
+                let a = slot.a.load(Ordering::Relaxed);
+                let b = slot.b.load(Ordering::Relaxed);
+                let s2 = slot.seq.load(Ordering::Acquire);
+                if s1 != s2 {
+                    continue; // overwritten mid-read
+                }
+                if let Some(event) = TraceEvent::decode(tag, a, b) {
+                    out.push(TimedEvent {
+                        seq: s1,
+                        t_ns,
+                        lane: lane_idx,
+                        event,
+                    });
+                }
+            }
+        }
+        out.sort_unstable_by_key(|e| e.seq);
+        out
+    }
+
+    /// Every retained event, in global sequence order.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.events_since(0)
+    }
+
+    /// Drop every retained event (sequence numbers keep climbing, so
+    /// existing watermarks stay valid).
+    pub fn clear(&self) {
+        for lane in &self.inner.lanes {
+            for slot in lane.slots.iter() {
+                slot.seq.store(0, Ordering::Release);
+            }
+        }
+    }
+
+    /// Aggregate the events after `mark` into a [`TraceSummary`].
+    pub fn summary_since(&self, mark: u64) -> TraceSummary {
+        TraceSummary::from_events(&self.events_since(mark))
+    }
+}
+
+/// Root-cause aggregation over a window of trace events — what
+/// `EXPLAIN TRACE` renders per statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Events in the window (retained ones; drop-oldest may have shed more).
+    pub events: u64,
+    /// Reroutes by cause, indexed by [`RerouteReason`] discriminant.
+    pub reroutes: [u64; 3],
+    /// Model growth events.
+    pub model_grows: u64,
+    /// Model evictions.
+    pub model_evicts: u64,
+    /// Degraded-accuracy cap hits.
+    pub cap_hits: u64,
+    /// Last observed `(points, budget)` from any model event.
+    pub model_state: Option<(u64, u64)>,
+    /// Join pairs that failed envelope certification.
+    pub certify_fails: u64,
+    /// Largest finite `bound_gap` among the failures (how far the hardest
+    /// pair was from a certificate).
+    pub max_bound_gap: f64,
+    /// Total nanoseconds inside each phase (paired start/end per lane),
+    /// indexed by [`TracePhase`] discriminant.
+    pub phase_ns: [u64; PHASES],
+}
+
+impl TraceSummary {
+    /// Aggregate a window of events (as returned by
+    /// [`TraceBuffer::events_since`] — sorted by `seq`).
+    pub fn from_events(events: &[TimedEvent]) -> Self {
+        let mut s = TraceSummary {
+            events: events.len() as u64,
+            ..TraceSummary::default()
+        };
+        // Per-(lane, phase) open timestamps; lanes are single-producer so
+        // one pending start per pair suffices.
+        let mut open: std::collections::BTreeMap<(usize, u64), u64> =
+            std::collections::BTreeMap::new();
+        for e in events {
+            match e.event {
+                TraceEvent::Reroute { reason, .. } => {
+                    s.reroutes[reason.as_u64() as usize] += 1;
+                }
+                TraceEvent::ModelGrow { points, budget } => {
+                    s.model_grows += 1;
+                    s.model_state = Some((points, budget));
+                }
+                TraceEvent::ModelEvict { points, budget } => {
+                    s.model_evicts += 1;
+                    s.model_state = Some((points, budget));
+                }
+                TraceEvent::CapHit { points, budget } => {
+                    s.cap_hits += 1;
+                    s.model_state = Some((points, budget));
+                }
+                TraceEvent::CertifyFail { bound_gap, .. } => {
+                    s.certify_fails += 1;
+                    if bound_gap.is_finite() {
+                        s.max_bound_gap = s.max_bound_gap.max(bound_gap);
+                    }
+                }
+                TraceEvent::PhaseStart { phase } => {
+                    open.insert((e.lane, phase.as_u64()), e.t_ns);
+                }
+                TraceEvent::PhaseEnd { phase } => {
+                    if let Some(t0) = open.remove(&(e.lane, phase.as_u64())) {
+                        s.phase_ns[phase.as_u64() as usize] += e.t_ns.saturating_sub(t0);
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Total reroutes across causes.
+    pub fn total_reroutes(&self) -> u64 {
+        self.reroutes.iter().sum()
+    }
+
+    /// Reroute causes by descending count (zero-count causes omitted) —
+    /// the "top-k reroute reasons" view.
+    pub fn top_reroute_reasons(&self) -> Vec<(RerouteReason, u64)> {
+        let mut v: Vec<(RerouteReason, u64)> = [
+            RerouteReason::AccuracyMiss,
+            RerouteReason::ColdModel,
+            RerouteReason::Forced,
+        ]
+        .into_iter()
+        .map(|r| (r, self.reroutes[r.as_u64() as usize]))
+        .filter(|&(_, n)| n > 0)
+        .collect();
+        v.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        v
+    }
+
+    /// Human-readable block (what `EXPLAIN TRACE` and the REPL print).
+    pub fn render(&self) -> String {
+        let mut s = format!("Trace summary: {} event(s)\n", self.events);
+        let reasons = self.top_reroute_reasons();
+        if !reasons.is_empty() {
+            let mut line = crate::fmt::KvLine::new().raw("  reroutes:");
+            for (r, n) in &reasons {
+                line = line.field(r.as_str(), n);
+            }
+            s.push_str(&line.finish());
+            s.push('\n');
+        }
+        if self.model_grows + self.model_evicts + self.cap_hits > 0 {
+            let mut line = crate::fmt::KvLine::new()
+                .raw("  model:")
+                .field("grows", self.model_grows)
+                .field("evicts", self.model_evicts)
+                .field("cap_hits", self.cap_hits);
+            if let Some((points, budget)) = self.model_state {
+                line = line.field("points", points).field("budget", budget);
+            }
+            s.push_str(&line.finish());
+            s.push('\n');
+        }
+        if self.certify_fails > 0 {
+            s.push_str(
+                &crate::fmt::KvLine::new()
+                    .raw("  certify:")
+                    .field("fails", self.certify_fails)
+                    .field("max_gap", format!("{:.4}", self.max_bound_gap))
+                    .finish(),
+            );
+            s.push('\n');
+        }
+        let phases: Vec<String> = (0..PHASES as u64)
+            .filter(|&p| self.phase_ns[p as usize] > 0)
+            .map(|p| {
+                format!(
+                    "{}={:.2?}",
+                    TracePhase::from_u64(p).as_str(),
+                    Duration::from_nanos(self.phase_ns[p as usize])
+                )
+            })
+            .collect();
+        if !phases.is_empty() {
+            s.push_str("  phases: ");
+            s.push_str(&phases.join(" "));
+            s.push('\n');
+        }
+        if self.events == 0 {
+            s.push_str("  (no events recorded)\n");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_codec_round_trips() {
+        let events = [
+            TraceEvent::Reroute {
+                tuple: 42,
+                reason: RerouteReason::AccuracyMiss,
+            },
+            TraceEvent::Reroute {
+                tuple: u64::MAX,
+                reason: RerouteReason::ColdModel,
+            },
+            TraceEvent::Reroute {
+                tuple: 0,
+                reason: RerouteReason::Forced,
+            },
+            TraceEvent::ModelGrow {
+                points: 17,
+                budget: 64,
+            },
+            TraceEvent::ModelEvict {
+                points: 63,
+                budget: 64,
+            },
+            TraceEvent::CapHit {
+                points: 64,
+                budget: 64,
+            },
+            TraceEvent::CertifyFail {
+                pair: (7, 123_456),
+                bound_gap: 0.25,
+            },
+            TraceEvent::CertifyFail {
+                pair: (u32::MAX, 0),
+                bound_gap: f64::INFINITY,
+            },
+            TraceEvent::PhaseStart {
+                phase: TracePhase::Fast,
+            },
+            TraceEvent::PhaseEnd {
+                phase: TracePhase::Main,
+            },
+        ];
+        for e in events {
+            let (tag, a, b) = e.encode();
+            assert_eq!(TraceEvent::decode(tag, a, b), Some(e), "{e:?}");
+        }
+        assert_eq!(TraceEvent::decode(99, 0, 0), None);
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let buf = TraceBuffer::disabled();
+        buf.emit(
+            0,
+            TraceEvent::CapHit {
+                points: 1,
+                budget: 1,
+            },
+        );
+        assert!(buf.events().is_empty());
+        assert_eq!(buf.watermark(), 0);
+    }
+
+    #[test]
+    fn events_come_back_in_emission_order() {
+        let buf = TraceBuffer::new(4, 16);
+        for i in 0..10u64 {
+            buf.emit(
+                (i % 3) as usize,
+                TraceEvent::Reroute {
+                    tuple: i,
+                    reason: RerouteReason::AccuracyMiss,
+                },
+            );
+        }
+        let events = buf.events();
+        assert_eq!(events.len(), 10);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64 + 1);
+            assert_eq!(e.lane, i % 3);
+            assert_eq!(
+                e.event,
+                TraceEvent::Reroute {
+                    tuple: i as u64,
+                    reason: RerouteReason::AccuracyMiss
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn watermark_windows_a_statement() {
+        let buf = TraceBuffer::new(1, 32);
+        buf.emit(
+            0,
+            TraceEvent::ModelGrow {
+                points: 1,
+                budget: 0,
+            },
+        );
+        let mark = buf.watermark();
+        buf.emit(
+            0,
+            TraceEvent::CapHit {
+                points: 2,
+                budget: 2,
+            },
+        );
+        let window = buf.events_since(mark);
+        assert_eq!(window.len(), 1);
+        assert_eq!(
+            window[0].event,
+            TraceEvent::CapHit {
+                points: 2,
+                budget: 2
+            }
+        );
+    }
+
+    #[test]
+    fn ring_drops_oldest_exactly() {
+        let buf = TraceBuffer::new(1, 8);
+        for i in 0..20u64 {
+            buf.emit(
+                0,
+                TraceEvent::Reroute {
+                    tuple: i,
+                    reason: RerouteReason::Forced,
+                },
+            );
+        }
+        let events = buf.events();
+        assert_eq!(events.len(), 8, "capacity bounds retention");
+        assert_eq!(buf.lane_emitted(0), 20, "drop-oldest accounting");
+        // Exactly the newest 8 survive, in order.
+        for (k, e) in events.iter().enumerate() {
+            let expected = 12 + k as u64;
+            assert_eq!(
+                e.event,
+                TraceEvent::Reroute {
+                    tuple: expected,
+                    reason: RerouteReason::Forced
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn multi_thread_drop_oldest_is_exact_per_lane() {
+        // The satellite-spec exactness test: T producer threads, one lane
+        // each (the production shape — lanes are per worker slot), each
+        // emitting far past capacity. Every lane must retain *exactly* its
+        // own newest `capacity` events, untorn and in order.
+        const LANES: usize = 4;
+        const CAP: usize = 32;
+        const PER_LANE: u64 = 1000;
+        let buf = TraceBuffer::new(LANES, CAP);
+        std::thread::scope(|s| {
+            for lane in 0..LANES {
+                let buf = buf.clone();
+                s.spawn(move || {
+                    for i in 0..PER_LANE {
+                        buf.emit(
+                            lane,
+                            TraceEvent::Reroute {
+                                tuple: (lane as u64) << 32 | i,
+                                reason: RerouteReason::AccuracyMiss,
+                            },
+                        );
+                    }
+                });
+            }
+        });
+        let events = buf.events();
+        assert_eq!(events.len(), LANES * CAP);
+        for lane in 0..LANES {
+            assert_eq!(buf.lane_emitted(lane), PER_LANE);
+            let mine: Vec<u64> = events
+                .iter()
+                .filter(|e| e.lane == lane)
+                .map(|e| match e.event {
+                    TraceEvent::Reroute { tuple, .. } => {
+                        assert_eq!(tuple >> 32, lane as u64, "torn event crossed lanes");
+                        tuple & 0xFFFF_FFFF
+                    }
+                    other => panic!("unexpected event {other:?}"),
+                })
+                .collect();
+            let expected: Vec<u64> = (PER_LANE - CAP as u64..PER_LANE).collect();
+            assert_eq!(mine, expected, "lane {lane} retention drifted");
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_never_see_torn_events() {
+        // One writer hammering a tiny ring while a reader polls: every
+        // decoded event must be self-consistent (payload matches its own
+        // redundant check word).
+        let buf = TraceBuffer::new(1, 4);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let writer = buf.clone();
+            let stop_ref = &stop;
+            s.spawn(move || {
+                for i in 0..200_000u64 {
+                    // points and budget move in lockstep; a torn read
+                    // breaks the invariant.
+                    writer.emit(
+                        0,
+                        TraceEvent::ModelGrow {
+                            points: i,
+                            budget: i.wrapping_mul(3),
+                        },
+                    );
+                }
+                stop_ref.store(true, Ordering::Release);
+            });
+            while !stop.load(Ordering::Acquire) {
+                for e in buf.events() {
+                    match e.event {
+                        TraceEvent::ModelGrow { points, budget } => {
+                            assert_eq!(budget, points.wrapping_mul(3), "torn slot surfaced");
+                        }
+                        other => panic!("unexpected event {other:?}"),
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn summary_attributes_causes_and_phases() {
+        let buf = TraceBuffer::new(2, 64);
+        buf.emit(
+            0,
+            TraceEvent::PhaseStart {
+                phase: TracePhase::Fast,
+            },
+        );
+        for i in 0..3 {
+            buf.emit(
+                0,
+                TraceEvent::Reroute {
+                    tuple: i,
+                    reason: RerouteReason::AccuracyMiss,
+                },
+            );
+        }
+        buf.emit(
+            1,
+            TraceEvent::Reroute {
+                tuple: 9,
+                reason: RerouteReason::Forced,
+            },
+        );
+        buf.emit(
+            0,
+            TraceEvent::ModelGrow {
+                points: 15,
+                budget: 16,
+            },
+        );
+        buf.emit(
+            0,
+            TraceEvent::CapHit {
+                points: 16,
+                budget: 16,
+            },
+        );
+        buf.emit(
+            1,
+            TraceEvent::CertifyFail {
+                pair: (3, 5),
+                bound_gap: 0.5,
+            },
+        );
+        buf.emit(
+            1,
+            TraceEvent::CertifyFail {
+                pair: (3, 6),
+                bound_gap: f64::INFINITY,
+            },
+        );
+        buf.emit(
+            0,
+            TraceEvent::PhaseEnd {
+                phase: TracePhase::Fast,
+            },
+        );
+        let s = buf.summary_since(0);
+        assert_eq!(s.total_reroutes(), 4);
+        assert_eq!(
+            s.top_reroute_reasons(),
+            vec![(RerouteReason::AccuracyMiss, 3), (RerouteReason::Forced, 1)]
+        );
+        assert_eq!(s.model_grows, 1);
+        assert_eq!(s.cap_hits, 1);
+        assert_eq!(s.model_state, Some((16, 16)));
+        assert_eq!(s.certify_fails, 2);
+        assert_eq!(s.max_bound_gap, 0.5, "infinite gaps excluded from max");
+        let text = s.render();
+        assert!(
+            text.contains("reroutes: accuracy_miss=3 forced=1"),
+            "{text}"
+        );
+        assert!(text.contains("cap_hits=1"), "{text}");
+        assert!(text.contains("fails=2"), "{text}");
+    }
+
+    #[test]
+    fn clear_keeps_watermarks_valid() {
+        let buf = TraceBuffer::new(1, 8);
+        buf.emit(
+            0,
+            TraceEvent::ModelGrow {
+                points: 1,
+                budget: 0,
+            },
+        );
+        let mark = buf.watermark();
+        buf.clear();
+        assert!(buf.events().is_empty());
+        buf.emit(
+            0,
+            TraceEvent::ModelGrow {
+                points: 2,
+                budget: 0,
+            },
+        );
+        assert_eq!(buf.events_since(mark).len(), 1, "seq keeps climbing");
+    }
+
+    #[test]
+    fn lane_overflow_wraps_instead_of_panicking() {
+        let buf = TraceBuffer::new(2, 8);
+        buf.emit(
+            7,
+            TraceEvent::CapHit {
+                points: 1,
+                budget: 1,
+            },
+        );
+        let events = buf.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].lane, 7 % 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property fuzz of the hand-rolled JSON layer: whatever the builders
+//! write, the validator must accept and the parser must materialize back
+//! to the same values — including hostile strings (quotes, backslashes,
+//! control characters) and non-finite floats (which serialize as `null`).
+
+use proptest::prelude::*;
+use udf_obs::json::{parse, validate, JsonArr, JsonObj, JsonValue};
+
+/// One string fragment from the escape classes the writer knows about.
+fn piece(kind: u8, raw: u32) -> String {
+    match kind {
+        0 => char::from_u32(raw).map(String::from).unwrap_or_default(),
+        1 => "\"".to_string(),
+        2 => "\\".to_string(),
+        3 => "\n".to_string(),
+        4 => "\r".to_string(),
+        5 => "\t".to_string(),
+        6 => "\u{0}".to_string(),
+        7 => "\u{1f}".to_string(),
+        8 => "\\u0041".to_string(), // literal backslash-u, must re-escape
+        _ => "{}[],: \u{e9}\u{4e16}".to_string(),
+    }
+}
+
+/// Strings exercising every escape class (plus arbitrary BMP chars).
+fn hostile_string() -> impl Strategy<Value = String> {
+    prop::collection::vec((0u8..10, 0u32..0xD800), 0..12)
+        .prop_map(|parts| parts.into_iter().map(|(k, c)| piece(k, c)).collect())
+}
+
+/// Floats including the non-finite values JSON cannot represent.
+fn any_f64() -> impl Strategy<Value = f64> {
+    (0u8..10, -1.0e300f64..1.0e300).prop_map(|(kind, v)| match kind {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        5 => f64::MIN_POSITIVE,
+        6 => f64::MAX,
+        _ => v,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn object_writer_round_trips(
+        key in hostile_string(),
+        s in hostile_string(),
+        n in 0u64..u64::MAX,
+        x in any_f64(),
+        flag in 0u8..2,
+    ) {
+        let b = flag == 1;
+        let mut obj = JsonObj::new();
+        obj.str(&key, &s).u64("n", n).f64("x", x).bool("b", b);
+        let text = obj.finish();
+        prop_assert!(validate(&text).is_ok(), "writer emitted invalid JSON: {}", text);
+        let v = parse(&text).unwrap();
+        // A generated key can collide with "n"/"x"/"b"; `get` returns the
+        // first member (always the str field), so only assert on the
+        // fixed-name fields when the key is distinct.
+        if key != "n" && key != "x" && key != "b" {
+            prop_assert_eq!(v.get(&key).and_then(JsonValue::as_str), Some(s.as_str()));
+            prop_assert_eq!(v.get("n").and_then(JsonValue::as_f64), Some(n as f64));
+            prop_assert_eq!(v.get("b"), Some(&JsonValue::Bool(b)));
+            match v.get("x").unwrap() {
+                JsonValue::Null => prop_assert!(!x.is_finite(), "finite {} became null", x),
+                JsonValue::Num(y) => {
+                    prop_assert!(x.is_finite());
+                    // Rust's f64 Display is shortest-round-trip, so the
+                    // re-parsed value is bit-exact.
+                    prop_assert_eq!(*y, x);
+                }
+                other => prop_assert!(false, "x materialized as {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn array_writer_round_trips(
+        strs in prop::collection::vec(hostile_string(), 0..6),
+        nums in prop::collection::vec(any_f64(), 0..6),
+    ) {
+        let mut arr = JsonArr::new();
+        for s in &strs {
+            arr.str(s);
+        }
+        for &x in &nums {
+            arr.f64(x);
+        }
+        let text = arr.finish();
+        prop_assert!(validate(&text).is_ok(), "writer emitted invalid JSON: {}", text);
+        let v = parse(&text).unwrap();
+        let items = v.as_arr().unwrap();
+        prop_assert_eq!(items.len(), strs.len() + nums.len());
+        for (i, s) in strs.iter().enumerate() {
+            prop_assert_eq!(items[i].as_str(), Some(s.as_str()));
+        }
+        for (i, &x) in nums.iter().enumerate() {
+            match &items[strs.len() + i] {
+                JsonValue::Null => prop_assert!(!x.is_finite()),
+                JsonValue::Num(y) => prop_assert_eq!(*y, x),
+                other => prop_assert!(false, "num materialized as {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn nested_structures_stay_valid(
+        depth in 1usize..6,
+        leaf in hostile_string(),
+    ) {
+        let mut text = {
+            let mut o = JsonObj::new();
+            o.str("leaf", &leaf);
+            o.finish()
+        };
+        for level in 0..depth {
+            let mut o = JsonObj::new();
+            let mut a = JsonArr::new();
+            a.raw(&text).u64(level as u64);
+            o.raw("children", &a.finish());
+            text = o.finish();
+        }
+        prop_assert!(validate(&text).is_ok(), "{}", text);
+        prop_assert!(parse(&text).is_ok(), "{}", text);
+    }
+}

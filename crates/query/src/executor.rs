@@ -157,6 +157,23 @@ impl Executor {
         self
     }
 
+    /// Wire structured tracing: the executor's OLGAPRO instance (if any)
+    /// emits model-lifecycle events (`ModelGrow`/`ModelEvict`/`CapHit`)
+    /// into `tracer`'s rings. Purely observational — results are
+    /// byte-identical wired or not. The MC strategy has no model and
+    /// ignores this.
+    pub fn with_tracer(mut self, tracer: &udf_obs::TraceBuffer) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// In-place variant of [`with_tracer`](Self::with_tracer).
+    pub fn set_tracer(&mut self, tracer: &udf_obs::TraceBuffer) {
+        if let Some(olga) = &mut self.olgapro {
+            olga.set_tracer(tracer.clone());
+        }
+    }
+
     /// The GP evaluator, when the strategy is [`EvalStrategy::Gp`] —
     /// exposes model size and core statistics for observability.
     pub fn olgapro(&self) -> Option<&Olgapro> {

@@ -30,6 +30,7 @@
 //! computes, and a fixed `(seed, batch_size)` yields byte-identical emitted
 //! distributions for any worker count.
 
+use crate::health::HealthMonitor;
 use crate::source::Source;
 use crate::stats::{Digest, EngineStats, KeptSummary, StreamStats};
 use crate::{Result, StreamError};
@@ -45,7 +46,7 @@ use udf_core::olgapro::{InferScratch, Olgapro, OlgaproMetrics};
 use udf_core::output::GpOutput;
 use udf_core::sched::{mix_seed, BatchOps, BatchScheduler, SchedMetrics, Verdict};
 use udf_core::udf::BlackBoxUdf;
-use udf_obs::{Histogram, MetricsRegistry};
+use udf_obs::{Histogram, MetricsRegistry, TraceBuffer};
 use udf_prob::{Ecdf, InputDistribution};
 
 /// The engine's own observability handles (the layers below wire their
@@ -211,6 +212,10 @@ pub struct StreamEngine {
     metrics: EngineMetrics,
     /// Set when metrics are wired; later subscriptions register here too.
     registry: Option<MetricsRegistry>,
+    /// Set when tracing is wired; later subscriptions share it too.
+    tracer: TraceBuffer,
+    /// Set when health sampling is enabled ([`enable_health`](Self::enable_health)).
+    health: Option<HealthMonitor>,
 }
 
 impl StreamEngine {
@@ -224,6 +229,8 @@ impl StreamEngine {
             last_run: EngineStats::default(),
             metrics: EngineMetrics::disabled(),
             registry: None,
+            tracer: TraceBuffer::disabled(),
+            health: None,
         }
     }
 
@@ -239,7 +246,39 @@ impl StreamEngine {
             }
         }
         self.metrics = EngineMetrics::register(reg);
+        if let Some(h) = &mut self.health {
+            h.set_registry(reg);
+        }
         self.registry = Some(reg.clone());
+    }
+
+    /// Wire structured tracing: the scheduler's reroute/phase events and
+    /// every (current and future) GP subscription's model-lifecycle events
+    /// share `tracer`'s rings. Purely observational — digests are
+    /// byte-identical wired or not (pinned by the determinism tests).
+    pub(crate) fn set_tracer(&mut self, tracer: TraceBuffer) {
+        self.sched.set_tracer(tracer.clone());
+        for q in &mut self.queries {
+            if let Evaluator::Gp(olga, _) = &mut q.eval {
+                olga.set_tracer(tracer.clone());
+            }
+        }
+        self.tracer = tracer;
+    }
+
+    /// Enable periodic health sampling (see [`HealthMonitor`]). When a
+    /// metrics registry is already wired, samples carry its counter
+    /// deltas; wiring metrics later upgrades the monitor in place.
+    pub(crate) fn enable_health(&mut self, mut monitor: HealthMonitor) {
+        if let Some(reg) = &self.registry {
+            monitor.set_registry(reg);
+        }
+        self.health = Some(monitor);
+    }
+
+    /// The health monitor, when enabled.
+    pub(crate) fn health(&self) -> Option<&HealthMonitor> {
+        self.health.as_ref()
     }
 
     pub(crate) fn config(&self) -> &EngineConfig {
@@ -289,6 +328,7 @@ impl StreamEngine {
                 if let Some(reg) = &self.registry {
                     olga.set_metrics(OlgaproMetrics::register(reg));
                 }
+                olga.set_tracer(self.tracer.clone());
                 Evaluator::Gp(Box::new(olga), budget)
             }
         };
@@ -417,6 +457,15 @@ impl StreamEngine {
             let dt = t0.elapsed();
             q.stats.busy += dt;
             batch_ns.record_duration(dt);
+        }
+        if let Some(h) = &mut self.health {
+            let mut totals = (0u64, 0u64, 0u64);
+            for q in &self.queries {
+                totals.0 += q.stats.tuples_in;
+                totals.1 += q.stats.kept;
+                totals.2 += q.stats.slow_path;
+            }
+            h.on_batch(totals);
         }
         Ok(())
     }

@@ -59,11 +59,13 @@
 //! ```
 
 pub mod engine;
+pub mod health;
 pub mod session;
 pub mod source;
 pub mod stats;
 
 pub use engine::{EngineConfig, StreamStrategy};
+pub use health::{HealthMonitor, HealthSample, HealthTrend};
 pub use session::{QueryId, QuerySpec, Session};
 pub use source::{AstroSource, Source, SyntheticSource, VecSource};
 pub use stats::{EngineStats, KeptSummary, StreamStats};

@@ -150,6 +150,43 @@ impl Session {
         self
     }
 
+    /// Wire structured tracing into the session: the scheduler's reroute
+    /// and phase events plus every GP subscription's model-lifecycle
+    /// events (current and future) share `tracer`'s per-lane rings.
+    /// Tracing is purely observational — run digests are byte-identical
+    /// whether or not a buffer is attached.
+    pub fn set_tracer(&mut self, tracer: udf_obs::TraceBuffer) {
+        self.engine.set_tracer(tracer);
+    }
+
+    /// Builder-style variant of [`set_tracer`](Session::set_tracer).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: udf_obs::TraceBuffer) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// Enable the periodic stream health monitor (see
+    /// [`HealthMonitor`](crate::health::HealthMonitor)): every
+    /// `monitor.sample_every()` micro-batches the engine folds cumulative
+    /// tuple totals (plus scheduler counter deltas when metrics are wired)
+    /// into the monitor's bounded time-series ring.
+    pub fn enable_health(&mut self, monitor: crate::health::HealthMonitor) {
+        self.engine.enable_health(monitor);
+    }
+
+    /// Builder-style variant of [`enable_health`](Session::enable_health).
+    #[must_use]
+    pub fn with_health(mut self, monitor: crate::health::HealthMonitor) -> Self {
+        self.enable_health(monitor);
+        self
+    }
+
+    /// The health monitor's trend window, when enabled.
+    pub fn health(&self) -> Option<&crate::health::HealthMonitor> {
+        self.engine.health()
+    }
+
     /// The engine configuration in force.
     pub fn config(&self) -> &EngineConfig {
         self.engine.config()

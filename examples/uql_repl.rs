@@ -111,7 +111,7 @@ fn print_catalog(ctx: &UqlContext) {
 
 fn main() {
     let mut ctx = demo_context();
-    println!("UQL shell — `\\d` lists the catalog, `\\h` shows the grammar, `\\metrics` dumps counters, `\\q` quits.");
+    println!("UQL shell — `\\d` lists the catalog, `\\h` shows the grammar, `\\metrics` dumps counters, `\\trace` exports the trace, `\\q` quits.");
     println!("Example: SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [0.5, 0.9]) >= 0.6 USING gp WORKERS 2 SEED 7");
 
     let stdin = io::stdin();
@@ -137,6 +137,11 @@ fn main() {
                 print!("{}", ctx.metrics().render());
                 continue;
             }
+            "\\metrics reset" => {
+                ctx.metrics().reset();
+                println!("metrics reset (uptime clock restarted)");
+                continue;
+            }
             "\\h" | "help" => {
                 println!(
                     "SELECT f(attr, ...) [WITH ACCURACY eps delta [METRIC ks|disc]]\n\
@@ -146,13 +151,30 @@ fn main() {
                      [PRUNE]\n\
                      JOIN queries qualify attributes with their alias (AngDist(a.z, b.z));\n\
                      PRUNE enables envelope-based pair pruning on GP joins with a WHERE.\n\
-                     Prefix with EXPLAIN to print the plan without executing, or\n\
-                     EXPLAIN ANALYZE to execute and print per-operator timings;\n\
-                     `\\metrics` dumps the session's metrics registry."
+                     Prefix with EXPLAIN to print the plan without executing,\n\
+                     EXPLAIN ANALYZE to execute and print per-operator timings, or\n\
+                     EXPLAIN TRACE to execute and print the statement's trace\n\
+                     (reroute causes, model lifecycle, certificate misses);\n\
+                     `\\metrics` dumps the session's metrics registry,\n\
+                     `\\metrics reset` zeroes it,\n\
+                     `\\trace [path]` exports the session trace as chrome://tracing JSON."
                 );
                 continue;
             }
             _ => {}
+        }
+        if let Some(rest) = line.strip_prefix("\\trace") {
+            let path = rest.trim();
+            let json = ctx.trace().to_chrome_json();
+            if path.is_empty() {
+                println!("{json}");
+            } else {
+                match std::fs::write(path, &json) {
+                    Ok(()) => println!("trace written to {path} ({} bytes)", json.len()),
+                    Err(e) => println!("cannot write {path}: {e}"),
+                }
+            }
+            continue;
         }
         match ctx.run(line) {
             Ok(out) => print!("{}", out.report()),
