@@ -1,6 +1,6 @@
 //! `trajectory` — the persisted benchmark trajectory: one self-timed run
 //! over trimmed configurations of the key ROADMAP axes, written as
-//! `BENCH_8.json` at the repository root so successive PRs leave a
+//! `BENCH_9.json` at the repository root so successive PRs leave a
 //! machine-readable performance trail next to the code they changed.
 //!
 //! Unlike the criterion benches (statistical, minutes-long), this harness
@@ -44,6 +44,14 @@
 //!       "n": 512, "reps": 9, "rows": 0,
 //!       "metrics_off_ns": 0, "metrics_on_ns": 0, "overhead_pct": 0.0,
 //!       "registry": {"counters": {}, "gauges": {}, "histograms": {}}
+//!     },
+//!     "uql_prepared": {
+//!       "relation": {"n": 512, "reps": 9, "one_shot_ns": 0, "execute_ns": 0,
+//!                    "compile_ns": 0, "cached_lookup_ns": 0,
+//!                    "fixed_cost_saved_ns": 0, "speedup": 0.0},
+//!       "join": {"n": 24, "one_shot_ns": 0, "first_execute_ns": 0,
+//!                "warm_execute_ns": 0, "warm_speedup": 0.0,
+//!                "registry": {"counters": {}, "gauges": {}, "histograms": {}}}
 //!     }
 //!   }
 //! }
@@ -474,13 +482,118 @@ fn uql_axis(smoke: bool) -> String {
     o.finish()
 }
 
+// ----------------------------------------------------------- uql prepared
+
+/// Prepared-statement amortization (the `uql/prepared` axis): a plan
+/// compiled once and `EXECUTE`d repeatedly vs. re-running the same
+/// statement one-shot. The relation series isolates the per-statement
+/// fixed cost (parse + bind) the plan cache amortizes away; the
+/// PRUNE-join series measures the warm-model restore — re-execution
+/// skips the warmup round entirely — with the session registry embedded
+/// so the snapshot records the cache hit/miss trail.
+fn prepared_axis(smoke: bool) -> String {
+    // Relation series: MC query where the front end is a visible share.
+    let n = if smoke { 128 } else { 512 };
+    let reps = if smoke { 5 } else { 9 };
+    let src = "SELECT F1(x) WITH ACCURACY 0.3 0.05 METRIC ks FROM rel \
+               WHERE PR(F1(x) IN [0.2, 1.4]) >= 0.4 USING mc WORKERS 1 SEED 7";
+    let mut ctx = Context::standard();
+    let tuples = (0..n)
+        .map(|i| {
+            Tuple::new(vec![Value::Gaussian {
+                mu: (i as f64 * 0.37) % 10.0,
+                sigma: 0.5,
+            }])
+        })
+        .collect();
+    ctx.register_relation("rel", Relation::new(Schema::new(&["x"]), tuples).unwrap());
+    let one_shot_ns = median_ns(reps, || run_uql(src, &mut ctx).unwrap());
+    run_uql(&format!("PREPARE p AS {src}"), &mut ctx).unwrap();
+    run_uql("EXECUTE p", &mut ctx).unwrap(); // first execution binds (miss)
+    let execute_ns = median_ns(reps, || run_uql("EXECUTE p", &mut ctx).unwrap());
+    // The per-statement fixed cost, isolated via plan-only EXPLAIN: a
+    // one-shot pays parse + bind every time; a warm EXECUTE is a cache
+    // lookup.
+    let compile_ns = median_ns(reps, || {
+        run_uql(&format!("EXPLAIN {src}"), &mut ctx).unwrap()
+    });
+    let cached_lookup_ns = median_ns(reps, || run_uql("EXPLAIN EXECUTE p", &mut ctx).unwrap());
+    let mut rel = JsonObj::new();
+    rel.u64("n", n as u64)
+        .u64("reps", reps as u64)
+        .u64("one_shot_ns", one_shot_ns)
+        .u64("execute_ns", execute_ns)
+        .u64("compile_ns", compile_ns)
+        .u64("cached_lookup_ns", cached_lookup_ns)
+        .u64(
+            "fixed_cost_saved_ns",
+            compile_ns.saturating_sub(cached_lookup_ns),
+        )
+        .f64("speedup", one_shot_ns as f64 / execute_ns as f64);
+
+    // Join series: prepared PRUNE join re-executed on one warm GP model.
+    let jn = if smoke { 16 } else { 24 };
+    let join_src = "SELECT AngDist(a.z, b.z) WITH ACCURACY 0.2 0.05 \
+                    FROM g a JOIN g b ON a.objID < b.objID \
+                    WHERE PR(AngDist(a.z, b.z) IN [0.3, 0.36]) >= 0.5 \
+                    USING gp SEED 9 PRUNE WORKERS 2";
+    let mut jctx = Context::standard();
+    let tuples = (0..jn)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Det(i as f64),
+                Value::Gaussian {
+                    mu: 0.1 + 1.7 * i as f64 / jn as f64,
+                    sigma: 0.02,
+                },
+            ])
+        })
+        .collect();
+    jctx.register_relation(
+        "g",
+        Relation::new(Schema::new(&["objID", "z"]), tuples).unwrap(),
+    );
+    let t0 = Instant::now();
+    let one_shot = run_uql(join_src, &mut jctx).unwrap();
+    let join_one_shot_ns = t0.elapsed().as_nanos() as u64;
+    let QueryOutput::Join(one_shot) = one_shot else {
+        unreachable!("a JOIN query returns join rows")
+    };
+    run_uql(&format!("PREPARE j AS {join_src}"), &mut jctx).unwrap();
+    let t0 = Instant::now();
+    let QueryOutput::Join(first) = run_uql("EXECUTE j", &mut jctx).unwrap() else {
+        unreachable!()
+    };
+    let first_execute_ns = t0.elapsed().as_nanos() as u64;
+    assert_eq!(
+        first.rows.len(),
+        one_shot.rows.len(),
+        "prepared join must reproduce the one-shot result"
+    );
+    let warm_execute_ns = median_ns(3, || run_uql("EXECUTE j", &mut jctx).unwrap());
+    let mut join = JsonObj::new();
+    join.u64("n", jn as u64)
+        .u64("one_shot_ns", join_one_shot_ns)
+        .u64("first_execute_ns", first_execute_ns)
+        .u64("warm_execute_ns", warm_execute_ns)
+        .f64(
+            "warm_speedup",
+            join_one_shot_ns as f64 / warm_execute_ns as f64,
+        )
+        .raw("registry", &jctx.metrics().to_json());
+
+    let mut o = JsonObj::new();
+    o.raw("relation", &rel.finish()).raw("join", &join.finish());
+    o.finish()
+}
+
 // ------------------------------------------------------------------ main
 
 fn main() {
     // `cargo bench` passes harness flags (`--bench`); ignore them.
     let smoke = std::env::var("TRAJECTORY_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let out_path = std::env::var("TRAJECTORY_OUT")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json").to_string());
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json").to_string());
 
     eprintln!("trajectory: stream_throughput ...");
     let stream = stream_axis(smoke);
@@ -492,16 +605,19 @@ fn main() {
     let join = join_axis(smoke);
     eprintln!("trajectory: uql_overhead ...");
     let uql = uql_axis(smoke);
+    eprintln!("trajectory: uql_prepared ...");
+    let prepared = prepared_axis(smoke);
 
     let mut axes = JsonObj::new();
     axes.raw("stream_throughput", &stream)
         .raw("gp_model_cap", &model_cap)
         .raw("gp_fastpath", &fastpath)
         .raw("join_pruning", &join)
-        .raw("uql_overhead", &uql);
+        .raw("uql_overhead", &uql)
+        .raw("uql_prepared", &prepared);
     let mut root = JsonObj::new();
     root.u64("schema_version", 1)
-        .u64("pr", 8)
+        .u64("pr", 9)
         .str("bench", "trajectory")
         .bool("smoke", smoke)
         .raw("axes", &axes.finish());
@@ -511,6 +627,6 @@ fn main() {
     std::fs::write(&out_path, json + "\n").expect("write BENCH json");
     println!(
         "trajectory: wrote {out_path} (axes: stream_throughput, gp_model_cap, \
-         gp_fastpath, join_pruning, uql_overhead; smoke={smoke})"
+         gp_fastpath, join_pruning, uql_overhead, uql_prepared; smoke={smoke})"
     );
 }

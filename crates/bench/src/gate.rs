@@ -192,6 +192,13 @@ fn axis_rate(axis: &str, v: &JsonValue) -> Option<f64> {
                 .collect(),
         ),
         "uql_overhead" => per_sec(v.get("n")?.as_f64()?, v.get("metrics_on_ns")?.as_f64()?),
+        // Steady-state prepared execution: rows per second through the
+        // cached plan (the relation series; the join series' registry
+        // dump is observational).
+        "uql_prepared" => {
+            let rel = v.get("relation")?;
+            per_sec(rel.get("n")?.as_f64()?, rel.get("execute_ns")?.as_f64()?)
+        }
         _ => None,
     }
 }
@@ -287,6 +294,7 @@ mod tests {
             "gp_model_cap",
             "join_pruning",
             "uql_overhead",
+            "uql_prepared",
         ] {
             assert!(table.contains(axis), "{axis} missing:\n{table}");
         }
@@ -356,7 +364,11 @@ mod tests {
                 "join_pruning": [
                     {"series": "naive", "n": 8, "elapsed_ns": 1, "pairs_evaluated": 100},
                     {"series": "pruned", "n": 8, "elapsed_ns": 2000000000, "pairs_evaluated": 50}
-                ]}}"#,
+                ],
+                "uql_prepared": {
+                    "relation": {"n": 512, "one_shot_ns": 9, "execute_ns": 4000000000},
+                    "join": {"n": 24, "warm_execute_ns": 1}
+                }}}"#,
         )
         .unwrap();
         let rates = snapshot_rates(&doc);
@@ -365,5 +377,8 @@ mod tests {
         assert_eq!(get("gp_model_cap"), Some(1.0));
         // pruned: 50 pairs / 2 s = 25/s (naive ignored).
         assert_eq!(get("join_pruning"), Some(25.0));
+        // prepared: 512 rows / 4 s through EXECUTE = 128/s (the join
+        // series is observational).
+        assert_eq!(get("uql_prepared"), Some(128.0));
     }
 }

@@ -149,7 +149,11 @@ pub struct OlgaproStats {
 }
 
 /// The online evaluator (Algorithm 5).
-#[derive(Debug)]
+///
+/// Cloning snapshots the evaluator — model (under a fresh `model_id`, see
+/// [`GpModel`]'s `Clone`), stats, and config — so a warmed evaluator can be
+/// captured once and restored per execution (prepared-statement reuse).
+#[derive(Clone, Debug)]
 pub struct Olgapro {
     udf: BlackBoxUdf,
     model: GpModel,

@@ -40,6 +40,29 @@ pub struct GpModel {
     half_value: OnceLock<f64>,
 }
 
+impl Clone for GpModel {
+    /// Clones take a **fresh** `model_id`: the clone's training set may
+    /// diverge from the original's, and caches key on `(model_id, epoch)` —
+    /// two models sharing an id with different contents would poison any
+    /// `LocalPredictorCache` they pass through. The cost of the fresh id is
+    /// one first-tuple cache miss per cloned model; outputs are unaffected.
+    fn clone(&self) -> Self {
+        GpModel {
+            kernel: self.kernel.clone(),
+            dim: self.dim,
+            xs: self.xs.clone(),
+            ys: self.ys.clone(),
+            jitter: self.jitter,
+            chol: self.chol.clone(),
+            alpha: self.alpha.clone(),
+            index: self.index.clone(),
+            model_id: NEXT_MODEL_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: self.epoch,
+            half_value: self.half_value.clone(),
+        }
+    }
+}
+
 /// A posterior prediction at one point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Prediction {

@@ -204,6 +204,36 @@ const LEFT_BLOCK: usize = 64;
 /// execution paths hand back to [`JoinExecutor::run`].
 type RowsAndCoords = (Vec<ProjectedTuple>, BTreeMap<usize, (usize, usize)>);
 
+/// Post-warmup snapshot of a GP join: the warmed inner executor (model,
+/// cached factors, accumulated stats) plus the warmup round's surviving
+/// rows and stat contributions. Re-executing a prepared join clones this
+/// instead of re-running the sequential warmup — the main round starts
+/// from identical model state and identical per-pair seeds, so the output
+/// is byte-identical to a cold run while the re-execution emits no
+/// `Warmup` trace phase and mutates no shared state.
+#[derive(Clone, Debug)]
+pub struct WarmJoinState {
+    executor: Executor,
+    rows: Vec<ProjectedTuple>,
+    warm_count: u64,
+}
+
+/// How a run treats the GP warmup round.
+#[derive(Debug, Default)]
+pub enum WarmMode<'w> {
+    /// Run the warmup round normally and keep nothing (one-shot).
+    #[default]
+    Cold,
+    /// Run the warmup round, then snapshot the post-warmup state for
+    /// later [`Restore`](WarmMode::Restore) runs. MC joins have no
+    /// warmup round and capture nothing.
+    Capture,
+    /// Skip the warmup round: clone the snapshot's executor and splice
+    /// in its warmup rows, then run only the main round. Behaves like
+    /// [`Cold`](WarmMode::Cold) on joins without a warmup round.
+    Restore(&'w WarmJoinState),
+}
+
 /// Executes one [`JoinSpec`] — see the [module docs](self) for the
 /// two-round shape and the pruning contract.
 pub struct JoinExecutor<'s, 'a> {
@@ -212,6 +242,7 @@ pub struct JoinExecutor<'s, 'a> {
     call: UdfCall,
     executor: Executor,
     metrics: JoinMetrics,
+    registry: Option<MetricsRegistry>,
     tracer: TraceBuffer,
 }
 
@@ -246,6 +277,7 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
             call,
             executor,
             metrics: JoinMetrics::disabled(),
+            registry: None,
             tracer: TraceBuffer::disabled(),
         })
     }
@@ -255,6 +287,7 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
     #[must_use]
     pub fn with_metrics(mut self, reg: &MetricsRegistry) -> Self {
         self.metrics = JoinMetrics::register(reg);
+        self.registry = Some(reg.clone());
         self.executor = self.executor.with_metrics(reg);
         self
     }
@@ -284,6 +317,19 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
 
     /// Run the join on `sched`'s worker pool.
     pub fn run(&mut self, sched: &BatchScheduler) -> Result<JoinOutput> {
+        Ok(self.run_warm(sched, WarmMode::Cold)?.0)
+    }
+
+    /// Run the join with explicit warm-state handling: under
+    /// [`WarmMode::Capture`] a GP join also returns its post-warmup
+    /// [`WarmJoinState`]; under [`WarmMode::Restore`] the warmup round is
+    /// skipped in favor of the snapshot. Every mode produces byte-identical
+    /// output (pinned by the prepared-statement digest tests).
+    pub fn run_warm(
+        &mut self,
+        sched: &BatchScheduler,
+        mode: WarmMode<'_>,
+    ) -> Result<(JoinOutput, Option<WarmJoinState>)> {
         let spec = self.spec;
         let (nl, nr) = (spec.left.len(), spec.right.len());
         let cross = (nl as u64).checked_mul(nr as u64);
@@ -294,11 +340,12 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
             }));
         }
         let mut stats = JoinStats::default();
+        let mut snapshot = None;
         let (mut rows, pair_of) = match (spec.strategy, spec.prune) {
             (EvalStrategy::Mc, _) | (EvalStrategy::Gp, false) => {
-                self.run_materialized(sched, &mut stats)?
+                self.run_materialized(sched, &mut stats, &mode, &mut snapshot)?
             }
-            (EvalStrategy::Gp, true) => self.run_pruned(sched, &mut stats)?,
+            (EvalStrategy::Gp, true) => self.run_pruned(sched, &mut stats, &mode, &mut snapshot)?,
         };
         rows.sort_by_key(|r| r.source);
 
@@ -322,12 +369,15 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
                 tep: row.tep,
             });
         }
-        Ok(JoinOutput {
-            relation: Relation::new(self.schema.clone(), tuples)?,
-            rows: joined,
-            stats,
-            query_stats: q,
-        })
+        Ok((
+            JoinOutput {
+                relation: Relation::new(self.schema.clone(), tuples)?,
+                rows: joined,
+                stats,
+                query_stats: q,
+            },
+            snapshot,
+        ))
     }
 
     /// Materialized path (MC, and GP without pruning): filtered cross
@@ -337,6 +387,8 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
         &mut self,
         sched: &BatchScheduler,
         stats: &mut JoinStats,
+        mode: &WarmMode<'_>,
+        snapshot: &mut Option<WarmJoinState>,
     ) -> Result<RowsAndCoords> {
         let spec = self.spec;
         let pairs_rel =
@@ -370,7 +422,7 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
                 let mut rounds = split_rounds(inputs, &warmup_indices(total));
                 let main = rounds.pop().expect("split_rounds returns two rounds");
                 let warm = rounds.pop().expect("split_rounds returns two rounds");
-                rows.extend(self.warmup(&warm, stats)?);
+                self.warmup_or_restore(&warm, stats, mode, snapshot, &mut rows)?;
                 main
             }
         };
@@ -410,6 +462,8 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
         &mut self,
         sched: &BatchScheduler,
         stats: &mut JoinStats,
+        mode: &WarmMode<'_>,
+        snapshot: &mut Option<WarmJoinState>,
     ) -> Result<RowsAndCoords> {
         let spec = self.spec;
         let pred = spec.predicate.expect("validated in new()");
@@ -432,10 +486,12 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
         }
 
         // Warmup round: strided pairs train the model across the input
-        // space before anything is certified against it.
+        // space before anything is certified against it. (On restore the
+        // coordinate pass still runs — pair indices must map to (i, j) —
+        // but no pair is evaluated.)
         let warm = warmup_indices(total);
         let warm_inputs = self.collect_pairs(&warm, &mut pair_of)?;
-        rows.extend(self.warmup(&warm_inputs, stats)?);
+        self.warmup_or_restore(&warm_inputs, stats, mode, snapshot, &mut rows)?;
         let in_warmup = |idx: usize| warm.binary_search(&idx).is_ok();
 
         // Main-round pre-pass: R-tree screen + exact certificates, in
@@ -538,6 +594,46 @@ impl<'s, 'a> JoinExecutor<'s, 'a> {
             rows.extend(r);
         }
         Ok((rows, pair_of))
+    }
+
+    /// Run the warmup round per `mode`: evaluate it (snapshotting the
+    /// post-warmup state under [`WarmMode::Capture`]), or splice in a
+    /// snapshot's executor and rows under [`WarmMode::Restore`] — no
+    /// `Warmup` trace phase, no model mutation, identical downstream
+    /// state.
+    fn warmup_or_restore(
+        &mut self,
+        warm: &[(usize, InputDistribution)],
+        stats: &mut JoinStats,
+        mode: &WarmMode<'_>,
+        snapshot: &mut Option<WarmJoinState>,
+        rows: &mut Vec<ProjectedTuple>,
+    ) -> Result<()> {
+        if let WarmMode::Restore(state) = mode {
+            // The snapshot's executor was wired to the capturing run's
+            // observability; re-wire the clone to this run's registry and
+            // tracer so re-executions report where they actually run.
+            let mut executor = state.executor.clone();
+            if let Some(reg) = &self.registry {
+                executor = executor.with_metrics(reg);
+            }
+            executor.set_tracer(&self.tracer);
+            self.executor = executor;
+            rows.extend(state.rows.iter().cloned());
+            stats.slow_path += state.warm_count;
+            stats.filtered += state.warm_count - state.rows.len() as u64;
+            return Ok(());
+        }
+        let r = self.warmup(warm, stats)?;
+        if matches!(mode, WarmMode::Capture) {
+            *snapshot = Some(WarmJoinState {
+                executor: self.executor.clone(),
+                rows: r.clone(),
+                warm_count: warm.len() as u64,
+            });
+        }
+        rows.extend(r);
+        Ok(())
     }
 
     /// The GP warmup round: sequential full-path evaluation of the

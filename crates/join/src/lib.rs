@@ -62,7 +62,10 @@ pub mod executor;
 pub mod prune;
 pub mod spec;
 
-pub use executor::{warmup_indices, JoinExecutor, JoinMetrics, JoinOutput, JoinStats, JoinedPair};
+pub use executor::{
+    warmup_indices, JoinExecutor, JoinMetrics, JoinOutput, JoinStats, JoinedPair, WarmJoinState,
+    WarmMode,
+};
 pub use prune::PairPruner;
 pub use spec::{JoinAttr, JoinSpec, OnCondition, Side};
 

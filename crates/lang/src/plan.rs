@@ -15,7 +15,9 @@
 //!    accuracy and predicate validated into engine types, strategy fixed
 //!    (AUTO resolves by the paper's §6.3 rules), ready to execute.
 
-use crate::ast::{AttrRef, JoinSource, MetricName, Query, Select, SourceRef, StrategyName};
+use crate::ast::{
+    AttrRef, JoinSource, MetricName, NumExpr, Query, Select, SourceRef, StrategyName, UintExpr,
+};
 use crate::error::{LangError, Result, Span, Spanned};
 use crate::exec::Context;
 use std::fmt;
@@ -454,26 +456,6 @@ impl BoundQuery {
     }
 }
 
-/// A nonzero `MODEL CAP` on a query whose strategy resolved to MC would be
-/// silently dropped (MC has no model) — reject it with a span instead,
-/// whether the MC choice was explicit (`USING mc`) or made by AUTO.
-fn reject_cap_on_mc(sel: &crate::ast::Select, model_cap: usize, is_mc: bool) -> Result<()> {
-    if model_cap == 0 || !is_mc {
-        return Ok(());
-    }
-    let span = sel
-        .options
-        .model_cap
-        .as_ref()
-        .expect("nonzero model_cap implies the clause was written")
-        .span;
-    Err(LangError::semantic(
-        span,
-        "MODEL CAP bounds the GP model, but this query's strategy resolved to MC \
-         (explicitly or via AUTO's §6.3 rules); use `USING gp` or drop the cap",
-    ))
-}
-
 fn side_alias(p: &JoinPlan, side: Side) -> &str {
     match side {
         Side::Left => &p.left_alias,
@@ -498,12 +480,358 @@ fn indent(s: &str) -> String {
     })
 }
 
-/// Bind a parsed query against a [`Context`]: resolve the UDF and source,
-/// validate accuracy/predicate into engine types, resolve AUTO, and build
-/// the logical plans.
+/// Bind a parsed one-shot query against a [`Context`]. The one-shot path
+/// is prepare-then-execute-once: the statement is compiled with
+/// [`prepare`] and its (necessarily empty) parameter set is bound
+/// immediately, so one-shot and `PREPARE`d statements share every
+/// resolution and validation rule.
 pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
-    let sel = &query.select;
+    let prepared = prepare(&query.select, ctx)?;
+    if let Some(p) = prepared.params.first() {
+        return Err(LangError::semantic(
+            p.span,
+            format!(
+                "positional parameter `${}` is only allowed inside `PREPARE name AS ...` \
+                 (bind it with `EXECUTE`)",
+                p.index,
+            ),
+        ));
+    }
+    let physical = prepared.bind_args(&[], Span::new(0, 0))?;
+    Ok(BoundQuery {
+        logical: prepared.logical,
+        optimized: prepared.optimized,
+        physical,
+    })
+}
 
+/// The value shape a parameter slot accepts, decided by position at
+/// prepare time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamType {
+    /// Any number: accuracy ε/δ, interval bounds, the threshold θ.
+    Number,
+    /// A non-negative integer: WORKERS, BATCH, SEED, LIMIT, MODEL CAP.
+    Integer,
+}
+
+impl fmt::Display for ParamType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamType::Number => write!(f, "number"),
+            ParamType::Integer => write!(f, "integer"),
+        }
+    }
+}
+
+/// One distinct `$n` slot of a prepared statement, typed at prepare time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamSlot {
+    /// 1-based parameter number (`$1` has index 1).
+    pub index: usize,
+    /// The shape `EXECUTE` arguments are checked against. A parameter
+    /// used in both a numeric and an integer position binds as Integer.
+    pub ty: ParamType,
+    /// Span of one use inside the `PREPARE` text.
+    pub span: Span,
+    /// The clause the slot feeds (`WORKERS`, `accuracy ε`, ...).
+    pub what: &'static str,
+}
+
+/// Catalog bindings resolved once at prepare time, per source form.
+/// Numeric fields stay in the stored [`Select`] as
+/// [`NumExpr`]/[`UintExpr`] slots and are resolved per execution by
+/// [`PreparedPlan::bind_args`].
+#[derive(Debug, Clone)]
+enum SourceTemplate {
+    Relation {
+        relation: String,
+        args: Vec<String>,
+        strategy: EvalStrategy,
+    },
+    Stream {
+        source: String,
+        strategy: StreamStrategy,
+        resolves_to_mc: bool,
+    },
+    Join {
+        left: String,
+        left_alias: String,
+        right: String,
+        right_alias: String,
+        on: Option<((Side, String), (Side, String))>,
+        args: Vec<(Side, String)>,
+        strategy: EvalStrategy,
+        prune: bool,
+    },
+}
+
+/// A statement compiled against the catalog with its numeric slots still
+/// open: names, schemas, and the strategy resolve once at prepare time
+/// (with span diagnostics), the logical plans are built, and
+/// [`bind_args`](Self::bind_args) then turns one set of `EXECUTE`
+/// arguments into a [`PhysicalPlan`]. Bad arity or a bad argument at
+/// `EXECUTE` is a bind-stage [`LangError`], never a panic.
+#[derive(Debug, Clone)]
+pub struct PreparedPlan {
+    /// The SELECT body as written (parameter slots included).
+    select: Select,
+    /// Names and strategy resolved against the catalog.
+    source: SourceTemplate,
+    /// The bound UDF (cloned from the catalog).
+    udf: BlackBoxUdf,
+    /// λ from the catalog's output-range estimate (§6.1-C).
+    lambda: f64,
+    /// Output-range estimate, validated finite and positive.
+    output_range: f64,
+    /// The query as written.
+    pub logical: LogicalPlan,
+    /// After predicate pushdown.
+    pub optimized: LogicalPlan,
+    /// Distinct parameter slots, sorted `$1..$n` (always contiguous).
+    pub params: Vec<ParamSlot>,
+}
+
+impl PreparedPlan {
+    /// Number of arguments `EXECUTE` must supply.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The SELECT body this plan was prepared from.
+    pub fn select(&self) -> &Select {
+        &self.select
+    }
+
+    /// Bind one set of `EXECUTE` arguments: check arity and slot types,
+    /// substitute the values, and run the same numeric validation the
+    /// one-shot binder applies (accuracy, predicate, option ranges).
+    /// `stmt_span` anchors arity diagnostics in the `EXECUTE` text;
+    /// per-value diagnostics point at the argument that supplied the
+    /// value (or at the literal in the prepared text).
+    pub fn bind_args(&self, args: &[Spanned<f64>], stmt_span: Span) -> Result<PhysicalPlan> {
+        if args.len() != self.params.len() {
+            return Err(LangError::semantic(
+                stmt_span,
+                format!(
+                    "prepared statement takes {} argument(s), got {}",
+                    self.params.len(),
+                    args.len(),
+                ),
+            ));
+        }
+        for (slot, arg) in self.params.iter().zip(args) {
+            let v = arg.node;
+            let integral = v.is_finite() && v >= 0.0 && v.fract() == 0.0 && v < 2f64.powi(53);
+            if slot.ty == ParamType::Integer && !integral {
+                return Err(LangError::semantic(
+                    arg.span,
+                    format!(
+                        "parameter `${}` feeds {} and must be a non-negative integer, got {v:?}",
+                        slot.index, slot.what,
+                    ),
+                ));
+            }
+        }
+        let num = |e: &Spanned<NumExpr>| -> Spanned<f64> {
+            match e.node {
+                NumExpr::Lit(v) => Spanned::new(v, e.span),
+                NumExpr::Param(n) => {
+                    let a = &args[n - 1];
+                    Spanned::new(a.node, a.span)
+                }
+            }
+        };
+        let uint = |e: &Spanned<UintExpr>| -> Spanned<u64> {
+            match e.node {
+                UintExpr::Lit(v) => Spanned::new(v, e.span),
+                UintExpr::Param(n) => {
+                    let a = &args[n - 1];
+                    Spanned::new(a.node as u64, a.span)
+                }
+            }
+        };
+        let sel = &self.select;
+
+        // Accuracy: explicit clause or the paper's defaults.
+        let accuracy = match &sel.accuracy {
+            None => AccuracyRequirement::new(0.1, 0.05, self.lambda, Metric::Discrepancy)
+                .expect("paper defaults with a validated lambda"),
+            Some(acc) => {
+                let metric = match acc.metric.as_ref().map(|m| m.node) {
+                    Some(MetricName::Ks) => Metric::Ks,
+                    _ => Metric::Discrepancy,
+                };
+                let eps = num(&acc.eps);
+                let delta = num(&acc.delta);
+                AccuracyRequirement::new(eps.node, delta.node, self.lambda, metric)
+                    .map_err(|e| accuracy_diagnostic(e, eps.span, delta.span))?
+            }
+        };
+
+        // The WHERE predicate (the same-call shape was checked at prepare
+        // time; values are validated here, where parameters have values).
+        let predicate = match &sel.predicate {
+            None => None,
+            Some(p) => {
+                let lo = num(&p.lo);
+                let hi = num(&p.hi);
+                let theta = num(&p.theta);
+                Some(
+                    Predicate::new(lo.node, hi.node, theta.node)
+                        .map_err(|e| predicate_diagnostic(e, lo, hi, theta, p.span))?,
+                )
+            }
+        };
+
+        // Options.
+        let workers = match &sel.options.workers {
+            None => 1,
+            Some(w) => {
+                let w = uint(w);
+                if (1..=1024).contains(&w.node) {
+                    w.node as usize
+                } else {
+                    return Err(LangError::semantic(
+                        w.span,
+                        format!("WORKERS must be in 1..=1024, got {}", w.node),
+                    ));
+                }
+            }
+        };
+        let seed = sel.options.seed.as_ref().map_or(0, |s| uint(s).node);
+        let model_cap = match &sel.options.model_cap {
+            None => 0usize,
+            Some(c) => {
+                let c = uint(c);
+                if c.node > 1_000_000 {
+                    return Err(LangError::semantic(
+                        c.span,
+                        format!("MODEL CAP must be at most 1000000, got {}", c.node),
+                    ));
+                }
+                // Caps the model could never bootstrap under are rejected
+                // here with a span, rather than as an engine error at run
+                // time.
+                let min = OlgaproConfig::new(accuracy, self.output_range)
+                    .expect("accuracy and output_range validated above")
+                    .min_model_cap();
+                if c.node > 0 && (c.node as usize) < min {
+                    return Err(LangError::semantic(
+                        c.span,
+                        format!(
+                            "MODEL CAP must be 0 (uncapped) or at least the GP bootstrap \
+                             size ({min}), got {}",
+                            c.node
+                        ),
+                    ));
+                }
+                // A nonzero cap on a query whose strategy resolved to MC
+                // would be silently dropped (MC has no model) — reject it,
+                // whether the MC choice was explicit (`USING mc`) or made
+                // by AUTO.
+                let is_mc = match &self.source {
+                    SourceTemplate::Relation { strategy, .. }
+                    | SourceTemplate::Join { strategy, .. } => *strategy == EvalStrategy::Mc,
+                    SourceTemplate::Stream { resolves_to_mc, .. } => *resolves_to_mc,
+                };
+                if c.node > 0 && is_mc {
+                    return Err(LangError::semantic(
+                        c.span,
+                        "MODEL CAP bounds the GP model, but this query's strategy resolved \
+                         to MC (explicitly or via AUTO's §6.3 rules); use `USING gp` or \
+                         drop the cap",
+                    ));
+                }
+                c.node as usize
+            }
+        };
+
+        match &self.source {
+            SourceTemplate::Relation {
+                relation,
+                args: cols,
+                strategy,
+            } => Ok(PhysicalPlan::Relation(RelPlan {
+                relation: relation.clone(),
+                udf: self.udf.clone(),
+                args: cols.clone(),
+                strategy: *strategy,
+                accuracy,
+                output_range: self.output_range,
+                predicate,
+                workers,
+                seed,
+                model_cap,
+            })),
+            SourceTemplate::Stream {
+                source, strategy, ..
+            } => {
+                let batch = match &sel.options.batch {
+                    None => 256,
+                    Some(b) => {
+                        let b = uint(b);
+                        if (1..=1_048_576).contains(&b.node) {
+                            b.node as usize
+                        } else {
+                            return Err(LangError::semantic(
+                                b.span,
+                                format!("BATCH must be in 1..=1048576, got {}", b.node),
+                            ));
+                        }
+                    }
+                };
+                Ok(PhysicalPlan::Stream(StreamPlan {
+                    source: source.clone(),
+                    udf: self.udf.clone(),
+                    strategy: *strategy,
+                    accuracy,
+                    output_range: self.output_range,
+                    predicate,
+                    workers,
+                    batch,
+                    seed,
+                    limit: sel.options.limit.as_ref().map(|l| uint(l).node),
+                    model_cap,
+                }))
+            }
+            SourceTemplate::Join {
+                left,
+                left_alias,
+                right,
+                right_alias,
+                on,
+                args: pair_args,
+                strategy,
+                prune,
+            } => Ok(PhysicalPlan::Join(JoinPlan {
+                left: left.clone(),
+                left_alias: left_alias.clone(),
+                right: right.clone(),
+                right_alias: right_alias.clone(),
+                on: on.clone(),
+                udf: self.udf.clone(),
+                args: pair_args.clone(),
+                strategy: *strategy,
+                accuracy,
+                output_range: self.output_range,
+                predicate,
+                workers,
+                seed,
+                model_cap,
+                prune: *prune,
+            })),
+        }
+    }
+}
+
+/// Compile a SELECT body against a [`Context`]: resolve the UDF and the
+/// source against the catalog, fix the strategy (AUTO resolves by the
+/// paper's §6.3 rules), build the logical plans, and collect the `$n`
+/// parameter slots with their types. Every name/shape/structure error
+/// surfaces here, at prepare time; numeric validation runs per execution
+/// in [`PreparedPlan::bind_args`].
+pub fn prepare(sel: &Select, ctx: &Context) -> Result<PreparedPlan> {
     // 1. The projected UDF must exist in the catalog.
     let entry = ctx.udfs().get(&sel.call.name.node).ok_or_else(|| {
         LangError::semantic(
@@ -528,10 +856,9 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
         ));
     }
 
-    // 2. Accuracy: explicit clause or the paper's defaults; λ is always 1%
-    //    of the catalog's output-range estimate (§6.1-C). The range comes
-    //    from a user-registrable entry, so a poisoned value (negative,
-    //    NaN) must surface as a diagnostic, not a panic.
+    // 2. λ is always 1% of the catalog's output-range estimate (§6.1-C).
+    //    The range comes from a user-registrable entry, so a poisoned
+    //    value (negative, NaN) must surface as a diagnostic, not a panic.
     let lambda = entry.default_lambda();
     let output_range = entry.output_range;
     if !(output_range > 0.0 && output_range.is_finite()) {
@@ -544,94 +871,36 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
             ),
         ));
     }
-    let accuracy = match &sel.accuracy {
-        None => AccuracyRequirement::new(0.1, 0.05, lambda, Metric::Discrepancy)
-            .expect("paper defaults with a validated lambda"),
-        Some(acc) => {
-            let metric = match acc.metric.as_ref().map(|m| m.node) {
-                Some(MetricName::Ks) => Metric::Ks,
-                _ => Metric::Discrepancy,
-            };
-            AccuracyRequirement::new(acc.eps.node, acc.delta.node, lambda, metric)
-                .map_err(|e| accuracy_diagnostic(e, acc.eps.span, acc.delta.span))?
-        }
-    };
 
     // 3. The WHERE predicate must filter on the *selected* UDF call — that
     //    is the shape the engine's fused select operators execute. The UDF
     //    name compares case-insensitively, matching catalog lookup.
-    let predicate = match &sel.predicate {
-        None => None,
-        Some(p) => {
-            let same_call = p.call.name.node.eq_ignore_ascii_case(&sel.call.name.node)
-                && p.call.args == sel.call.args;
-            if !same_call {
-                return Err(LangError::semantic(
-                    p.call.span,
-                    format!(
-                        "the PR(...) predicate must reference the selected call `{}` \
-                         (got `{}`); filtering on a different UDF is not supported",
-                        sel.call, p.call,
-                    ),
-                ));
-            }
-            Some(
-                Predicate::new(p.lo.node, p.hi.node, p.theta.node)
-                    .map_err(|e| predicate_diagnostic(e, p))?,
-            )
-        }
-    };
-
-    // 4. Options.
-    let workers = match &sel.options.workers {
-        None => 1,
-        Some(w) if w.node >= 1 && w.node <= 1024 => w.node as usize,
-        Some(w) => {
+    if let Some(p) = &sel.predicate {
+        let same_call = p.call.name.node.eq_ignore_ascii_case(&sel.call.name.node)
+            && p.call.args == sel.call.args;
+        if !same_call {
             return Err(LangError::semantic(
-                w.span,
-                format!("WORKERS must be in 1..=1024, got {}", w.node),
+                p.call.span,
+                format!(
+                    "the PR(...) predicate must reference the selected call `{}` \
+                     (got `{}`); filtering on a different UDF is not supported",
+                    sel.call, p.call,
+                ),
             ));
         }
-    };
-    let seed = sel.options.seed.as_ref().map_or(0, |s| s.node);
+    }
+
+    // 4. Source-specific resolution. The strategy fixes here (it depends
+    //    only on the UDF), so PRUNE/cap checks can rule on it.
     let strategy_name = sel
         .options
         .strategy
         .as_ref()
         .map_or(StrategyName::Auto, |s| s.node);
-    let model_cap = match &sel.options.model_cap {
-        None => 0usize,
-        Some(c) => {
-            if c.node > 1_000_000 {
-                return Err(LangError::semantic(
-                    c.span,
-                    format!("MODEL CAP must be at most 1000000, got {}", c.node),
-                ));
-            }
-            // Caps the model could never bootstrap under are rejected here
-            // with a span, rather than as an engine error at run time.
-            let min = OlgaproConfig::new(accuracy, output_range)
-                .expect("accuracy and output_range validated above")
-                .min_model_cap();
-            if c.node > 0 && (c.node as usize) < min {
-                return Err(LangError::semantic(
-                    c.span,
-                    format!(
-                        "MODEL CAP must be 0 (uncapped) or at least the GP bootstrap \
-                         size ({min}), got {}",
-                        c.node
-                    ),
-                ));
-            }
-            c.node as usize
-        }
-    };
-
-    // 5. Source-specific lowering.
     let call_text = sel.call.to_string();
     let pred_text = sel.predicate.as_ref().map(|p| {
         format!(
-            "Pr[{} ∈ [{:?}, {:?}]] ≥ {:?}",
+            "Pr[{} ∈ [{}, {}]] ≥ {}",
             p.call, p.lo.node, p.hi.node, p.theta.node
         )
     });
@@ -643,7 +912,7 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
             "PRUNE applies to `JOIN` queries only (it prunes candidate pairs)",
         ));
     }
-    match &sel.source {
+    let (source, scan, prune) = match &sel.source {
         SourceRef::Relation(name) => {
             if let Some(c) = sel.options.batch.as_ref().or(sel.options.limit.as_ref()) {
                 return Err(LangError::semantic(
@@ -677,49 +946,21 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
                 }
             }
             let strategy = resolve_strategy(strategy_name, &udf);
-            // The cap is checked against the *resolved* strategy, so
-            // `USING mc MODEL CAP n` and a cap silently dropped by AUTO
-            // picking MC fail the same way.
-            reject_cap_on_mc(sel, model_cap, strategy == EvalStrategy::Mc)?;
             let scan = LogicalPlan::Scan {
                 relation: name.node.clone(),
                 rows: rel.len(),
             };
-            let logical = build_logical(scan, &call_text, pred_text.as_deref());
-            Ok(BoundQuery {
-                optimized: logical.clone().optimize(false),
-                logical,
-                physical: PhysicalPlan::Relation(RelPlan {
+            (
+                SourceTemplate::Relation {
                     relation: name.node.clone(),
-                    udf,
                     args: sel.call.args.iter().map(|a| a.node.name.clone()).collect(),
                     strategy,
-                    accuracy,
-                    output_range,
-                    predicate,
-                    workers,
-                    seed,
-                    model_cap,
-                }),
-            })
+                },
+                scan,
+                false,
+            )
         }
-        SourceRef::Join(join) => bind_join(
-            sel,
-            join,
-            ctx,
-            BoundCommon {
-                udf,
-                accuracy,
-                output_range,
-                predicate,
-                workers,
-                seed,
-                model_cap,
-                strategy_name,
-                call_text,
-                pred_text,
-            },
-        ),
+        SourceRef::Join(join) => prepare_join(sel, join, &udf, strategy_name, ctx)?,
         SourceRef::Stream(name) => {
             let dim = ctx.stream_dim(&name.node).ok_or_else(|| {
                 LangError::semantic(
@@ -753,8 +994,8 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
             };
             // AUTO stays symbolic on streams (the engine resolves it at
             // subscribe), but it resolves by the same deterministic §6.3
-            // rule — apply it here so a cap AUTO would drop is rejected
-            // with a span instead of silently ignored.
+            // rule — record the outcome so a cap AUTO would drop is
+            // rejected with a span instead of silently ignored.
             let resolves_to_mc = match strategy {
                 StreamStrategy::Mc => true,
                 StreamStrategy::Gp => false,
@@ -763,56 +1004,111 @@ pub fn bind(query: &Query, ctx: &Context) -> Result<BoundQuery> {
                     HybridChoice::Mc
                 ),
             };
-            reject_cap_on_mc(sel, model_cap, resolves_to_mc)?;
-            let batch = match &sel.options.batch {
-                None => 256,
-                Some(b) if b.node >= 1 && b.node <= 1_048_576 => b.node as usize,
-                Some(b) => {
-                    return Err(LangError::semantic(
-                        b.span,
-                        format!("BATCH must be in 1..=1048576, got {}", b.node),
-                    ));
-                }
-            };
             let scan = LogicalPlan::StreamScan {
                 source: name.node.clone(),
                 dim,
             };
-            let logical = build_logical(scan, &call_text, pred_text.as_deref());
-            Ok(BoundQuery {
-                optimized: logical.clone().optimize(false),
-                logical,
-                physical: PhysicalPlan::Stream(StreamPlan {
+            (
+                SourceTemplate::Stream {
                     source: name.node.clone(),
-                    udf,
                     strategy,
-                    accuracy,
-                    output_range,
-                    predicate,
-                    workers,
-                    batch,
-                    seed,
-                    limit: sel.options.limit.as_ref().map(|l| l.node),
-                    model_cap,
-                }),
-            })
+                    resolves_to_mc,
+                },
+                scan,
+                false,
+            )
         }
+    };
+    let logical = build_logical(scan, &call_text, pred_text.as_deref());
+    let optimized = logical.clone().optimize(prune);
+    let params = collect_params(sel)?;
+    Ok(PreparedPlan {
+        select: sel.clone(),
+        source,
+        udf,
+        lambda,
+        output_range,
+        logical,
+        optimized,
+        params,
+    })
+}
+
+/// Record one `$n` use; a later use of the same index upgrades the slot
+/// to Integer (the stricter shape) but never downgrades it.
+fn add_slot(
+    slots: &mut Vec<ParamSlot>,
+    index: usize,
+    ty: ParamType,
+    span: Span,
+    what: &'static str,
+) {
+    if let Some(s) = slots.iter_mut().find(|s| s.index == index) {
+        if ty == ParamType::Integer && s.ty == ParamType::Number {
+            s.ty = ty;
+            s.span = span;
+            s.what = what;
+        }
+    } else {
+        slots.push(ParamSlot {
+            index,
+            ty,
+            span,
+            what,
+        });
     }
 }
 
-/// Everything `bind` resolved before source-specific lowering (bundled so
-/// the join branch stays a function instead of a 200-line match arm).
-struct BoundCommon {
-    udf: BlackBoxUdf,
-    accuracy: AccuracyRequirement,
-    output_range: f64,
-    predicate: Option<Predicate>,
-    workers: usize,
-    seed: u64,
-    model_cap: usize,
-    strategy_name: StrategyName,
-    call_text: String,
-    pred_text: Option<String>,
+/// Walk every numeric position of a SELECT body and collect its distinct
+/// `$n` slots, typed by position. Indices must be contiguous from `$1`.
+fn collect_params(sel: &Select) -> Result<Vec<ParamSlot>> {
+    let mut slots = Vec::new();
+    if let Some(acc) = &sel.accuracy {
+        for (e, what) in [(&acc.eps, "accuracy ε"), (&acc.delta, "accuracy δ")] {
+            if let NumExpr::Param(n) = e.node {
+                add_slot(&mut slots, n, ParamType::Number, e.span, what);
+            }
+        }
+    }
+    if let Some(p) = &sel.predicate {
+        for (e, what) in [
+            (&p.lo, "the interval lower bound"),
+            (&p.hi, "the interval upper bound"),
+            (&p.theta, "the threshold θ"),
+        ] {
+            if let NumExpr::Param(n) = e.node {
+                add_slot(&mut slots, n, ParamType::Number, e.span, what);
+            }
+        }
+    }
+    for (e, what) in [
+        (&sel.options.workers, "WORKERS"),
+        (&sel.options.batch, "BATCH"),
+        (&sel.options.seed, "SEED"),
+        (&sel.options.limit, "LIMIT"),
+        (&sel.options.model_cap, "MODEL CAP"),
+    ] {
+        if let Some(e) = e {
+            if let UintExpr::Param(n) = e.node {
+                add_slot(&mut slots, n, ParamType::Integer, e.span, what);
+            }
+        }
+    }
+    slots.sort_by_key(|s| s.index);
+    for (i, s) in slots.iter().enumerate() {
+        if s.index != i + 1 {
+            return Err(LangError::semantic(
+                s.span,
+                format!(
+                    "parameters must be numbered contiguously from $1 \
+                     (`${}` is used but `${}` is not)",
+                    s.index,
+                    i + 1,
+                ),
+            ));
+        }
+    }
+    Ok(slots)
 }
 
 /// Resolve `USING mc|gp|auto` to a relational strategy; AUTO applies the
@@ -845,13 +1141,14 @@ fn reject_alias_outside_join(arg: &Spanned<AttrRef>) -> Result<()> {
     }
 }
 
-/// Bind the `FROM rel a JOIN rel b` source form.
-fn bind_join(
+/// Resolve the `FROM rel a JOIN rel b` source form against the catalog.
+fn prepare_join(
     sel: &Select,
     join: &JoinSource,
+    udf: &BlackBoxUdf,
+    strategy_name: StrategyName,
     ctx: &Context,
-    common: BoundCommon,
-) -> Result<BoundQuery> {
+) -> Result<(SourceTemplate, LogicalPlan, bool)> {
     if let Some(c) = sel.options.batch.as_ref().or(sel.options.limit.as_ref()) {
         return Err(LangError::semantic(
             c.span,
@@ -935,8 +1232,7 @@ fn bind_join(
         Some(on) => Some((resolve(&on.lhs)?, resolve(&on.rhs)?)),
     };
 
-    let strategy = resolve_strategy(common.strategy_name, &common.udf);
-    reject_cap_on_mc(sel, common.model_cap, strategy == EvalStrategy::Mc)?;
+    let strategy = resolve_strategy(strategy_name, udf);
     let prune = match &sel.options.prune {
         None => false,
         Some(p) => {
@@ -948,7 +1244,7 @@ fn bind_join(
                      use `USING gp` or drop PRUNE",
                 ));
             }
-            if common.predicate.is_none() {
+            if sel.predicate.is_none() {
                 return Err(LangError::semantic(
                     p.span,
                     "PRUNE needs a `WHERE PR(...)` predicate to rule pairs against",
@@ -970,28 +1266,20 @@ fn bind_join(
             .as_ref()
             .map(|o| format!("{} < {}", o.lhs.node, o.rhs.node)),
     };
-    let logical = build_logical(join_node, &common.call_text, common.pred_text.as_deref());
-    Ok(BoundQuery {
-        optimized: logical.clone().optimize(prune),
-        logical,
-        physical: PhysicalPlan::Join(JoinPlan {
+    Ok((
+        SourceTemplate::Join {
             left: join.left.node.clone(),
             left_alias: join.left_alias.node.clone(),
             right: join.right.node.clone(),
             right_alias: join.right_alias.node.clone(),
             on,
-            udf: common.udf,
             args,
             strategy,
-            accuracy: common.accuracy,
-            output_range: common.output_range,
-            predicate: common.predicate,
-            workers: common.workers,
-            seed: common.seed,
-            model_cap: common.model_cap,
             prune,
-        }),
-    })
+        },
+        join_node,
+        prune,
+    ))
 }
 
 fn build_logical(scan: LogicalPlan, call: &str, pred: Option<&str>) -> LogicalPlan {
@@ -1027,40 +1315,48 @@ fn accuracy_diagnostic(e: udf_core::CoreError, eps: Span, delta: Span) -> LangEr
     }
 }
 
-/// Map a [`Predicate`] construction error onto the literal at fault.
-fn predicate_diagnostic(e: udf_core::CoreError, p: &crate::ast::PrFilterExpr) -> LangError {
+/// Map a [`Predicate`] construction error onto the value at fault — the
+/// literal in the statement text, or the `EXECUTE` argument that supplied
+/// the parameter.
+fn predicate_diagnostic(
+    e: udf_core::CoreError,
+    lo: Spanned<f64>,
+    hi: Spanned<f64>,
+    theta: Spanned<f64>,
+    whole: Span,
+) -> LangError {
     match &e {
         udf_core::CoreError::InvalidConfig {
             what: "predicate lower bound",
             value,
         } => LangError::semantic(
-            p.lo.span,
+            lo.span,
             format!("interval bound must be finite, got {value}"),
         ),
         udf_core::CoreError::InvalidConfig {
             what: "predicate upper bound",
             value,
         } => LangError::semantic(
-            p.hi.span,
+            hi.span,
             format!("interval bound must be finite, got {value}"),
         ),
         udf_core::CoreError::InvalidConfig {
             what: "predicate interval",
             ..
         } => LangError::semantic(
-            p.lo.span.to(p.hi.span),
+            lo.span.to(hi.span),
             format!(
                 "empty interval: lower bound {:?} must be below upper bound {:?}",
-                p.lo.node, p.hi.node
+                lo.node, hi.node
             ),
         ),
         udf_core::CoreError::InvalidConfig {
             what: "theta",
             value,
         } => LangError::semantic(
-            p.theta.span,
+            theta.span,
             format!("probability threshold θ must lie in (0, 1), got {value}"),
         ),
-        _ => LangError::semantic(p.span, e.to_string()),
+        _ => LangError::semantic(whole, e.to_string()),
     }
 }

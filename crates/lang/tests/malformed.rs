@@ -414,3 +414,93 @@ fn exec_errors_are_explained() {
         .render("SELECT F1(x) FROM STREAM synth")
         .contains("LIMIT"));
 }
+
+/// Prepared-statement misuse is a span diagnostic at every stage — `$0`
+/// at lex, `$n` outside PREPARE at bind, unknown or duplicate names,
+/// and bad arity or argument types at EXECUTE — never a panic.
+#[test]
+fn malformed_prepared_statements_fail_with_spans() {
+    let mut ctx = ctx();
+    // `q` takes $1 (a probability bound) and $2 (a worker count).
+    run_uql(
+        "PREPARE q AS SELECT GalAge(z) FROM sky \
+         WHERE PR(GalAge(z) IN [$1, 0.9]) >= 0.6 USING mc WORKERS $2 SEED 1",
+        &mut ctx,
+    )
+    .unwrap();
+
+    let cases = [
+        Case {
+            query: "SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [$0, 1]) >= 0.5",
+            stage: Stage::Lex,
+            message: "parameters are numbered from `$1`",
+            at: "$0",
+        },
+        Case {
+            query: "SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [$1, 1]) >= 0.5",
+            stage: Stage::Semantic,
+            message: "only allowed inside `PREPARE",
+            at: "$1",
+        },
+        Case {
+            query: "EXECUTE nope",
+            stage: Stage::Semantic,
+            message: "no prepared statement named `nope`",
+            at: "nope",
+        },
+        Case {
+            query: "DEALLOCATE nope",
+            stage: Stage::Semantic,
+            message: "no prepared statement named `nope`",
+            at: "nope",
+        },
+        Case {
+            query: "PREPARE q AS SELECT GalAge(z) FROM sky",
+            stage: Stage::Semantic,
+            message: "already exists (DEALLOCATE it first)",
+            at: "q",
+        },
+        Case {
+            query: "EXECUTE q (0.5)",
+            stage: Stage::Semantic,
+            message: "takes 2 argument(s), got 1",
+            at: "q",
+        },
+        Case {
+            query: "EXECUTE q (0.5, 2.5)",
+            stage: Stage::Semantic,
+            message: "must be a non-negative integer",
+            at: "2.5",
+        },
+    ];
+    for case in &cases {
+        let err = run_uql(case.query, &mut ctx)
+            .map(|_| ())
+            .expect_err(&format!("must reject: {}", case.query));
+        let LangError::Diagnostic {
+            stage,
+            span,
+            message,
+        } = &err
+        else {
+            panic!("{}: expected a span diagnostic, got {err}", case.query)
+        };
+        assert_eq!(*stage, case.stage, "{}: wrong stage ({err})", case.query);
+        assert!(
+            message.contains(case.message),
+            "{}: message {message:?} missing {:?}",
+            case.query,
+            case.message,
+        );
+        let covered = &case.query[span.start..span.end.min(case.query.len())];
+        assert!(
+            covered.contains(case.at) || case.at.contains(covered.trim()),
+            "{}: span {span} covers {covered:?}, expected {:?}",
+            case.query,
+            case.at,
+        );
+        assert!(err.render(case.query).contains(case.message));
+    }
+    // The failed EXECUTEs above must not have deallocated the plan.
+    run_uql("EXECUTE q (0.5, 2)", &mut ctx).unwrap();
+}

@@ -1,0 +1,397 @@
+//! Prepared-statement acceptance: `EXECUTE` of a cached plan must be
+//! *byte-identical* to running the equivalent one-shot statement in a
+//! fresh context — for MC and GP relation queries, for `$n`-parameterized
+//! plans, for stream digests, and (the hard case) for a `PRUNE` join
+//! re-executed repeatedly on one warm model, where the second and later
+//! executions restore the captured post-warmup snapshot instead of paying
+//! a second warmup.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use udf_lang::{run_uql, Context, JoinRowsOutput, QueryOutput, RowsOutput};
+use udf_query::{ProjectedTuple, Relation, Schema, Tuple, Value};
+use udf_stream::SyntheticSource;
+use udf_workloads::astro::GalaxyCatalog;
+
+fn sky(n: usize) -> Relation {
+    let mut rng = StdRng::seed_from_u64(42);
+    let catalog = GalaxyCatalog::generate(n, &mut rng);
+    let tuples = catalog
+        .rows()
+        .iter()
+        .map(|r| {
+            Tuple::new(vec![
+                Value::Det(r.obj_id as f64),
+                Value::Gaussian {
+                    mu: r.z_mean,
+                    sigma: r.z_sigma,
+                },
+            ])
+        })
+        .collect();
+    Relation::new(Schema::new(&["objID", "z"]), tuples).unwrap()
+}
+
+fn ctx_with_sky(n: usize) -> Context {
+    let mut ctx = Context::standard();
+    ctx.register_relation("sky", sky(n));
+    ctx
+}
+
+/// The join workload's relation: evenly spaced narrow-σ redshifts (the
+/// `join_e2e` shape), which the warm GP envelope can certify quickly —
+/// the catalog-sampled `sky` makes a 276-pair PRUNE join pathologically
+/// slow-path-heavy.
+fn galaxies(n: usize) -> Relation {
+    let tuples = (0..n)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Det(i as f64),
+                Value::Gaussian {
+                    mu: 0.1 + 1.7 * i as f64 / n as f64,
+                    sigma: 0.02,
+                },
+            ])
+        })
+        .collect();
+    Relation::new(Schema::new(&["objID", "z"]), tuples).unwrap()
+}
+
+fn ctx_with_galaxies(n: usize) -> Context {
+    let mut ctx = Context::standard();
+    ctx.register_relation("sky", galaxies(n));
+    ctx
+}
+
+fn rows_of(out: QueryOutput) -> RowsOutput {
+    match out {
+        QueryOutput::Rows(r) => r,
+        other => panic!("relation query must return rows, got {other:?}"),
+    }
+}
+
+fn join_of(out: QueryOutput) -> JoinRowsOutput {
+    match out {
+        QueryOutput::Join(r) => r,
+        other => panic!("join query must return join rows, got {other:?}"),
+    }
+}
+
+fn assert_rows_identical(a: &[ProjectedTuple], b: &[ProjectedTuple], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: row counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.source, y.source, "{label}: source index");
+        assert_eq!(
+            x.tep.to_bits(),
+            y.tep.to_bits(),
+            "{label}: tuple {} TEP",
+            x.source
+        );
+        assert_eq!(
+            x.output.error_bound.to_bits(),
+            y.output.error_bound.to_bits(),
+            "{label}: tuple {} error bound",
+            x.source
+        );
+        assert_eq!(
+            x.output.ecdf, y.output.ecdf,
+            "{label}: tuple {} distribution",
+            x.source
+        );
+    }
+}
+
+/// `PREPARE` + repeated `EXECUTE` ≡ the one-shot statement, MC and GP,
+/// workers 1/2/8 (the acceptance criterion), bit-for-bit.
+#[test]
+fn execute_matches_one_shot_relation() {
+    for strategy in ["mc", "gp"] {
+        for workers in [1usize, 2, 8] {
+            let body = format!(
+                "SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [0.5, 0.9]) >= 0.6 \
+                 USING {strategy} WORKERS {workers} SEED 7"
+            );
+            let one_shot = rows_of(run_uql(&body, &mut ctx_with_sky(64)).unwrap());
+
+            let mut ctx = ctx_with_sky(64);
+            run_uql(&format!("PREPARE q AS {body}"), &mut ctx).unwrap();
+            let label = format!("{strategy}/workers={workers}");
+            // Both the cold (bind) and the warm (cached-binding) path.
+            for round in 0..2 {
+                let exec = rows_of(run_uql("EXECUTE q", &mut ctx).unwrap());
+                assert_rows_identical(&exec.rows, &one_shot.rows, &format!("{label}/#{round}"));
+                assert_eq!(exec.stats, one_shot.stats, "{label}/#{round}: stats");
+            }
+        }
+    }
+}
+
+/// A `$n`-parameterized plan bound via `EXECUTE` arguments ≡ the one-shot
+/// statement with the same values as literals — including after rebinding
+/// with a different argument set.
+#[test]
+fn execute_with_params_matches_literal_one_shot() {
+    let mut ctx = ctx_with_sky(64);
+    run_uql(
+        "PREPARE q AS SELECT GalAge(z) FROM sky \
+         WHERE PR(GalAge(z) IN [$1, $2]) >= $3 USING gp WORKERS $4 SEED 7",
+        &mut ctx,
+    )
+    .unwrap();
+    for (lo, hi, theta, workers) in [(0.5, 0.9, 0.6, 2u64), (0.4, 0.95, 0.5, 8)] {
+        let one_shot = rows_of(
+            run_uql(
+                &format!(
+                    "SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [{lo}, {hi}]) >= {theta} \
+                     USING gp WORKERS {workers} SEED 7"
+                ),
+                &mut ctx_with_sky(64),
+            )
+            .unwrap(),
+        );
+        let exec = rows_of(
+            run_uql(
+                &format!("EXECUTE q ({lo}, {hi}, {theta}, {workers})"),
+                &mut ctx,
+            )
+            .unwrap(),
+        );
+        let label = format!("args=({lo},{hi},{theta},{workers})");
+        assert_rows_identical(&exec.rows, &one_shot.rows, &label);
+        assert_eq!(exec.stats, one_shot.stats, "{label}: stats");
+    }
+}
+
+const JOIN_BODY: &str = "SELECT AngDist(a.z, b.z) WITH ACCURACY 0.2 0.05 \
+     FROM sky a JOIN sky b ON a.objID < b.objID \
+     WHERE PR(AngDist(a.z, b.z) IN [0.3, 0.36]) >= 0.5 \
+     USING gp SEED 9 PRUNE WORKERS";
+
+/// The tentpole contract: a prepared `PRUNE` join re-executed 3× reuses
+/// one warm GP model (the second and third executions restore the
+/// captured post-warmup snapshot) while every execution stays
+/// byte-identical to the one-shot statement — rows, join stats, and the
+/// inner executor's counters — at workers 1/2/8.
+#[test]
+fn prepared_prune_join_reexecution_is_byte_identical() {
+    for workers in [1usize, 2, 8] {
+        let one_shot = join_of(
+            run_uql(
+                &format!("{JOIN_BODY} {workers}"),
+                &mut ctx_with_galaxies(24),
+            )
+            .unwrap(),
+        );
+        assert!(
+            one_shot.stats.pairs_pruned > 0,
+            "workers={workers}: workload must actually prune"
+        );
+
+        let mut ctx = ctx_with_galaxies(24);
+        run_uql(&format!("PREPARE j AS {JOIN_BODY} {workers}"), &mut ctx).unwrap();
+        for round in 0..3 {
+            let exec = join_of(run_uql("EXECUTE j", &mut ctx).unwrap());
+            let label = format!("workers={workers}/#{round}");
+            assert_eq!(exec.stats, one_shot.stats, "{label}: join stats");
+            assert_eq!(
+                exec.query_stats, one_shot.query_stats,
+                "{label}: executor stats"
+            );
+            assert_eq!(exec.rows.len(), one_shot.rows.len(), "{label}");
+            for (x, y) in exec.rows.iter().zip(&one_shot.rows) {
+                assert_eq!(x.pair, y.pair, "{label}: pair index");
+                assert_eq!(x.tep.to_bits(), y.tep.to_bits(), "{label}: pair {}", x.pair);
+                assert_eq!(
+                    x.output.error_bound.to_bits(),
+                    y.output.error_bound.to_bits(),
+                    "{label}: pair {}",
+                    x.pair
+                );
+                assert_eq!(x.output.ecdf, y.output.ecdf, "{label}: pair {}", x.pair);
+            }
+        }
+        // First EXECUTE binds (miss), the next two restore the warm
+        // snapshot (hits).
+        let snap = ctx.metrics().snapshot().render();
+        assert!(
+            snap.contains("uql.prepared_cache.hits = 2"),
+            "workers={workers}: hit counter\n{snap}"
+        );
+        assert!(
+            snap.contains("uql.prepared_cache.misses = 1"),
+            "workers={workers}: miss counter\n{snap}"
+        );
+    }
+}
+
+/// `EXPLAIN TRACE EXECUTE` of a warmed prepared join shows no Parse, no
+/// Bind, and no Warmup phase: the plan cache skipped compilation and the
+/// restored snapshot skipped the warmup round.
+#[test]
+fn trace_of_warm_reexecution_has_no_parse_bind_or_warmup() {
+    let mut ctx = ctx_with_galaxies(24);
+    run_uql(&format!("PREPARE j AS {JOIN_BODY} 2"), &mut ctx).unwrap();
+    // First execution: cold bind + warmup + capture.
+    let QueryOutput::Plan(first) = run_uql("EXPLAIN TRACE EXECUTE j", &mut ctx).unwrap() else {
+        panic!("TRACE returns the annotated plan")
+    };
+    assert!(
+        !first.contains("parse=") && !first.contains("bind="),
+        "EXECUTE must never show a Parse/Bind phase:\n{first}"
+    );
+    assert!(
+        first.contains("warmup="),
+        "first execution pays the warmup round:\n{first}"
+    );
+    // Re-execution: restores the captured snapshot — no warmup phase.
+    let QueryOutput::Plan(rerun) = run_uql("EXPLAIN TRACE EXECUTE j", &mut ctx).unwrap() else {
+        panic!("TRACE returns the annotated plan")
+    };
+    assert!(
+        !rerun.contains("parse=") && !rerun.contains("bind="),
+        "re-execution must show no Parse/Bind phase:\n{rerun}"
+    );
+    assert!(
+        !rerun.contains("warmup="),
+        "re-execution must restore the warm model, not re-warm:\n{rerun}"
+    );
+    assert!(
+        rerun.contains("main="),
+        "the main round still runs:\n{rerun}"
+    );
+}
+
+/// `EXECUTE` of a prepared stream query reproduces the one-shot
+/// determinism digest (sources are rebuilt per run from the factory).
+#[test]
+fn execute_stream_digest_matches_one_shot() {
+    let body = "SELECT F3(x) WITH ACCURACY 0.2 0.05 FROM STREAM synth \
+                WHERE PR(F3(x) IN [0.4, 1.5]) >= 0.3 \
+                USING gp WORKERS 2 BATCH 64 SEED 9 LIMIT 192";
+    let fresh = || {
+        let mut ctx = Context::standard();
+        ctx.register_stream("synth", 1, || {
+            Box::new(SyntheticSource::gaussian(1, 0.5, 11))
+        });
+        ctx
+    };
+    let QueryOutput::Stream(one_shot) = run_uql(body, &mut fresh()).unwrap() else {
+        panic!("stream")
+    };
+    let mut ctx = fresh();
+    run_uql(&format!("PREPARE s AS {body}"), &mut ctx).unwrap();
+    for round in 0..2 {
+        let QueryOutput::Stream(exec) = run_uql("EXECUTE s", &mut ctx).unwrap() else {
+            panic!("stream")
+        };
+        assert_eq!(exec.digest, one_shot.digest, "#{round}: digests diverge");
+        // The stats Display carries wall-clock throughput; compare the
+        // deterministic counters.
+        assert_eq!(exec.stats.kept, one_shot.stats.kept, "#{round}: kept");
+        assert_eq!(
+            exec.stats.filtered, one_shot.stats.filtered,
+            "#{round}: filtered"
+        );
+        assert_eq!(
+            exec.stats.fast_path, one_shot.stats.fast_path,
+            "#{round}: fast"
+        );
+        assert_eq!(
+            exec.stats.slow_path, one_shot.stats.slow_path,
+            "#{round}: slow"
+        );
+    }
+}
+
+/// The plan cache is observable: `\prepared`-style listing state, the
+/// hit/miss counters in the metrics snapshot, and `EXPLAIN ANALYZE
+/// EXECUTE` carrying them in its per-statement delta.
+#[test]
+fn plan_cache_is_observable() {
+    let mut ctx = ctx_with_sky(64);
+    run_uql(
+        "PREPARE q AS SELECT GalAge(z) FROM sky \
+         WHERE PR(GalAge(z) IN [$1, 0.9]) >= 0.6 USING mc WORKERS 2 SEED 7",
+        &mut ctx,
+    )
+    .unwrap();
+    {
+        let entry = &ctx.prepared()["q"];
+        assert_eq!(entry.arity(), 1);
+        assert_eq!(entry.executions(), 0);
+        assert!(!entry.is_warm());
+        assert!(entry.text().contains("PR(GalAge(z) IN [$1, 0.9])"));
+    }
+    run_uql("EXECUTE q (0.5)", &mut ctx).unwrap(); // miss
+    run_uql("EXECUTE q (0.5)", &mut ctx).unwrap(); // hit
+    run_uql("EXECUTE q (0.4)", &mut ctx).unwrap(); // rebind: miss
+    {
+        let entry = &ctx.prepared()["q"];
+        assert_eq!(entry.executions(), 3);
+        assert!(entry.is_warm());
+    }
+    let snap = ctx.metrics().snapshot().render();
+    assert!(
+        snap.contains("uql.prepared_cache.hits = 1"),
+        "hits in snapshot:\n{snap}"
+    );
+    assert!(
+        snap.contains("uql.prepared_cache.misses = 2"),
+        "misses in snapshot:\n{snap}"
+    );
+    // EXPLAIN ANALYZE EXECUTE reports the statement's own delta — this
+    // execution is a cache hit.
+    let QueryOutput::Plan(report) = run_uql("EXPLAIN ANALYZE EXECUTE q (0.4)", &mut ctx).unwrap()
+    else {
+        panic!("ANALYZE returns the annotated plan")
+    };
+    assert!(
+        report.contains("uql.prepared_cache.hits"),
+        "hit counter in ANALYZE delta:\n{report}"
+    );
+    let QueryOutput::Deallocated { name } = run_uql("DEALLOCATE q", &mut ctx).unwrap() else {
+        panic!("DEALLOCATE output")
+    };
+    assert_eq!(name, "q");
+    assert!(ctx.prepared().is_empty());
+}
+
+/// Registering over a name a prepared plan resolved invalidates it: the
+/// next `EXECUTE` transparently re-prepares against the new catalog (and
+/// surfaces a bind-stage diagnostic — never a panic — if the new shape no
+/// longer binds).
+#[test]
+fn catalog_change_reprepares_or_diagnoses() {
+    let mut ctx = ctx_with_sky(64);
+    run_uql(
+        "PREPARE q AS SELECT GalAge(z) FROM sky \
+         WHERE PR(GalAge(z) IN [0.5, 0.9]) >= 0.6 USING mc WORKERS 2 SEED 7",
+        &mut ctx,
+    )
+    .unwrap();
+    run_uql("EXECUTE q", &mut ctx).unwrap();
+
+    // Replace `sky` with a smaller compatible relation: re-prepare picks
+    // up the new row count.
+    ctx.register_relation("sky", sky(32));
+    let out = rows_of(run_uql("EXECUTE q", &mut ctx).unwrap());
+    assert_eq!(
+        out.stats.tuples_in, 32,
+        "re-prepare must see the new relation"
+    );
+
+    // Replace `sky` with a schema that no longer has `z`: EXECUTE fails
+    // with a bind diagnostic pointing into the prepared text.
+    let bad = Relation::new(
+        Schema::new(&["objID"]),
+        vec![Tuple::new(vec![Value::Det(0.0)])],
+    )
+    .unwrap();
+    ctx.register_relation("sky", bad);
+    let err = run_uql("EXECUTE q", &mut ctx).unwrap_err().to_string();
+    assert!(err.contains("no column `z`"), "diagnostic: {err}");
+    // The plan survives the failed execution and recovers once the
+    // catalog does.
+    ctx.register_relation("sky", sky(64));
+    run_uql("EXECUTE q", &mut ctx).unwrap();
+}

@@ -17,7 +17,7 @@ struct Entry {
     id: usize,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Node {
     Leaf {
         bbox: BoundingBox,
@@ -65,7 +65,7 @@ impl Node {
 /// near.sort_unstable();
 /// assert_eq!(near, vec![0, 1]);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RTree {
     dim: usize,
     root: Option<Node>,
