@@ -1,6 +1,6 @@
 //! `trajectory` — the persisted benchmark trajectory: one self-timed run
 //! over trimmed configurations of the key ROADMAP axes, written as
-//! `BENCH_9.json` at the repository root so successive PRs leave a
+//! `BENCH_10.json` at the repository root so successive PRs leave a
 //! machine-readable performance trail next to the code they changed.
 //!
 //! Unlike the criterion benches (statistical, minutes-long), this harness
@@ -44,6 +44,11 @@
 //!       "n": 512, "reps": 9, "rows": 0,
 //!       "metrics_off_ns": 0, "metrics_on_ns": 0, "overhead_pct": 0.0,
 //!       "registry": {"counters": {}, "gauges": {}, "histograms": {}}
+//!     },
+//!     "monitor_overhead": {
+//!       "n": 512, "reps": 9, "rows": 0,
+//!       "monitor_off_ns": 0, "monitor_on_ns": 0, "overhead_pct": 0.0,
+//!       "samples": 0, "series": 0, "alerts": 0
 //!     },
 //!     "uql_prepared": {
 //!       "relation": {"n": 512, "reps": 9, "one_shot_ns": 0, "execute_ns": 0,
@@ -482,6 +487,70 @@ fn uql_axis(smoke: bool) -> String {
     o.finish()
 }
 
+// ------------------------------------------------------- monitor overhead
+
+/// The continuous monitor's cost on the query path (the
+/// `monitor/overhead` acceptance axis): the same MC query with the
+/// context monitor idle vs. sampled — a per-statement tick *plus* a
+/// 1 ms background [`udf_obs::Sampler`] running throughout, the
+/// heaviest monitoring the REPL can configure. Sampling only reads
+/// registry snapshots, so the on-series must cost ≈ nothing extra and
+/// rows stay identical.
+fn monitor_axis(smoke: bool) -> String {
+    let n = if smoke { 256 } else { 512 };
+    let reps = if smoke { 5 } else { 9 };
+    let src = "SELECT F1(x) WITH ACCURACY 0.3 0.05 METRIC ks FROM rel \
+               WHERE PR(F1(x) IN [0.2, 1.4]) >= 0.4 USING mc WORKERS 1 SEED 7";
+    let make_ctx = || {
+        let mut ctx = Context::standard();
+        let tuples = (0..n)
+            .map(|i| {
+                Tuple::new(vec![Value::Gaussian {
+                    mu: (i as f64 * 0.37) % 10.0,
+                    sigma: 0.5,
+                }])
+            })
+            .collect();
+        ctx.register_relation("rel", Relation::new(Schema::new(&["x"]), tuples).unwrap());
+        ctx
+    };
+    let rows_of = |ctx: &mut Context| -> usize {
+        let QueryOutput::Rows(out) = run_uql(src, ctx).unwrap() else {
+            unreachable!("a plain SELECT returns rows")
+        };
+        out.rows.len()
+    };
+
+    let mut ctx_off = make_ctx();
+    let mut ctx_on = make_ctx();
+    let rows_off = rows_of(&mut ctx_off);
+    let rows_on = rows_of(&mut ctx_on);
+    assert_eq!(rows_off, rows_on, "monitoring must never perturb outputs");
+
+    let monitor_off_ns = median_ns(reps, || rows_of(&mut ctx_off));
+    let sampler = ctx_on.monitor().start(std::time::Duration::from_millis(1));
+    let monitor_on_ns = median_ns(reps, || {
+        let rows = rows_of(&mut ctx_on);
+        ctx_on.monitor().tick();
+        rows
+    });
+    drop(sampler);
+    let overhead_pct =
+        (monitor_on_ns as f64 - monitor_off_ns as f64) / monitor_off_ns as f64 * 100.0;
+
+    let mut o = JsonObj::new();
+    o.u64("n", n as u64)
+        .u64("reps", reps as u64)
+        .u64("rows", rows_on as u64)
+        .u64("monitor_off_ns", monitor_off_ns)
+        .u64("monitor_on_ns", monitor_on_ns)
+        .f64("overhead_pct", overhead_pct)
+        .u64("samples", ctx_on.monitor().samples())
+        .u64("series", ctx_on.monitor().series_count() as u64)
+        .u64("alerts", ctx_on.monitor().alert_log().len() as u64);
+    o.finish()
+}
+
 // ----------------------------------------------------------- uql prepared
 
 /// Prepared-statement amortization (the `uql/prepared` axis): a plan
@@ -592,8 +661,9 @@ fn prepared_axis(smoke: bool) -> String {
 fn main() {
     // `cargo bench` passes harness flags (`--bench`); ignore them.
     let smoke = std::env::var("TRAJECTORY_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
-    let out_path = std::env::var("TRAJECTORY_OUT")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json").to_string());
+    let out_path = std::env::var("TRAJECTORY_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json").to_string()
+    });
 
     eprintln!("trajectory: stream_throughput ...");
     let stream = stream_axis(smoke);
@@ -605,6 +675,8 @@ fn main() {
     let join = join_axis(smoke);
     eprintln!("trajectory: uql_overhead ...");
     let uql = uql_axis(smoke);
+    eprintln!("trajectory: monitor_overhead ...");
+    let monitor = monitor_axis(smoke);
     eprintln!("trajectory: uql_prepared ...");
     let prepared = prepared_axis(smoke);
 
@@ -614,10 +686,11 @@ fn main() {
         .raw("gp_fastpath", &fastpath)
         .raw("join_pruning", &join)
         .raw("uql_overhead", &uql)
+        .raw("monitor_overhead", &monitor)
         .raw("uql_prepared", &prepared);
     let mut root = JsonObj::new();
     root.u64("schema_version", 1)
-        .u64("pr", 9)
+        .u64("pr", 10)
         .str("bench", "trajectory")
         .bool("smoke", smoke)
         .raw("axes", &axes.finish());
@@ -627,6 +700,7 @@ fn main() {
     std::fs::write(&out_path, json + "\n").expect("write BENCH json");
     println!(
         "trajectory: wrote {out_path} (axes: stream_throughput, gp_model_cap, \
-         gp_fastpath, join_pruning, uql_overhead, uql_prepared; smoke={smoke})"
+         gp_fastpath, join_pruning, uql_overhead, monitor_overhead, uql_prepared; \
+         smoke={smoke})"
     );
 }

@@ -11,8 +11,10 @@
 //! `dropped` (also informational: snapshots are append-mostly but the
 //! gate is a throughput check, not a schema check).
 //!
-//! CI runs the gate informationally (smoke snapshots are noisy); locally
-//! it is a one-command answer to "did this PR slow anything down?".
+//! CI runs the gate *enforcing* on the committed snapshots (the smoke
+//! pass regenerates its own snapshot into /tmp, so noise never reaches
+//! the diff); locally it is a one-command answer to "did this PR slow
+//! anything down?".
 
 use std::path::{Path, PathBuf};
 use udf_obs::json::{parse, JsonValue};
@@ -192,6 +194,9 @@ fn axis_rate(axis: &str, v: &JsonValue) -> Option<f64> {
                 .collect(),
         ),
         "uql_overhead" => per_sec(v.get("n")?.as_f64()?, v.get("metrics_on_ns")?.as_f64()?),
+        // Rows/second through the monitored query path (sampler running,
+        // per-statement tick) — the continuous monitor's cost axis.
+        "monitor_overhead" => per_sec(v.get("n")?.as_f64()?, v.get("monitor_on_ns")?.as_f64()?),
         // Steady-state prepared execution: rows per second through the
         // cached plan (the relation series; the join series' registry
         // dump is observational).
@@ -294,6 +299,7 @@ mod tests {
             "gp_model_cap",
             "join_pruning",
             "uql_overhead",
+            "monitor_overhead",
             "uql_prepared",
         ] {
             assert!(table.contains(axis), "{axis} missing:\n{table}");
@@ -368,7 +374,9 @@ mod tests {
                 "uql_prepared": {
                     "relation": {"n": 512, "one_shot_ns": 9, "execute_ns": 4000000000},
                     "join": {"n": 24, "warm_execute_ns": 1}
-                }}}"#,
+                },
+                "monitor_overhead": {"n": 512, "monitor_on_ns": 2000000000,
+                                     "monitor_off_ns": 1}}}"#,
         )
         .unwrap();
         let rates = snapshot_rates(&doc);
@@ -380,5 +388,8 @@ mod tests {
         // prepared: 512 rows / 4 s through EXECUTE = 128/s (the join
         // series is observational).
         assert_eq!(get("uql_prepared"), Some(128.0));
+        // monitored path: 512 rows / 2 s = 256/s (the off series is the
+        // contrast line, not the rate).
+        assert_eq!(get("monitor_overhead"), Some(256.0));
     }
 }

@@ -25,7 +25,9 @@ use udf_core::sched::{BatchScheduler, SchedMetrics};
 use udf_join::{
     JoinExecutor, JoinSpec, JoinStats, JoinedPair, OnCondition, WarmJoinState, WarmMode,
 };
-use udf_obs::{MetricsRegistry, Snapshot, TraceBuffer, TraceEvent, TracePhase, TraceSummary};
+use udf_obs::{
+    MetricsRegistry, Monitor, Snapshot, TraceBuffer, TraceEvent, TracePhase, TraceSummary,
+};
 use udf_query::{Executor, ProjectedTuple, QueryStats, Relation, UdfCall};
 use udf_stream::{
     EngineConfig, EngineStats, HealthMonitor, KeptSummary, QuerySpec, Session, Source, StreamStats,
@@ -49,6 +51,7 @@ pub struct Context {
     schedulers: BTreeMap<usize, BatchScheduler>,
     metrics: MetricsRegistry,
     trace: TraceBuffer,
+    monitor: Monitor,
     prepared: BTreeMap<String, PreparedEntry>,
     catalog_epoch: u64,
 }
@@ -120,13 +123,19 @@ impl Context {
     /// `udf_obs`), and [`Context::metrics`]`.set_enabled(false)` turns
     /// every one of them into a no-op.
     pub fn new() -> Self {
+        let metrics = MetricsRegistry::new();
+        let monitor = Monitor::new(&metrics);
+        for rule in Monitor::standard_rules() {
+            monitor.add_rule(rule);
+        }
         Context {
             udfs: UdfCatalog::new(),
             relations: BTreeMap::new(),
             streams: BTreeMap::new(),
             schedulers: BTreeMap::new(),
-            metrics: MetricsRegistry::new(),
+            metrics,
             trace: TraceBuffer::new(TRACE_LANES, TRACE_CAPACITY),
+            monitor,
             prepared: BTreeMap::new(),
             catalog_epoch: 0,
         }
@@ -213,6 +222,18 @@ impl Context {
     /// chrome://tracing.
     pub fn trace(&self) -> &TraceBuffer {
         &self.trace
+    }
+
+    /// The context's registry-wide monitor: bounded per-metric
+    /// time-series rings plus the [`Monitor::standard_rules`] alert set,
+    /// pre-wired over [`Context::metrics`]. Nothing ticks it implicitly —
+    /// call [`Monitor::tick`] at whatever cadence suits the host (the
+    /// REPL ticks once per executed statement), or lease a background
+    /// [`udf_obs::Sampler`] via [`Monitor::start`]. Same observability
+    /// contract as the registry itself: sampling only reads snapshots, so
+    /// digests are byte-identical with the monitor running or idle.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
     }
 
     /// Parse, bind, and (unless `EXPLAIN`) execute one UQL statement —

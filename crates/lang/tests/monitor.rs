@@ -1,0 +1,198 @@
+//! The continuous monitor must be *output-blind*: a context whose
+//! monitor is ticking (even from a background sampler thread) produces
+//! byte-identical rows, join pairs, and stream digests to one whose
+//! monitor never samples — at workers 1/2/8. Plus e2e coverage for the
+//! two REPL-facing exports: the collapsed-stack profile and the
+//! tick-populated time-series/alert surface.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use udf_lang::{run_uql, Context, QueryOutput};
+use udf_query::{ProjectedTuple, Relation, Schema, Tuple, Value};
+use udf_stream::SyntheticSource;
+use udf_workloads::astro::GalaxyCatalog;
+
+fn sky() -> Relation {
+    let mut rng = StdRng::seed_from_u64(42);
+    let catalog = GalaxyCatalog::generate(64, &mut rng);
+    let tuples = catalog
+        .rows()
+        .iter()
+        .map(|r| {
+            Tuple::new(vec![
+                Value::Det(r.obj_id as f64),
+                Value::Gaussian {
+                    mu: r.z_mean,
+                    sigma: r.z_sigma,
+                },
+            ])
+        })
+        .collect();
+    Relation::new(Schema::new(&["objID", "z"]), tuples).unwrap()
+}
+
+/// A compact catalog for the join leg (pair evaluation is quadratic).
+fn stars() -> Relation {
+    let tuples = (0..16)
+        .map(|i| {
+            Tuple::new(vec![
+                Value::Det(i as f64),
+                Value::Gaussian {
+                    mu: 0.1 + 1.7 * i as f64 / 16.0,
+                    sigma: 0.02,
+                },
+            ])
+        })
+        .collect();
+    Relation::new(Schema::new(&["objID", "z"]), tuples).unwrap()
+}
+
+fn demo_ctx() -> Context {
+    let mut ctx = Context::standard();
+    ctx.register_relation("sky", sky());
+    ctx.register_relation("stars", stars());
+    ctx.register_stream("synth", 1, || {
+        Box::new(SyntheticSource::gaussian(1, 0.5, 11))
+    });
+    ctx
+}
+
+fn assert_rows_identical(a: &[ProjectedTuple], b: &[ProjectedTuple], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: row counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.source, y.source, "{label}: source index");
+        assert_eq!(x.tep.to_bits(), y.tep.to_bits(), "{label}: TEP");
+        assert_eq!(
+            x.output.error_bound.to_bits(),
+            y.output.error_bound.to_bits(),
+            "{label}: error bound"
+        );
+        assert_eq!(x.output.ecdf, y.output.ecdf, "{label}: distribution");
+    }
+}
+
+/// Run the three query shapes in one context. `monitored` interleaves
+/// explicit ticks *and* keeps a fast background sampler alive for the
+/// whole run — the strongest perturbation the monitor can exert.
+fn run_all(workers: usize, monitored: bool) -> (Vec<ProjectedTuple>, Vec<(usize, usize)>, u64) {
+    let mut ctx = demo_ctx();
+    let _sampler = monitored.then(|| ctx.monitor().start(Duration::from_millis(1)));
+    let tick = |ctx: &Context| {
+        if monitored {
+            ctx.monitor().tick();
+        }
+    };
+    tick(&ctx);
+
+    let q = format!(
+        "SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [0.5, 0.9]) >= 0.6 \
+         USING gp WORKERS {workers} SEED 11"
+    );
+    let QueryOutput::Rows(rows) = run_uql(&q, &mut ctx).unwrap() else {
+        panic!("rows")
+    };
+    tick(&ctx);
+
+    let q = format!(
+        "SELECT AngDist(a.z, b.z) FROM stars a JOIN stars b ON a.objID < b.objID \
+         WHERE PR(AngDist(a.z, b.z) IN [0.0, 0.8]) >= 0.5 \
+         USING gp WORKERS {workers} SEED 5"
+    );
+    let QueryOutput::Join(join) = run_uql(&q, &mut ctx).unwrap() else {
+        panic!("join")
+    };
+    tick(&ctx);
+
+    let q = format!(
+        "SELECT F3(x) WITH ACCURACY 0.2 0.05 METRIC disc FROM STREAM synth \
+         WHERE PR(F3(x) IN [0.4, 1.5]) >= 0.3 \
+         USING gp WORKERS {workers} BATCH 64 SEED 9 LIMIT 192"
+    );
+    let QueryOutput::Stream(stream) = run_uql(&q, &mut ctx).unwrap() else {
+        panic!("stream")
+    };
+    tick(&ctx);
+
+    let pairs = join.rows.iter().map(|p| (p.left, p.right)).collect();
+    (rows.rows, pairs, stream.digest)
+}
+
+/// The acceptance criterion: sampler on vs. off changes nothing, at
+/// workers 1/2/8.
+#[test]
+fn monitor_is_output_blind_across_worker_counts() {
+    for workers in [1usize, 2, 8] {
+        let (rows_on, pairs_on, digest_on) = run_all(workers, true);
+        let (rows_off, pairs_off, digest_off) = run_all(workers, false);
+        assert_rows_identical(&rows_on, &rows_off, &format!("monitor-blind/w{workers}"));
+        assert_eq!(
+            pairs_on, pairs_off,
+            "monitor-blind join pairs, workers={workers}"
+        );
+        assert_eq!(
+            digest_on, digest_off,
+            "monitor-blind stream digest, workers={workers}"
+        );
+    }
+}
+
+/// After a GP relation query the trace ring holds parse/bind/exec and the
+/// scheduler's fast/slow brackets, so the collapsed export shows the
+/// nested `exec;fast` path with integer nanosecond counts.
+#[test]
+fn profile_export_folds_phase_brackets() {
+    let mut ctx = demo_ctx();
+    run_uql(
+        "SELECT GalAge(z) FROM sky USING gp WORKERS 2 SEED 7",
+        &mut ctx,
+    )
+    .unwrap();
+    let folded = ctx.trace().to_collapsed();
+    assert!(
+        folded.lines().any(|l| l.starts_with("exec;fast ")),
+        "fast phase nests under exec:\n{folded}"
+    );
+    for line in folded.lines() {
+        let (path, count) = line.rsplit_once(' ').expect("`path count` shape");
+        assert!(!path.is_empty());
+        count.parse::<u64>().expect("integer ns count");
+    }
+}
+
+/// Ticking the context's monitor around statements populates rate series
+/// from the registry's counters and drives the standard alert set: a
+/// MODEL CAP query bursts `olgapro.cap_hits`, firing `cap_hits_burst`.
+#[test]
+fn context_ticks_populate_series_and_alerts() {
+    let mut ctx = demo_ctx();
+    assert_eq!(ctx.monitor().rule_count(), 3, "standard rules pre-wired");
+    ctx.monitor().tick(); // baseline
+    run_uql(
+        "SELECT GalAge(z) FROM sky USING gp SEED 7 MODEL CAP 8",
+        &mut ctx,
+    )
+    .unwrap();
+    ctx.monitor().tick();
+    assert!(
+        ctx.monitor().latest("olgapro.cap_hits.rate").unwrap() > 0.0,
+        "cap-hit burst visible as a rate point"
+    );
+    assert!(
+        ctx.monitor()
+            .active_alerts()
+            .iter()
+            .any(|(rule, _, _)| rule == "cap_hits_burst"),
+        "standard cap_hits_burst rule fires"
+    );
+    let dashboard = ctx.monitor().render_top(8);
+    assert!(
+        dashboard.contains("FIRING cap_hits_burst"),
+        "dashboard:\n{dashboard}"
+    );
+    let jsonl = ctx.monitor().export_jsonl();
+    assert!(
+        jsonl.lines().any(|l| l.contains("olgapro.cap_hits.rate")),
+        "export carries the series"
+    );
+}

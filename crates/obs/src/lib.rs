@@ -31,6 +31,13 @@
 //!   [`TraceBuffer::to_chrome_json`]. Both hard rules above apply
 //!   unchanged: tracing is output-blind and a disabled buffer costs one
 //!   relaxed load and a branch per emit.
+//! * [`monitor`] — continuous monitoring over the whole registry:
+//!   bounded per-metric time-series rings fed by snapshot-delta rate
+//!   points (tick-driven or from a background [`Sampler`] thread),
+//!   declarative [`AlertRule`]s with firing/resolved transitions, and
+//!   the REPL's `\top` dashboard. [`collapsed_stacks`] folds the trace
+//!   ring's phase brackets into flamegraph-compatible `a;b;c count`
+//!   lines. Same hard rules: sampling only reads snapshots.
 //! * [`json`] — the hand-rolled JSON writer, a validator, and a small
 //!   materializing parser (for the `bench-gate` trajectory differ);
 //!   there is no serde in this workspace.
@@ -41,6 +48,8 @@ mod chrome;
 pub mod fmt;
 pub mod json;
 mod metrics;
+pub mod monitor;
+mod profile;
 mod registry;
 mod trace;
 
@@ -48,5 +57,9 @@ pub use metrics::{
     bucket_index, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot, Span,
     HISTOGRAM_BUCKETS,
 };
+pub use monitor::{
+    AlertEvent, AlertRule, Condition, Monitor, Sampler, Threshold, Trend, TsPoint, TsRing, TsStore,
+};
+pub use profile::collapsed_stacks;
 pub use registry::{MetricsRegistry, Snapshot};
 pub use trace::{RerouteReason, TimedEvent, TraceBuffer, TraceEvent, TracePhase, TraceSummary};

@@ -1,0 +1,184 @@
+//! Collapsed-stack profile export: fold the trace ring's phase brackets
+//! into flamegraph-compatible `a;b;c count` lines.
+//!
+//! Each lane's [`PhaseStart`](crate::TraceEvent::PhaseStart) /
+//! [`PhaseEnd`](crate::TraceEvent::PhaseEnd) brackets form a nesting
+//! (`exec` wraps the scheduler's `fast`/`slow`, a join's `warmup`/`main`
+//! wrap their batch phases), so the fold is a per-lane stack walk: every
+//! closed bracket contributes its *self time* (bracket span minus
+//! enclosed child spans) to the `;`-joined path of phases open at close
+//! time. Counts are nanoseconds — `flamegraph.pl < profile.txt` or any
+//! speedscope-style viewer renders the output directly.
+//!
+//! The ring is drop-oldest, so a window may open mid-bracket: an end with
+//! no matching start is skipped, a start with no end contributes nothing.
+//! Multiple statements accumulate — the profile answers "where has this
+//! session spent its time", statement-windowed attribution stays with
+//! `EXPLAIN TRACE`.
+
+use crate::trace::{TimedEvent, TraceBuffer, TraceEvent, TracePhase};
+use std::collections::BTreeMap;
+
+/// Fold phase brackets into collapsed-stack lines, sorted by path. Counts
+/// are self-time nanoseconds; zero-self-time frames are omitted.
+pub fn collapsed_stacks(events: &[TimedEvent]) -> String {
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    // Per-lane open-bracket stacks: (phase, start time, child span total).
+    let mut stacks: BTreeMap<usize, Vec<(TracePhase, u64, u64)>> = BTreeMap::new();
+    for e in events {
+        let stack = stacks.entry(e.lane).or_default();
+        match e.event {
+            TraceEvent::PhaseStart { phase } => stack.push((phase, e.t_ns, 0)),
+            TraceEvent::PhaseEnd { phase } => {
+                // Unwind to the matching open bracket; orphaned inner
+                // frames (their starts aged out of the ring, or the
+                // bracket never closed) are discarded unattributed.
+                let Some(at) = stack.iter().rposition(|&(p, _, _)| p == phase) else {
+                    continue;
+                };
+                stack.truncate(at + 1);
+                let (_, t0, child_ns) = stack.pop().expect("rposition hit");
+                let total = e.t_ns.saturating_sub(t0);
+                let self_ns = total.saturating_sub(child_ns);
+                let mut path: Vec<&str> = stack.iter().map(|&(p, _, _)| p.as_str()).collect();
+                path.push(phase.as_str());
+                if self_ns > 0 {
+                    *totals.entry(path.join(";")).or_default() += self_ns;
+                }
+                if let Some(parent) = stack.last_mut() {
+                    parent.2 += total;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    for (path, ns) in &totals {
+        out.push_str(&format!("{path} {ns}\n"));
+    }
+    out
+}
+
+impl TraceBuffer {
+    /// The whole ring as a collapsed-stack profile — see
+    /// [`collapsed_stacks`]. What the REPL's `\profile` exports.
+    pub fn to_collapsed(&self) -> String {
+        collapsed_stacks(&self.events())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, t_ns: u64, lane: usize, event: TraceEvent) -> TimedEvent {
+        TimedEvent {
+            seq,
+            t_ns,
+            lane,
+            event,
+        }
+    }
+
+    fn start(phase: TracePhase) -> TraceEvent {
+        TraceEvent::PhaseStart { phase }
+    }
+
+    fn end(phase: TracePhase) -> TraceEvent {
+        TraceEvent::PhaseEnd { phase }
+    }
+
+    #[test]
+    fn nested_brackets_attribute_self_time() {
+        use TracePhase::*;
+        // exec [0, 100] wrapping fast [10, 40] and slow [40, 90]:
+        // exec self = 100 - 30 - 50 = 20.
+        let events = vec![
+            ev(1, 0, 0, start(Exec)),
+            ev(2, 10, 0, start(Fast)),
+            ev(3, 40, 0, end(Fast)),
+            ev(4, 40, 0, start(Slow)),
+            ev(5, 90, 0, end(Slow)),
+            ev(6, 100, 0, end(Exec)),
+        ];
+        let out = collapsed_stacks(&events);
+        assert_eq!(out, "exec 20\nexec;fast 30\nexec;slow 50\n");
+    }
+
+    #[test]
+    fn sibling_phases_and_repeats_accumulate() {
+        use TracePhase::*;
+        let events = vec![
+            ev(1, 0, 0, start(Parse)),
+            ev(2, 5, 0, end(Parse)),
+            ev(3, 5, 0, start(Bind)),
+            ev(4, 12, 0, end(Bind)),
+            ev(5, 20, 0, start(Parse)),
+            ev(6, 28, 0, end(Parse)),
+        ];
+        let out = collapsed_stacks(&events);
+        assert_eq!(out, "bind 7\nparse 13\n");
+    }
+
+    #[test]
+    fn lanes_fold_independently() {
+        use TracePhase::*;
+        // Lane 1's fast bracket must not nest under lane 0's exec.
+        let events = vec![
+            ev(1, 0, 0, start(Exec)),
+            ev(2, 10, 1, start(Fast)),
+            ev(3, 30, 1, end(Fast)),
+            ev(4, 50, 0, end(Exec)),
+        ];
+        let out = collapsed_stacks(&events);
+        assert_eq!(out, "exec 50\nfast 20\n");
+    }
+
+    #[test]
+    fn truncated_ring_degrades_gracefully() {
+        use TracePhase::*;
+        // An end whose start aged out is skipped; an unclosed start
+        // contributes nothing; an orphaned inner frame is discarded when
+        // its parent closes.
+        let events = vec![
+            ev(1, 10, 0, end(Fast)), // start lost to the ring
+            ev(2, 20, 0, start(Exec)),
+            ev(3, 25, 0, start(Slow)), // never ends
+            ev(4, 60, 0, end(Exec)),
+            ev(5, 70, 0, start(Main)), // still open at export
+        ];
+        let out = collapsed_stacks(&events);
+        assert_eq!(out, "exec 40\n");
+    }
+
+    /// Burn enough cycles that consecutive emits get distinct nanosecond
+    /// stamps (a zero-span bracket would legitimately fold to nothing).
+    fn spin() {
+        let mut x = 0u64;
+        for i in 0..50_000u64 {
+            x = x.wrapping_add(std::hint::black_box(i));
+        }
+        std::hint::black_box(x);
+    }
+
+    #[test]
+    fn buffer_export_matches_event_fold() {
+        use TracePhase::*;
+        let buf = TraceBuffer::new(2, 64);
+        buf.emit(0, start(Exec));
+        spin();
+        buf.emit(0, start(Fast));
+        spin();
+        buf.emit(0, end(Fast));
+        spin();
+        buf.emit(0, end(Exec));
+        let out = buf.to_collapsed();
+        assert_eq!(out, collapsed_stacks(&buf.events()));
+        assert!(out.contains("exec;fast "), "{out}");
+        for line in out.lines() {
+            let (path, count) = line.rsplit_once(' ').expect("`path count` shape");
+            assert!(!path.is_empty());
+            count.parse::<u64>().expect("integer count");
+        }
+    }
+}

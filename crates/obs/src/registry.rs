@@ -246,6 +246,32 @@ impl Snapshot {
         }
     }
 
+    /// The subset whose metric names start with `prefix` (what the REPL's
+    /// `\metrics uql.` filter renders: one subsystem, not the whole
+    /// registry dump).
+    pub fn filtered(&self, prefix: &str) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect(),
+        }
+    }
+
     /// Hand-rolled JSON export (no serde in this workspace):
     ///
     /// ```json
@@ -462,6 +488,88 @@ mod tests {
         assert_eq!(d.counters["sched.verdict.reroute"], 3);
         assert_eq!(d.histograms["sched.fast_phase_ns"].count, 1);
         assert_eq!(d.histograms["sched.fast_phase_ns"].sum, 200);
+    }
+
+    #[test]
+    fn filtered_keeps_one_subsystem() {
+        let reg = MetricsRegistry::new();
+        reg.counter("uql.prepared_cache.hits").add(2);
+        reg.counter("sched.verdict.accept").add(9);
+        reg.gauge("olgapro.model_points").set(16);
+        reg.histogram("uql.exec_ns").record(500);
+        let f = reg.snapshot().filtered("uql.");
+        assert_eq!(f.counters.len(), 1);
+        assert_eq!(f.counters["uql.prepared_cache.hits"], 2);
+        assert!(f.gauges.is_empty());
+        assert_eq!(f.histograms.len(), 1);
+        let text = f.render();
+        assert!(text.contains("uql.exec_ns"), "{text}");
+        assert!(!text.contains("sched."), "{text}");
+        // A prefix matching nothing renders the empty-registry line.
+        assert!(reg
+            .snapshot()
+            .filtered("nope.")
+            .render()
+            .contains("no metrics"));
+    }
+
+    #[test]
+    fn delta_across_reset_saturates_instead_of_wrapping() {
+        // The reset edge case: `earlier` was snapped before a
+        // `MetricsRegistry::reset()`, so the current totals are *smaller*
+        // than the baseline. Histogram count/sum/bucket deltas must
+        // saturate at 0 like counters do — never wrap toward `u64::MAX`.
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        let h = reg.histogram("lat_ns");
+        c.add(7);
+        for v in [1_000, 3_000, 5_000] {
+            h.record(v);
+        }
+        let earlier = reg.snapshot();
+        reg.reset();
+        c.inc();
+        h.record(50);
+        let d = reg.snapshot().delta(&earlier);
+        assert_eq!(d.counters["c"], 0, "counter saturates");
+        let dh = &d.histograms["lat_ns"];
+        assert_eq!(dh.count, 0, "count saturates like a counter");
+        assert_eq!(dh.sum, 0, "sum saturates like a counter");
+        assert!(
+            dh.buckets.iter().all(|&b| b <= 1),
+            "no bucket wraps: {:?}",
+            dh.buckets
+        );
+        assert_eq!(dh.mean(), 0.0, "empty-window mean degrades to 0, not NaN");
+        assert_eq!(dh.max, 50, "max keeps the later value (not invertible)");
+        // The window is renderable and exportable without panicking.
+        crate::json::validate(&d.to_json()).expect("post-reset delta exports");
+        assert!(d.render().contains("lat_ns"));
+    }
+
+    #[test]
+    fn mean_is_exact_and_rendered_everywhere() {
+        // `\metrics` and `EXPLAIN ANALYZE` both render through
+        // `Snapshot::render`/`to_json`; the exact sum/count mean must
+        // appear in both (bucket-edge p50/p95 overstate central
+        // tendency).
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("vals");
+        for v in [10, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(reg.snapshot().histograms["vals"].mean(), 25.0);
+        let text = reg.render();
+        assert!(text.contains("mean=25.00"), "{text}");
+        let json = reg.to_json();
+        assert!(json.contains("\"mean\": 25.0"), "{json}");
+        // Duration-valued histograms render the mean as a duration too.
+        reg.histogram("t_ns").record(2_000_000);
+        assert!(
+            reg.render().contains("t_ns: count=1 mean=2.00ms"),
+            "{}",
+            reg.render()
+        );
     }
 
     #[test]

@@ -11,13 +11,21 @@
 //! reroute rate) or whose throughput is decaying shows up without any
 //! external scrape loop.
 //!
+//! Since the registry-wide monitor landed, this type is a thin adapter
+//! over [`udf_obs::TsStore`]: the four cumulative counters live as one
+//! store series each (`tuples_in` / `kept` / `slow_path` / `reroutes`,
+//! pushed together at one timestamp), and [`samples`](
+//! HealthMonitor::samples) re-zips them. What stays stream-specific is
+//! the micro-batch cadence and the [`HealthTrend`] rate algebra over
+//! *cumulative* totals — the generic store trends over per-window rate
+//! points instead.
+//!
 //! Purely observational, like every other layer in the obs stack: emitted
 //! distributions and digests are byte-identical with the monitor on or
 //! off.
 
-use std::collections::VecDeque;
 use std::time::Instant;
-use udf_obs::{MetricsRegistry, Snapshot};
+use udf_obs::{MetricsRegistry, Snapshot, TsStore};
 
 /// One periodic reading. Tuple counters are *cumulative* engine-lifetime
 /// totals (summed across subscriptions); rates come from differencing
@@ -52,14 +60,15 @@ pub struct HealthTrend {
     pub reroute_rate_delta: Option<f64>,
 }
 
-/// The ring plus the sampling cadence. Owned by the engine; sampled from
-/// `process_batch`.
+/// The store-backed ring plus the sampling cadence. Owned by the engine;
+/// sampled from `process_batch`.
 pub struct HealthMonitor {
     epoch: Instant,
     every: u64,
     batches: u64,
-    capacity: usize,
-    samples: VecDeque<HealthSample>,
+    /// One series per cumulative counter, pushed in lockstep — see the
+    /// module docs.
+    store: TsStore,
     /// Snapshot at the previous sample (for counter deltas).
     last_snap: Snapshot,
     registry: Option<MetricsRegistry>,
@@ -71,6 +80,9 @@ pub const DEFAULT_SAMPLE_EVERY: u64 = 4;
 /// Default ring capacity, in samples.
 pub const DEFAULT_CAPACITY: usize = 128;
 
+/// The store series one [`HealthSample`] spreads across.
+const SERIES: [&str; 4] = ["tuples_in", "kept", "slow_path", "reroutes"];
+
 impl HealthMonitor {
     /// A monitor sampling every `every` micro-batches into a ring of
     /// `capacity` samples (both clamped to ≥ 1).
@@ -79,8 +91,7 @@ impl HealthMonitor {
             epoch: Instant::now(),
             every: every.max(1),
             batches: 0,
-            capacity: capacity.max(1),
-            samples: VecDeque::with_capacity(capacity.max(1)),
+            store: TsStore::new(capacity),
             last_snap: Snapshot::default(),
             registry: None,
         }
@@ -99,12 +110,44 @@ impl HealthMonitor {
 
     /// The ring's bounded capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.store.capacity()
     }
 
-    /// The ring's current contents, oldest first.
-    pub fn samples(&self) -> impl Iterator<Item = &HealthSample> {
-        self.samples.iter()
+    /// The backing time-series store (one series per cumulative counter).
+    pub fn store(&self) -> &TsStore {
+        &self.store
+    }
+
+    /// The ring's current contents, oldest first, re-zipped from the
+    /// store's four lockstep series.
+    pub fn samples(&self) -> impl Iterator<Item = HealthSample> + '_ {
+        let series = |name: &'static str| {
+            self.store
+                .get(name)
+                .into_iter()
+                .flat_map(udf_obs::TsRing::iter)
+        };
+        series("tuples_in")
+            .zip(series("kept"))
+            .zip(series("slow_path"))
+            .zip(series("reroutes"))
+            .map(|(((t, k), s), r)| HealthSample {
+                t_ns: t.t_ns,
+                tuples_in: t.value as u64,
+                kept: k.value as u64,
+                slow_path: s.value as u64,
+                reroutes: r.value as u64,
+            })
+    }
+
+    /// Append one sample to all four series at one timestamp.
+    fn push_sample(&mut self, s: HealthSample) {
+        for (name, v) in SERIES
+            .iter()
+            .zip([s.tuples_in, s.kept, s.slow_path, s.reroutes])
+        {
+            self.store.push(name, s.t_ns, v as f64);
+        }
     }
 
     /// Called once per engine micro-batch; folds a sample every
@@ -127,10 +170,7 @@ impl HealthMonitor {
             }
             None => 0,
         };
-        if self.samples.len() == self.capacity {
-            self.samples.pop_front();
-        }
-        self.samples.push_back(HealthSample {
+        self.push_sample(HealthSample {
             t_ns: u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
             tuples_in,
             kept,
@@ -143,18 +183,19 @@ impl HealthMonitor {
     /// reroute rate, plus half-over-half drift. `None` with fewer than two
     /// samples (no window to difference).
     pub fn trend(&self) -> Option<HealthTrend> {
-        let n = self.samples.len();
+        let samples: Vec<HealthSample> = self.samples().collect();
+        let n = samples.len();
         if n < 2 {
             return None;
         }
-        let first = self.samples.front().expect("n >= 2");
-        let last = self.samples.back().expect("n >= 2");
+        let first = &samples[0];
+        let last = &samples[n - 1];
         let span = rate_window(first, last);
         let throughput = span.map(|(tput, _)| tput).unwrap_or(0.0);
         let reroute_rate = span.map(|(_, rr)| rr).unwrap_or(0.0);
         let (mut throughput_ratio, mut reroute_rate_delta) = (None, None);
         if n >= 3 {
-            let mid = &self.samples[n / 2];
+            let mid = &samples[n / 2];
             let earlier = rate_window(first, mid);
             let later = rate_window(mid, last);
             if let (Some((te, re)), Some((tl, rl))) = (earlier, later) {
@@ -177,13 +218,13 @@ impl HealthMonitor {
         let Some(t) = self.trend() else {
             return format!(
                 "health: {} sample(s), trend needs 2+ (cadence {} batch(es))",
-                self.samples.len(),
+                self.samples().count(),
                 self.every
             );
         };
         let mut line = udf_obs::fmt::KvLine::new()
             .raw("health:")
-            .field("samples", self.samples.len())
+            .field("samples", self.samples().count())
             .raw(&format!("throughput={:.0}tup/s", t.throughput))
             .raw(&format!("reroute_rate={:.4}", t.reroute_rate));
         if let Some(r) = t.throughput_ratio {
@@ -215,10 +256,7 @@ mod tests {
     fn push(mon: &mut HealthMonitor, t_ns: u64, tuples: u64, slow: u64) {
         // Drive the ring directly with synthetic timestamps: on_batch's
         // Instant-based clock is untestable at nanosecond precision.
-        if mon.samples.len() == mon.capacity {
-            mon.samples.pop_front();
-        }
-        mon.samples.push_back(HealthSample {
+        mon.push_sample(HealthSample {
             t_ns,
             tuples_in: tuples,
             kept: tuples,
@@ -238,6 +276,25 @@ mod tests {
     }
 
     #[test]
+    fn empty_ring_has_no_trend_and_says_so() {
+        let mon = HealthMonitor::new(1, 8);
+        assert_eq!(mon.samples().count(), 0);
+        assert!(mon.trend().is_none(), "no samples, no trend");
+        let line = mon.render();
+        assert!(line.contains("0 sample(s)"), "{line}");
+        assert!(line.contains("trend needs 2+"), "{line}");
+    }
+
+    #[test]
+    fn single_sample_has_no_trend() {
+        let mut mon = HealthMonitor::new(1, 8);
+        push(&mut mon, 1_000, 500, 5);
+        assert_eq!(mon.samples().count(), 1);
+        assert!(mon.trend().is_none(), "one sample is no window");
+        assert!(mon.render().contains("1 sample(s)"));
+    }
+
+    #[test]
     fn trend_needs_two_samples() {
         let mut mon = HealthMonitor::new(1, 8);
         assert!(mon.trend().is_none());
@@ -250,6 +307,24 @@ mod tests {
         // Two samples: one window, no halves to compare.
         assert!(t.throughput_ratio.is_none());
         assert!(t.reroute_rate_delta.is_none());
+    }
+
+    #[test]
+    fn half_window_contracts_stay_none_until_both_halves_rate() {
+        let mut mon = HealthMonitor::new(1, 8);
+        // Three samples but the earlier half moved no tuples: its
+        // rate_window is None, so both half-over-half fields stay None
+        // while the whole-window figures are still reported.
+        push(&mut mon, 0, 0, 0);
+        push(&mut mon, 1_000_000_000, 0, 0);
+        push(&mut mon, 2_000_000_000, 1000, 10);
+        let t = mon.trend().unwrap();
+        assert!(t.throughput > 0.0);
+        assert!(t.throughput_ratio.is_none(), "idle earlier half: no ratio");
+        assert!(
+            t.reroute_rate_delta.is_none(),
+            "idle earlier half: no drift"
+        );
     }
 
     #[test]
@@ -268,6 +343,43 @@ mod tests {
         let drift = t.reroute_rate_delta.unwrap();
         assert!(drift > 0.05, "reroute drift visible: {drift}");
         assert!(mon.render().contains("throughput_ratio="));
+    }
+
+    #[test]
+    fn wrap_at_capacity_trends_over_newest_window_only() {
+        let mut mon = HealthMonitor::new(1, 4);
+        // A long steady prefix that must age out entirely…
+        for i in 0..20u64 {
+            push(&mut mon, i * 1_000_000_000, i * 1000, 0);
+        }
+        // …then a collapsing tail that fills the whole ring.
+        let t0 = 20_000_000_000;
+        push(&mut mon, t0, 20_000, 0);
+        push(&mut mon, t0 + 1_000_000_000, 21_000, 0);
+        push(&mut mon, t0 + 2_000_000_000, 21_100, 50);
+        push(&mut mon, t0 + 3_000_000_000, 21_200, 100);
+        assert_eq!(mon.samples().count(), 4, "ring wrapped at capacity");
+        let t = mon.trend().unwrap();
+        let ratio = t.throughput_ratio.unwrap();
+        assert!(
+            ratio < 0.2,
+            "trend reflects only the retained window: {ratio}"
+        );
+        assert!(t.reroute_rate_delta.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn samples_rezip_the_store_series() {
+        let mut mon = HealthMonitor::new(1, 8);
+        push(&mut mon, 7, 100, 3);
+        let s = mon.samples().next().unwrap();
+        assert_eq!(
+            (s.t_ns, s.tuples_in, s.kept, s.slow_path, s.reroutes),
+            (7, 100, 100, 3, 3)
+        );
+        // The adapter exposes its backing store: four lockstep series.
+        assert_eq!(mon.store().series_count(), 4);
+        assert_eq!(mon.store().get("tuples_in").unwrap().len(), 1);
     }
 
     #[test]

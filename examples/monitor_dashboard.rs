@@ -1,0 +1,87 @@
+//! Continuous monitoring outside the REPL: a session that watches itself.
+//!
+//! A `Context` owns a registry-wide [`udf_obs::Monitor`] pre-wired with
+//! the standard alert rules (cap-hit burst, reroute spike, throughput
+//! decay). This example drives a mixed workload — relation scans, a
+//! MODEL CAP burst, a bounded stream — while a background sampler ticks
+//! the monitor, then prints the `\top`-style dashboard, the alert
+//! transition log, and the collapsed-stack profile of where the session
+//! spent its time.
+//!
+//! ```sh
+//! cargo run --release --example monitor_dashboard
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use udf_uncertain::prelude::*;
+use udf_uncertain::workloads::astro::GalaxyCatalog;
+
+fn main() {
+    let mut ctx = UqlContext::standard();
+    let mut rng = StdRng::seed_from_u64(42);
+    let catalog = GalaxyCatalog::generate(192, &mut rng);
+    let tuples = catalog
+        .rows()
+        .iter()
+        .map(|r| {
+            Tuple::new(vec![
+                Value::Det(r.obj_id as f64),
+                Value::Gaussian {
+                    mu: r.z_mean,
+                    sigma: r.z_sigma,
+                },
+            ])
+        })
+        .collect();
+    ctx.register_relation(
+        "sky",
+        Relation::new(Schema::new(&["objID", "z"]), tuples).unwrap(),
+    );
+    ctx.register_stream("synth", 1, || {
+        Box::new(SyntheticSource::gaussian(1, 0.5, 11))
+    });
+
+    // A background sampler at 5 ms keeps the rings warm between
+    // statements; explicit ticks after each statement pin a sample at
+    // every boundary (the REPL's cadence). Both only read snapshots —
+    // results are byte-identical with the monitor idle.
+    let sampler = ctx.monitor().start(Duration::from_millis(5));
+    let statements = [
+        "SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [0.5, 0.9]) >= 0.6 \
+         USING gp WORKERS 2 SEED 7",
+        // A tight model cap on a fresh strategy: every post-cap slow-path
+        // tuple counts a cap hit, bursting `olgapro.cap_hits.rate` and
+        // firing the standard `cap_hits_burst` rule.
+        "SELECT GalAge(z) FROM sky USING gp MODEL CAP 12 SEED 5 WORKERS 2",
+        "SELECT F3(x) FROM STREAM synth USING mc LIMIT 256 SEED 3",
+    ];
+    for q in statements {
+        println!("uql> {q}");
+        match ctx.run(q) {
+            Ok(out) => print!("{}", out.report()),
+            Err(e) => println!("{}", e.render(q)),
+        }
+        ctx.monitor().tick();
+    }
+    drop(sampler);
+
+    println!("\n--- \\top ---");
+    print!("{}", ctx.monitor().render_top(8));
+
+    println!("\n--- alert log ---");
+    for ev in ctx.monitor().alert_log() {
+        println!(
+            "[{:>8.3}s] {} {} on {} value={:.1}",
+            ev.t_ns as f64 / 1e9,
+            if ev.firing { "FIRING" } else { "RESOLVED" },
+            ev.rule,
+            ev.metric,
+            ev.value
+        );
+    }
+
+    println!("\n--- collapsed-stack profile (flamegraph.pl input) ---");
+    print!("{}", ctx.trace().to_collapsed());
+}

@@ -111,7 +111,7 @@ fn print_catalog(ctx: &UqlContext) {
 
 fn main() {
     let mut ctx = demo_context();
-    println!("UQL shell — `\\d` lists the catalog, `\\h` shows the grammar, `\\prepared` lists prepared statements, `\\metrics` dumps counters, `\\trace` exports the trace, `\\q` quits.");
+    println!("UQL shell — `\\d` lists the catalog, `\\h` shows the grammar, `\\prepared` lists prepared statements, `\\metrics` dumps counters, `\\top` shows the live dashboard, `\\trace` / `\\profile` export the trace, `\\q` quits.");
     println!("Example: SELECT GalAge(z) FROM sky WHERE PR(GalAge(z) IN [0.5, 0.9]) >= 0.6 USING gp WORKERS 2 SEED 7");
 
     let stdin = io::stdin();
@@ -135,6 +135,13 @@ fn main() {
             }
             "\\metrics" => {
                 print!("{}", ctx.metrics().render());
+                continue;
+            }
+            "\\top" => {
+                // The loop already ticks once per executed statement, so
+                // the dashboard is current; ticking again here would fold
+                // a near-empty window and spuriously resolve rate alerts.
+                print!("{}", ctx.monitor().render_top(8));
                 continue;
             }
             "\\prepared" => {
@@ -176,8 +183,12 @@ fn main() {
                      (reroute causes, model lifecycle, certificate misses);\n\
                      `\\prepared` lists the session's prepared statements,\n\
                      `\\metrics` dumps the session's metrics registry,\n\
+                     `\\metrics <prefix>` dumps only metrics under a prefix,\n\
                      `\\metrics reset` zeroes it,\n\
-                     `\\trace [path]` exports the session trace as chrome://tracing JSON."
+                     `\\top` shows the live dashboard (top rates, alerts, trends),\n\
+                     `\\monitor export [path]` dumps the monitor's time-series as JSON Lines,\n\
+                     `\\trace [path]` exports the session trace as chrome://tracing JSON,\n\
+                     `\\profile [path]` exports it as collapsed stacks for flamegraph.pl."
                 );
                 continue;
             }
@@ -196,10 +207,54 @@ fn main() {
             }
             continue;
         }
+        if let Some(rest) = line.strip_prefix("\\profile") {
+            let path = rest.trim();
+            let folded = ctx.trace().to_collapsed();
+            if path.is_empty() {
+                print!("{folded}");
+            } else {
+                match std::fs::write(path, &folded) {
+                    Ok(()) => println!(
+                        "profile written to {path} ({} frames; flamegraph.pl renders it)",
+                        folded.lines().count()
+                    ),
+                    Err(e) => println!("cannot write {path}: {e}"),
+                }
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\monitor export") {
+            let path = rest.trim();
+            let jsonl = ctx.monitor().export_jsonl();
+            if path.is_empty() {
+                print!("{jsonl}");
+            } else {
+                match std::fs::write(path, &jsonl) {
+                    Ok(()) => println!(
+                        "monitor series written to {path} ({} points)",
+                        jsonl.lines().count()
+                    ),
+                    Err(e) => println!("cannot write {path}: {e}"),
+                }
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\metrics ") {
+            let prefix = rest.trim();
+            if !prefix.is_empty() {
+                println!("metrics filtered by prefix `{prefix}`:");
+                print!("{}", ctx.metrics().snapshot().filtered(prefix).render());
+                continue;
+            }
+        }
         match ctx.run(line) {
             Ok(out) => print!("{}", out.report()),
             Err(e) => println!("{}", e.render(line)),
         }
+        // One monitor sample per executed statement, so `\top` trends and
+        // alert debounce advance in statement time even without a
+        // background sampler. Output-blind: the tick only reads snapshots.
+        ctx.monitor().tick();
     }
     println!("bye");
 }
